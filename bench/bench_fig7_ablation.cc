@@ -1,0 +1,113 @@
+// Regenerates Figure 7: the ITGNN ablation study on the heterogeneous
+// dataset — number of scales, pooling ratio, number of propagation layers,
+// and the metapath-transformation modules.
+
+#include <cstdio>
+#include <ctime>
+
+#include "bench_common.h"
+
+using namespace glint;         // NOLINT
+using namespace glint::bench;  // NOLINT
+using gnn::GnnGraph;
+using gnn::ItgnnModel;
+
+namespace {
+
+std::vector<GnnGraph>* g_graphs = nullptr;
+
+ml::Metrics RunConfig(ItgnnModel::Config cfg, int epochs = 10) {
+  Rng rng(70);
+  std::vector<GnnGraph> train, test;
+  gnn::SplitGraphs(*g_graphs, 0.8, &rng, &train, &test);
+  ItgnnModel model(cfg);
+  gnn::TrainConfig tc;
+  tc.epochs = epochs;
+  gnn::Trainer trainer(tc);
+  trainer.TrainSupervised(&model, train);
+  return gnn::Trainer::Evaluate(&model, test);
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 7: ITGNN ablation study", "Fig. 7");
+  auto corpus = DefaultCorpus();
+  auto graphs = gnn::ToGnnGraphs(BuildGraphs(corpus, 800, 71));
+  g_graphs = &graphs;
+
+  // (i) Number of scales (paper best: 3).
+  {
+    TablePrinter t({"num scales", "accuracy", "F1"});
+    for (int scales : {1, 2, 3, 5}) {
+      const std::clock_t t0 = std::clock();
+      ItgnnModel::Config cfg;
+      cfg.num_scales = scales;
+      auto m = RunConfig(cfg);
+      t.AddRow({StrFormat("%d", scales), StrFormat("%.3f", m.accuracy),
+                StrFormat("%.3f", m.f1)});
+      std::printf("  scales=%d done (%.0fs)\n", scales,
+                  static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC);
+    }
+    std::printf("(i) the number of multi-scale (paper: best at 3)\n");
+    t.Print();
+  }
+
+  // (ii) Pooling ratio (paper best: 0.6; 1.0 disables VIPool).
+  {
+    TablePrinter t({"pooling ratio", "accuracy", "F1"});
+    for (double ratio : {0.3, 0.6, 1.0}) {
+      ItgnnModel::Config cfg;
+      cfg.pooling_ratio = ratio;
+      auto m = RunConfig(cfg);
+      t.AddRow({StrFormat("%.1f", ratio), StrFormat("%.3f", m.accuracy),
+                StrFormat("%.3f", m.f1)});
+    }
+    std::printf("(ii) pooling ratio (paper: best at 0.6)\n");
+    t.Print();
+  }
+
+  // (iii) Number of propagation layers (paper: 2 best, 6 over-smooths).
+  {
+    TablePrinter t({"propagation layers", "accuracy", "F1"});
+    for (int layers : {1, 2, 4, 6}) {
+      ItgnnModel::Config cfg;
+      cfg.prop_layers = layers;
+      auto m = RunConfig(cfg);
+      t.AddRow({StrFormat("%d", layers), StrFormat("%.3f", m.accuracy),
+                StrFormat("%.3f", m.f1)});
+    }
+    std::printf("(iii) propagation layers (paper: 2 best; 6 over-smooths)\n");
+    t.Print();
+  }
+
+  // (iv) Metapath-based node transformation modules
+  // (paper: none=81.5%, all=95.1%).
+  {
+    TablePrinter t({"node transformation", "accuracy", "F1"});
+    const struct {
+      const char* name;
+      bool intra, inter;
+    } variants[] = {
+        {"None", false, false},
+        {"Intra only", true, false},
+        {"Inter only", false, true},
+        {"ALL", true, true},
+    };
+    for (const auto& v : variants) {
+      ItgnnModel::Config cfg;
+      cfg.use_intra = v.intra;
+      cfg.use_inter = v.inter;
+      auto m = RunConfig(cfg);
+      t.AddRow({v.name, StrFormat("%.3f", m.accuracy),
+                StrFormat("%.3f", m.f1)});
+    }
+    std::printf("(iv) metapath modules (paper: None 81.5%% vs ALL 95.1%%)\n");
+    t.Print();
+  }
+
+  std::printf("paper shape to check: peak near scales=3 / ratio=0.6 /\n"
+              "layers=2, and the full metapath transformation beating the\n"
+              "ablated variants.\n");
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Regenerates Figure 9 and the Sec. 4.7 drifting-sample study: ITGNN-C
+// contrastive embeddings, PCA projection to 2-d, K-means clustering,
+// MAD-based drifting-sample detection on the unlabeled IFTTT and
+// heterogeneous datasets, and the discovery of the four new threat types in
+// Home Assistant blueprints.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gnn/drift.h"
+#include "graph/threat_analyzer.h"
+#include "ml/kmeans.h"
+#include "ml/pca.h"
+
+using namespace glint;         // NOLINT
+using namespace glint::bench;  // NOLINT
+using gnn::GnnGraph;
+
+namespace {
+
+// ASCII scatter of 2-d points by cluster (the Fig. 9 plot, in a terminal).
+void AsciiScatter(const std::vector<FloatVec>& pts,
+                  const std::vector<int>& cluster,
+                  const std::vector<bool>& drifting) {
+  const int W = 64, H = 20;
+  float xmin = 1e9f, xmax = -1e9f, ymin = 1e9f, ymax = -1e9f;
+  for (const auto& p : pts) {
+    xmin = std::min(xmin, p[0]);
+    xmax = std::max(xmax, p[0]);
+    ymin = std::min(ymin, p[1]);
+    ymax = std::max(ymax, p[1]);
+  }
+  std::vector<std::string> canvas(H, std::string(W, ' '));
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const int x = static_cast<int>((pts[i][0] - xmin) / (xmax - xmin + 1e-9f) *
+                                   (W - 1));
+    const int y = static_cast<int>((pts[i][1] - ymin) / (ymax - ymin + 1e-9f) *
+                                   (H - 1));
+    char c = cluster[i] == 0 ? 'o' : '+';
+    if (drifting[i]) c = 'X';
+    canvas[static_cast<size_t>(H - 1 - y)][static_cast<size_t>(x)] = c;
+  }
+  std::printf("  o = cluster 0 (normal-dominated), + = cluster 1 "
+              "(threat-dominated), X = drifting\n");
+  for (const auto& line : canvas) std::printf("  |%s|\n", line.c_str());
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 9 + Sec. 4.7: contrastive clusters and drifting samples",
+         "Fig. 9");
+  auto corpus = DefaultCorpus();
+
+  // Train ITGNN-C on labeled heterogeneous graphs.
+  auto labeled = gnn::ToGnnGraphs(BuildGraphs(corpus, 900, 91));
+  gnn::ItgnnModel::Config cfg;
+  cfg.embed_dim = 256;  // the paper's 256-d latent space
+  gnn::ItgnnModel model(cfg);
+  gnn::TrainConfig tc;
+  tc.epochs = 18;
+  tc.pairs_per_sample = 2.0;
+  gnn::Trainer trainer(tc);
+  std::printf("training ITGNN-C (contrastive, 256-d latents)...\n");
+  trainer.TrainContrastive(&model, labeled);
+
+  gnn::DriftDetector drift;
+  drift.FitFromModel(&model, labeled);
+
+  // PCA 256 -> 2 and K-means on the labeled embeddings (Fig. 9).
+  auto z = gnn::Trainer::EmbedAll(&model, labeled);
+  ml::Pca pca;
+  pca.Fit(z);
+  auto z2 = pca.TransformBatch(z);
+  ml::KMeans::Params kp;
+  kp.k = 2;
+  ml::KMeans km(kp);
+  km.Fit(z2);
+  // Cluster/label agreement.
+  int agree[2][2] = {{0, 0}, {0, 0}};
+  for (size_t i = 0; i < z2.size(); ++i) {
+    agree[km.labels()[i]][labeled[i].label] += 1;
+  }
+  std::printf("PCA variance captured: %.1f%% + %.1f%%\n",
+              100 * pca.explained_variance()[0] /
+                  (pca.explained_variance()[0] + pca.explained_variance()[1] + 1e-9),
+              100 * pca.explained_variance()[1] /
+                  (pca.explained_variance()[0] + pca.explained_variance()[1] + 1e-9));
+  TablePrinter ct({"cluster", "normal graphs", "vulnerable graphs"});
+  ct.AddRow({"0", StrFormat("%d", agree[0][0]), StrFormat("%d", agree[0][1])});
+  ct.AddRow({"1", StrFormat("%d", agree[1][0]), StrFormat("%d", agree[1][1])});
+  ct.Print();
+
+  std::vector<bool> no_drift(z2.size(), false);
+  AsciiScatter(z2, km.labels(), no_drift);
+
+  // Drifting detection on unlabeled datasets (paper: 63 / 10,000 IFTTT and
+  // 104 / 19,440 heterogeneous; ours at 1:10 scale).
+  auto ifttt_rules = PlatformRules(corpus, rules::Platform::kIFTTT);
+  auto unlabeled_ifttt = BuildGraphs(ifttt_rules, 1000, 92);
+  auto unlabeled_hetero = BuildGraphs(corpus, 1944, 93);
+
+  // Inject the Sec. 4.7 blueprint groups (the genuinely novel patterns)
+  // into the heterogeneous unlabeled set.
+  graph::GraphBuilder builder({}, &WordModel(), &SentenceModel());
+  auto blueprint_groups = rules::CorpusGenerator::NewThreatBlueprints();
+  const size_t first_injected = unlabeled_hetero.graphs.size();
+  for (const auto& group : blueprint_groups) {
+    unlabeled_hetero.graphs.push_back(builder.BuildFromRules(group));
+  }
+
+  struct Unlabeled {
+    const char* name;
+    const graph::GraphDataset* ds;
+    int paper_total, paper_drifting;
+  };
+  const Unlabeled sets[] = {
+      {"IFTTT (unlabeled)", &unlabeled_ifttt, 10000, 63},
+      {"heterogeneous (unlabeled + blueprints)", &unlabeled_hetero, 19440,
+       104},
+  };
+
+  TablePrinter dt({"dataset", "paper graphs", "ours", "paper drifting",
+                   "ours drifting", "ratio"});
+  std::vector<double> hetero_degrees;  // background for percentile ranks
+  for (const auto& set : sets) {
+    auto graphs = gnn::ToGnnGraphs(*set.ds);
+    int n_drift = 0;
+    for (const auto& g : graphs) {
+      const double degree =
+          drift.DriftingDegree(gnn::Trainer::Embed(&model, g));
+      n_drift += degree > 3.0 ? 1 : 0;
+      if (set.ds == &unlabeled_hetero) hetero_degrees.push_back(degree);
+    }
+    dt.AddRow({set.name, StrFormat("%d", set.paper_total),
+               StrFormat("%zu", graphs.size()),
+               StrFormat("%d", set.paper_drifting),
+               StrFormat("%d", n_drift),
+               StrFormat("%.2f%%",
+                         100.0 * n_drift / static_cast<double>(graphs.size()))});
+  }
+  dt.Print();
+  std::sort(hetero_degrees.begin(), hetero_degrees.end());
+
+  // Were the injected blueprint graphs surfaced, and what do the new-type
+  // detectors say about the drifting samples a security analyst reviews?
+  std::printf("\nmanual review of drifting samples (Sec. 4.7): the four\n"
+              "injected Home Assistant blueprint groups ->\n");
+  TablePrinter bt({"blueprint group", "drifting degree", "percentile",
+                   "flagged", "new threat type found"});
+  const char* expected[] = {"action_block", "action_ablation",
+                            "trigger_intake", "condition_duplicate"};
+  for (size_t k = 0; k < blueprint_groups.size(); ++k) {
+    const auto& ig = unlabeled_hetero.graphs[first_injected + k];
+    auto gg = gnn::ToGnnGraph(ig);
+    const double degree = drift.DriftingDegree(gnn::Trainer::Embed(&model, gg));
+    auto findings = graph::ThreatAnalyzer::DetectNewTypes(ig);
+    std::string found = "-";
+    for (const auto& f : findings) {
+      if (std::string(graph::ThreatTypeName(f.type)) == expected[k]) {
+        found = expected[k];
+      }
+    }
+    const double pct =
+        100.0 *
+        static_cast<double>(std::lower_bound(hetero_degrees.begin(),
+                                             hetero_degrees.end(), degree) -
+                            hetero_degrees.begin()) /
+        std::max<size_t>(1, hetero_degrees.size());
+    bt.AddRow({StrFormat("%zu", k + 1), StrFormat("%.2f", degree),
+               StrFormat("p%.0f", pct), degree > 3.0 ? "YES" : "no", found});
+  }
+  bt.Print();
+  std::printf("paper shape to check: drifting ratio well under 1%%; the\n"
+              "unusual blueprint interactions stand out for analyst review\n"
+              "and contain the four new threat types.\n");
+  return 0;
+}

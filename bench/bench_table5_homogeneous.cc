@@ -1,0 +1,178 @@
+// Regenerates Table 5: homogeneous graph classification on the IFTTT and
+// SmartThings datasets with GCN, GXN, GIN, InfoGraph, SVC, KNN, ITGNN-C and
+// ITGNN-S. Protocol follows Sec. 4.4: trials with 8:2 splits, minority
+// oversampling, balanced class weights, weighted metrics.
+
+#include <cstdio>
+#include <ctime>
+
+#include "bench_common.h"
+#include "ml/knn.h"
+#include "ml/linear_svc.h"
+
+using namespace glint;         // NOLINT
+using namespace glint::bench;  // NOLINT
+using gnn::GnnGraph;
+
+namespace {
+
+// Mean node-feature vector of a graph (the paper's input for SVC/KNN).
+ml::Dataset FlattenGraphs(const std::vector<GnnGraph>& graphs) {
+  ml::Dataset ds;
+  for (const auto& g : graphs) {
+    // Use the (single) type block's column means.
+    const gnn::Matrix* feats = nullptr;
+    for (int t = 0; t < gnn::kNumNodeTypes; ++t) {
+      if (g.typed_features[t].rows > 0) feats = &g.typed_features[t];
+    }
+    FloatVec mean(static_cast<size_t>(feats->cols), 0.f);
+    for (int i = 0; i < feats->rows; ++i) {
+      for (int j = 0; j < feats->cols; ++j) {
+        mean[static_cast<size_t>(j)] += feats->At(i, j);
+      }
+    }
+    for (auto& v : mean) v /= static_cast<float>(feats->rows);
+    ds.Add(std::move(mean), g.label);
+  }
+  return ds;
+}
+
+// Nearest-centroid classification in a contrastive latent space (how the
+// ITGNN-C row of Table 5 classifies).
+ml::Metrics EvalContrastive(gnn::GraphModel* model,
+                            const std::vector<GnnGraph>& train,
+                            const std::vector<GnnGraph>& test) {
+  std::vector<FloatVec> centroid(2);
+  std::vector<int> count(2, 0);
+  for (const auto& g : train) {
+    FloatVec z = gnn::Trainer::Embed(model, g);
+    if (centroid[static_cast<size_t>(g.label)].empty()) {
+      centroid[static_cast<size_t>(g.label)].assign(z.size(), 0.f);
+    }
+    AddInPlace(&centroid[static_cast<size_t>(g.label)], z);
+    count[static_cast<size_t>(g.label)] += 1;
+  }
+  for (int c = 0; c < 2; ++c) {
+    if (count[c] > 0) {
+      ScaleInPlace(&centroid[static_cast<size_t>(c)],
+                   1.f / static_cast<float>(count[c]));
+    }
+  }
+  std::vector<int> y_true, y_pred;
+  for (const auto& g : test) {
+    FloatVec z = gnn::Trainer::Embed(model, g);
+    const double d0 = EuclideanDistance(z, centroid[0]);
+    const double d1 = EuclideanDistance(z, centroid[1]);
+    y_true.push_back(g.label);
+    y_pred.push_back(d1 < d0 ? 1 : 0);
+  }
+  return ml::WeightedMetrics(y_true, y_pred, 2);
+}
+
+struct PaperRow {
+  const char* model;
+  double acc, prec, rec, f1;
+};
+
+void RunDataset(const char* name, const std::vector<GnnGraph>& graphs,
+                int trials, int epochs, const std::vector<PaperRow>& paper) {
+  std::printf("\n--- %s dataset: %zu graphs ---\n", name, graphs.size());
+  const char* models[] = {"GCN", "GXN", "GIN", "IFG", "SVC", "KNN",
+                          "ITGNN-C", "ITGNN-S"};
+  TablePrinter t({"model", "accuracy", "precision", "recall", "F1",
+                  "paper acc", "paper F1"});
+  for (const char* model_name : models) {
+    ml::Metrics sum;
+    const std::clock_t t0 = std::clock();
+    for (int trial = 0; trial < trials; ++trial) {
+      Rng rng(1000 + static_cast<uint64_t>(trial));
+      std::vector<GnnGraph> train, test;
+      gnn::SplitGraphs(graphs, 0.8, &rng, &train, &test);
+      ml::Metrics m;
+      const std::string nm(model_name);
+      if (nm == "SVC" || nm == "KNN") {
+        ml::Dataset train_flat = FlattenGraphs(train);
+        ml::Dataset test_flat = FlattenGraphs(test);
+        std::unique_ptr<ml::Classifier> clf;
+        if (nm == "SVC") {
+          clf = std::make_unique<ml::LinearSvc>();
+        } else {
+          clf = std::make_unique<ml::Knn>();
+        }
+        clf->Fit(train_flat, ml::BalancedClassWeights(train_flat.y, 2));
+        m = ml::WeightedMetrics(test_flat.y, clf->PredictBatch(test_flat.x),
+                                2);
+      } else {
+        auto model = MakeHomoModel(nm, 300, 42 + static_cast<uint64_t>(trial));
+        gnn::TrainConfig tc;
+        tc.epochs = epochs;
+        tc.seed = 2024 + static_cast<uint64_t>(trial);
+        gnn::Trainer trainer(tc);
+        if (nm == "ITGNN-C") {
+          trainer.TrainContrastive(model.get(), train);
+          m = EvalContrastive(model.get(), train, test);
+        } else {
+          trainer.TrainSupervised(model.get(), train);
+          m = gnn::Trainer::Evaluate(model.get(), test);
+        }
+      }
+      sum.accuracy += m.accuracy;
+      sum.precision += m.precision;
+      sum.recall += m.recall;
+      sum.f1 += m.f1;
+    }
+    const double inv = 1.0 / trials;
+    const PaperRow* pr = nullptr;
+    for (const auto& row : paper) {
+      if (std::string(row.model) == model_name) pr = &row;
+    }
+    t.AddRow({model_name, StrFormat("%.1f", 100 * sum.accuracy * inv),
+              StrFormat("%.1f", 100 * sum.precision * inv),
+              StrFormat("%.1f", 100 * sum.recall * inv),
+              StrFormat("%.1f", 100 * sum.f1 * inv),
+              pr ? StrFormat("%.1f", pr->acc) : "-",
+              pr ? StrFormat("%.1f", pr->f1) : "-"});
+    std::printf("  %s done (%.0fs)\n", model_name,
+                static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC);
+  }
+  t.Print();
+}
+
+}  // namespace
+
+int main() {
+  Banner("Table 5: homogeneous graph classification", "Table 5");
+  auto corpus = DefaultCorpus();
+  auto ifttt_rules = PlatformRules(corpus, rules::Platform::kIFTTT);
+  auto st_rules = PlatformRules(corpus, rules::Platform::kSmartThings);
+
+  // IFTTT: 1:5 scale of the paper's 6,000 labeled graphs.
+  auto ifttt = gnn::ToGnnGraphs(BuildGraphs(ifttt_rules, 1200, 51));
+  // SmartThings: full paper size (165 graphs — the scarce-data regime).
+  auto smartthings = gnn::ToGnnGraphs(BuildGraphs(st_rules, 165, 52, 20));
+
+  const std::vector<PaperRow> paper_ifttt = {
+      {"GCN", 89.5, 100, 89.5, 94.5}, {"GXN", 78.7, 79.0, 76.4, 76.3},
+      {"GIN", 95, 94.7, 94, 94.4},    {"IFG", 69.8, 75.5, 70.2, 67.4},
+      {"SVC", 84.1, 84.1, 84, 83.9},  {"KNN", 89.5, 90.9, 89.5, 89.6},
+      {"ITGNN-C", 95.4, 95.3, 94.9, 95},
+      {"ITGNN-S", 95.7, 95.9, 95.7, 95.8},
+  };
+  const std::vector<PaperRow> paper_st = {
+      {"GCN", 90.9, 82.6, 90.9, 86.6}, {"GXN", 88.2, 89.9, 88.2, 87.2},
+      {"GIN", 89.7, 85.9, 89.5, 87.7}, {"IFG", 86.1, 89.3, 87.5, 85.9},
+      {"SVC", 84.4, 87.3, 84.8, 81.3}, {"KNN", 84.8, 83.8, 84.8, 83.2},
+      {"ITGNN-C", 76.5, 69, 70.6, 69.5},
+      {"ITGNN-S", 88.2, 89.9, 88.2, 87.2},
+  };
+
+  RunDataset("IFTTT", ifttt, /*trials=*/2, /*epochs=*/12, paper_ifttt);
+  RunDataset("SmartThings", smartthings, /*trials=*/5, /*epochs=*/14,
+             paper_st);
+
+  std::printf(
+      "\npaper shape to check: (i) graph models beat flattened SVC/KNN on\n"
+      "IFTTT; (ii) ITGNN-S is best-or-near-best on IFTTT; (iii) ITGNN-C\n"
+      "degrades on tiny SmartThings (contrastive learning is data hungry).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Regenerates Table 6: cross-domain transfer learning. For each
+// (model, source, target) row, a source-trained model is frozen up to its
+// last layers and fine-tuned on the target; "No trans." is the same model
+// trained on the target only.
+
+#include <cstdio>
+#include <ctime>
+
+#include "bench_common.h"
+#include "gnn/transfer.h"
+
+using namespace glint;         // NOLINT
+using namespace glint::bench;  // NOLINT
+using gnn::GnnGraph;
+
+namespace {
+
+std::unique_ptr<gnn::GraphModel> MakeByName(const std::string& model,
+                                            uint64_t seed) {
+  // All Table-6 models must accept both homogeneous and heterogeneous
+  // graphs, so GCN/GIN are wrapped with the metapath converter when needed;
+  // here we use the hetero-capable variants throughout (the converter is a
+  // no-op projection on single-type graphs).
+  if (model == "GCN") return std::make_unique<gnn::MagcnModel>(64, 2, seed);
+  if (model == "GIN") return MakeHomoModel("GIN", 300, seed);
+  return MakeHeteroModel("ITGNN", seed);
+}
+
+double TrainEval(gnn::GraphModel* model, const std::vector<GnnGraph>& data,
+                 int epochs, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<GnnGraph> train, test;
+  gnn::SplitGraphs(data, 0.8, &rng, &train, &test);
+  gnn::TrainConfig tc;
+  tc.epochs = epochs;
+  gnn::Trainer trainer(tc);
+  trainer.TrainSupervised(model, train);
+  return gnn::Trainer::Evaluate(model, test).accuracy;
+}
+
+double TransferEval(gnn::GraphModel* model,
+                    const std::vector<GnnGraph>& source,
+                    const std::vector<GnnGraph>& target, int freeze_groups,
+                    uint64_t seed) {
+  Rng rng(seed);
+  // Pre-train on the full source domain.
+  gnn::TrainConfig tc;
+  tc.epochs = 10;
+  gnn::Trainer trainer(tc);
+  trainer.TrainSupervised(model, source);
+  // Freeze-and-fine-tune on the target train split; evaluate on its test
+  // split.
+  std::vector<GnnGraph> train, test;
+  gnn::SplitGraphs(target, 0.8, &rng, &train, &test);
+  gnn::TransferConfig xfer;
+  xfer.freeze_groups = freeze_groups;
+  xfer.fine_tune.epochs = 8;
+  gnn::TransferFineTune(model, train, xfer);
+  return gnn::Trainer::Evaluate(model, test).accuracy;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Table 6: transfer learning across domains", "Table 6");
+  auto corpus = DefaultCorpus();
+  auto ifttt_rules = PlatformRules(corpus, rules::Platform::kIFTTT);
+  auto st_rules = PlatformRules(corpus, rules::Platform::kSmartThings);
+
+  auto ifttt = gnn::ToGnnGraphs(BuildGraphs(ifttt_rules, 900, 61));
+  auto smartthings = gnn::ToGnnGraphs(BuildGraphs(st_rules, 165, 62, 20));
+  auto hetero = gnn::ToGnnGraphs(BuildGraphs(corpus, 900, 63));
+
+  struct Row {
+    const char* model;
+    const char* target;
+    const char* source;
+    const std::vector<GnnGraph>* target_data;
+    const std::vector<GnnGraph>* source_data;
+    int freeze;           // -1 = all but head (tiny targets)
+    double paper_no, paper_with;
+  };
+  const Row rows[] = {
+      {"GIN", "SmartThings", "IFTTT", &smartthings, &ifttt, -1, 89.7, 92.3},
+      {"GIN", "IFTTT", "SmartThings", &ifttt, &smartthings, 2, 95.0, 95.2},
+      {"GCN", "SmartThings", "IFTTT", &smartthings, &ifttt, -1, 90.9, 94.1},
+      {"GCN", "IFTTT", "SmartThings", &ifttt, &smartthings, 2, 89.5, 93.9},
+      {"ITGNN", "SmartThings", "IFTTT", &smartthings, &ifttt, -1, 88.2, 100},
+      {"ITGNN", "IFTTT", "SmartThings", &ifttt, &smartthings, 2, 95.7, 96.4},
+      {"ITGNN", "IFTTT", "Heterogeneous", &ifttt, &hetero, 2, 95.7, 96.1},
+      {"ITGNN", "Heterogeneous", "IFTTT", &hetero, &ifttt, 2, 95.1, 95.5},
+  };
+
+  TablePrinter t({"model", "target", "source", "no trans.", "trans.",
+                  "improved", "paper no/with"});
+  int row_id = 0;
+  for (const auto& row : rows) {
+    const std::clock_t t0 = std::clock();
+    const uint64_t seed = 600 + static_cast<uint64_t>(row_id++);
+    auto base = MakeByName(row.model, seed);
+    const double no_trans =
+        TrainEval(base.get(), *row.target_data, 12, seed);
+    auto pretrained = MakeByName(row.model, seed);
+    const double with_trans = TransferEval(
+        pretrained.get(), *row.source_data, *row.target_data, row.freeze,
+        seed);
+    t.AddRow({row.model, row.target, row.source,
+              StrFormat("%.1f%%", 100 * no_trans),
+              StrFormat("%.1f%%", 100 * with_trans),
+              StrFormat("%+.1f%%", 100 * (with_trans - no_trans)),
+              StrFormat("%.1f/%.1f", row.paper_no, row.paper_with)});
+    std::printf("  %s %s<-%s done (%.0fs)\n", row.model, row.target,
+                row.source,
+                static_cast<double>(std::clock() - t0) / CLOCKS_PER_SEC);
+  }
+  t.Print();
+  std::printf("paper shape to check: transfer never hurts (no negative\n"
+              "transfer) and helps most on the scarce SmartThings target.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace glint::core {
+namespace {
+
+double ThreatMargin(gnn::GraphModel* model, const gnn::GnnGraph& g) {
+  gnn::Tape tape;
+  auto r = model->Forward(&tape, g);
+  return double(r.logits->value.At(0, 1)) - r.logits->value.At(0, 0);
+}
+
+}  // namespace
+
+std::vector<double> ExplainNodes(gnn::GraphModel* model,
+                                 const gnn::GnnGraph& g) {
+  const double base = ThreatMargin(model, g);
+  std::vector<double> importance(static_cast<size_t>(g.num_nodes), 0.0);
+  for (int v = 0; v < g.num_nodes; ++v) {
+    gnn::GnnGraph masked = g;
+    // Zero the occluded node's feature row.
+    const int type = g.node_types[static_cast<size_t>(v)];
+    for (size_t k = 0; k < g.type_rows[type].size(); ++k) {
+      if (g.type_rows[type][k] == v) {
+        auto& m = masked.typed_features[type];
+        for (int c = 0; c < m.cols; ++c) m.At(static_cast<int>(k), c) = 0.f;
+      }
+    }
+    importance[static_cast<size_t>(v)] = base - ThreatMargin(model, masked);
+  }
+  // Shift-normalise to [0, 1].
+  const double lo = *std::min_element(importance.begin(), importance.end());
+  const double hi = *std::max_element(importance.begin(), importance.end());
+  const double range = hi - lo;
+  for (auto& x : importance) x = range > 1e-12 ? (x - lo) / range : 0.0;
+  return importance;
+}
+
+std::vector<int> TopCulprits(const std::vector<double>& importance, int k) {
+  std::vector<int> order(importance.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return importance[static_cast<size_t>(a)] > importance[static_cast<size_t>(b)];
+  });
+  order.resize(std::min<size_t>(order.size(), static_cast<size_t>(k)));
+  return order;
+}
+
+}  // namespace glint::core

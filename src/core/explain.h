@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+#include "gnn/models.h"
+#include "graph/interaction_graph.h"
+
+namespace glint::core {
+
+/// Occlusion-based GNN explanation (the PGExplainer/SubgraphX stand-in used
+/// to highlight culprit rules in warnings, Sec. 3.1): each node's
+/// importance is the drop in the threat logit-margin when the node's
+/// features are zeroed out. Scores are normalized to [0, 1].
+std::vector<double> ExplainNodes(gnn::GraphModel* model,
+                                 const gnn::GnnGraph& g);
+
+/// Indices of the top-k most important nodes.
+std::vector<int> TopCulprits(const std::vector<double>& importance, int k);
+
+}  // namespace glint::core

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <memory>
+
+#include "core/warning.h"
+#include "correlation/discovery.h"
+#include "gnn/drift.h"
+#include "gnn/models.h"
+#include "gnn/trainer.h"
+#include "gnn/transfer.h"
+#include "graph/builder.h"
+#include "graph/event_log.h"
+#include "rules/corpus.h"
+
+namespace glint::core {
+
+/// Glint — the end-to-end interactive-threat detection system (Fig. 2).
+///
+/// Offline (back end): crawl/generate the rule corpus, train the rule
+/// correlation discoverer (Sec. 3.2.1), build labeled interaction-graph
+/// datasets (Sec. 3.2.2), train ITGNN-S (classification, Eq. 2) and ITGNN-C
+/// (contrastive, Eq. 1), and fit the drifting-sample detector (Alg. 3).
+///
+/// Online (front end): construct the real-time interaction graph from the
+/// deployed rules and event logs, run the drift check then the classifier,
+/// and emit a warning with explained culprit rules; user feedback graphs
+/// fine-tune the model (steps 4-8 in Fig. 2).
+class Glint {
+ public:
+  struct Options {
+    rules::CorpusConfig corpus;
+    graph::GraphBuilder::Config builder;
+    gnn::ItgnnModel::Config model;
+    gnn::TrainConfig train;
+    /// Graphs to build for offline training.
+    int num_training_graphs = 800;
+    /// Labeled action-trigger pairs for the correlation discoverer.
+    correlation::PairDatasetConfig pairs;
+    /// Use the *learned* correlation classifier (vs the semantic oracle)
+    /// when building graphs online, mirroring the paper's pipeline.
+    bool use_learned_correlation = true;
+    /// Drift threshold T_MAD.
+    double t_mad = 3.0;
+    uint64_t seed = 97;
+  };
+
+  Glint() : Glint(Options()) {}
+  explicit Glint(Options options);
+
+  /// Runs the full offline stage. Expensive (trains three models).
+  void TrainOffline();
+
+  /// True once TrainOffline (or LoadModels) has completed.
+  bool ready() const { return ready_; }
+
+  /// Online stage: inspects a deployment given its event log at time `now`.
+  ThreatWarning Inspect(const std::vector<rules::Rule>& deployed,
+                        const graph::EventLog& log, double now_hours);
+
+  /// Inspects a pre-built interaction graph (initial-setup check).
+  ThreatWarning InspectGraph(const graph::InteractionGraph& g);
+
+  /// Step 7-8 of Fig. 2: the user marks graphs (e.g. false alarms or
+  /// confirmed drifting threats); the model is fine-tuned on them.
+  void FineTune(const std::vector<graph::InteractionGraph>& feedback,
+                const std::vector<bool>& is_threat);
+
+  /// Builds the static interaction graph of a rule set using the learned
+  /// (or oracle) correlation predicate.
+  graph::InteractionGraph BuildGraph(const std::vector<rules::Rule>& deployed);
+
+  /// Serialization of the trained detector.
+  Status SaveModels(const std::string& dir) const;
+  Status LoadModels(const std::string& dir);
+
+  // Accessors for benches and examples.
+  gnn::ItgnnModel* classifier() { return classifier_.get(); }
+  gnn::ItgnnModel* contrastive() { return contrastive_.get(); }
+  const gnn::DriftDetector& drift_detector() const { return drift_; }
+  const correlation::CorrelationDiscovery& discovery() const {
+    return *discovery_;
+  }
+  graph::GraphBuilder* builder() { return builder_.get(); }
+  const std::vector<rules::Rule>& corpus() const { return corpus_rules_; }
+  const nlp::EmbeddingModel& word_model() const { return word_model_; }
+  const nlp::EmbeddingModel& sentence_model() const { return sentence_model_; }
+
+ private:
+  ThreatWarning Analyze(const graph::InteractionGraph& g);
+
+  Options options_;
+  nlp::EmbeddingModel word_model_;
+  nlp::EmbeddingModel sentence_model_;
+  std::vector<rules::Rule> corpus_rules_;
+  std::unique_ptr<correlation::CorrelationDiscovery> discovery_;
+  std::unique_ptr<graph::GraphBuilder> builder_;
+  std::unique_ptr<gnn::ItgnnModel> classifier_;   ///< ITGNN-S
+  std::unique_ptr<gnn::ItgnnModel> contrastive_;  ///< ITGNN-C
+  gnn::DriftDetector drift_;
+  std::vector<gnn::GnnGraph> train_graphs_;
+  bool ready_ = false;
+};
+
+}  // namespace glint::core

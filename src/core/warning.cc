@@ -1,0 +1,40 @@
+#include "core/warning.h"
+
+#include "util/string_utils.h"
+
+namespace glint::core {
+
+std::string ThreatWarning::Render() const {
+  std::string out;
+  out += "+--------------------------------------------------------------+\n";
+  out += "| GLINT NOTIFICATION                                             \n";
+  if (threat) {
+    out += StrFormat("| Potential Interactive Bug Detected!  (confidence %.1f%%)\n",
+                     100.0 * confidence);
+  } else if (drifting) {
+    out += "| Unfamiliar interaction pattern (drifting sample) detected.    \n";
+    out += "| Please review — this does not match any known normal or       \n";
+    out += "| threat pattern.                                               \n";
+  } else {
+    out += "| No interactive threats detected. Have a great day!            \n";
+  }
+  if (!types.empty()) {
+    out += "| Threat types:";
+    for (auto t : types) out += std::string(" ") + graph::ThreatTypeName(t);
+    out += "\n";
+  }
+  if (!culprits.empty()) {
+    out += "| We provide the following automation rules for inspection.    \n";
+    out += "| You may stop or update rule configurations by jumping to the  \n";
+    out += "| corresponding smart home platform apps.                       \n";
+    for (const auto& c : culprits) {
+      out += StrFormat("|  [%s] (importance %.2f) %s\n", c.platform.c_str(),
+                       c.importance, c.rule_text.c_str());
+      out += StrFormat("|      -> JUMP TO %s | STOP\n", c.platform.c_str());
+    }
+  }
+  out += "+--------------------------------------------------------------+\n";
+  return out;
+}
+
+}  // namespace glint::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/interaction_graph.h"
+
+namespace glint::core {
+
+/// A user-facing interactive-threat warning (the Fig. 3 experience): what
+/// was detected, which rules are the likely culprits, and where to go to
+/// fix them.
+struct ThreatWarning {
+  bool threat = false;
+  bool drifting = false;
+  double confidence = 0;  ///< P(threat) from the classifier
+  std::vector<graph::ThreatType> types;
+
+  struct Culprit {
+    int node = 0;
+    std::string platform;
+    std::string rule_text;
+    double importance = 0;  ///< explanation score in [0, 1]
+  };
+  std::vector<Culprit> culprits;
+
+  /// Renders the warning as a terminal notification block (Fig. 3a/3c).
+  std::string Render() const;
+};
+
+}  // namespace glint::core

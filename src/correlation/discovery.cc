@@ -1,0 +1,29 @@
+#include "correlation/discovery.h"
+
+namespace glint::correlation {
+
+void CorrelationDiscovery::Train(const ml::Dataset& pairs) {
+  const auto weights = ml::BalancedClassWeights(pairs.y, 2);
+  mlp_.Fit(pairs, weights);
+  forest_.Fit(pairs, weights);
+  knn_.Fit(pairs, weights);
+  trained_ = true;
+}
+
+double CorrelationDiscovery::VoteShare(const rules::Rule& src,
+                                       const rules::Rule& dst) const {
+  GLINT_CHECK(trained_);
+  const FloatVec f = extractor_.ExtractPair(src, dst);
+  int votes = 0;
+  votes += mlp_.Predict(f) == 1 ? 1 : 0;
+  votes += forest_.Predict(f) == 1 ? 1 : 0;
+  votes += knn_.Predict(f) == 1 ? 1 : 0;
+  return votes / 3.0;
+}
+
+bool CorrelationDiscovery::Correlated(const rules::Rule& src,
+                                      const rules::Rule& dst) const {
+  return VoteShare(src, dst) >= 0.5;
+}
+
+}  // namespace glint::correlation

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+
+#include "correlation/features.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/mlp.h"
+
+namespace glint::correlation {
+
+/// The learned rule-correlation discoverer of Sec. 4.1: an ensemble of MLP,
+/// RandomForest and KNN (the paper's three chosen predictors) trained on
+/// Algorithm-1 features. Pair label = majority vote (the paper's manual
+/// review of disagreements is approximated by the vote).
+class CorrelationDiscovery {
+ public:
+  explicit CorrelationDiscovery(const nlp::EmbeddingModel* model)
+      : extractor_(model) {}
+
+  /// Trains the ensemble on a labeled pair dataset.
+  void Train(const ml::Dataset& pairs);
+
+  /// Predicts whether src's action can trigger dst.
+  bool Correlated(const rules::Rule& src, const rules::Rule& dst) const;
+
+  /// Majority-vote probability in {0, 1/3, 2/3, 1}.
+  double VoteShare(const rules::Rule& src, const rules::Rule& dst) const;
+
+  const FeatureExtractor& extractor() const { return extractor_; }
+
+  /// True after Train().
+  bool trained() const { return trained_; }
+
+ private:
+  FeatureExtractor extractor_;
+  ml::Mlp mlp_;
+  ml::RandomForest forest_;
+  ml::Knn knn_;
+  bool trained_ = false;
+};
+
+}  // namespace glint::correlation

@@ -1,0 +1,145 @@
+#include "correlation/features.h"
+
+#include "nlp/dep_parser.h"
+#include "nlp/dtw.h"
+#include "nlp/lexicon.h"
+#include "util/status.h"
+
+namespace glint::correlation {
+namespace {
+
+// Concatenated nouns/verbs over the action clauses of a parsed rule.
+void ActionNounsVerbs(const nlp::ParsedRule& parsed,
+                      std::vector<std::string>* nouns,
+                      std::vector<std::string>* verbs) {
+  for (const nlp::Clause* c : parsed.actions()) {
+    nouns->insert(nouns->end(), c->nouns.begin(), c->nouns.end());
+    verbs->insert(verbs->end(), c->verbs.begin(), c->verbs.end());
+  }
+}
+
+void TriggerNounsVerbs(const nlp::ParsedRule& parsed,
+                       std::vector<std::string>* nouns,
+                       std::vector<std::string>* verbs) {
+  const nlp::Clause* t = parsed.trigger();
+  if (t == nullptr && !parsed.clauses.empty()) t = &parsed.clauses[0];
+  if (t == nullptr) return;
+  nouns->insert(nouns->end(), t->nouns.begin(), t->nouns.end());
+  verbs->insert(verbs->end(), t->verbs.begin(), t->verbs.end());
+}
+
+bool AnySynonym(const std::vector<std::string>& a,
+                const std::vector<std::string>& b) {
+  const auto& lex = nlp::Lexicon::Instance();
+  for (const auto& wa : a) {
+    for (const auto& wb : b) {
+      if (lex.AreSynonyms(wa, wb)) return true;
+    }
+  }
+  return false;
+}
+
+bool AnyHypernym(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+  const auto& lex = nlp::Lexicon::Instance();
+  for (const auto& wa : a) {
+    for (const auto& wb : b) {
+      if (lex.HypernymRelated(wa, wb)) return true;
+    }
+  }
+  return false;
+}
+
+bool AnyMeronym(const std::vector<std::string>& a,
+                const std::vector<std::string>& b) {
+  const auto& lex = nlp::Lexicon::Instance();
+  for (const auto& wa : a) {
+    for (const auto& wb : b) {
+      if (lex.MeronymRelated(wa, wb)) return true;
+    }
+  }
+  return false;
+}
+
+// Shared-channel indicator: do the two word sets touch a common physical
+// channel? (Captures "heater" ~ "temperature" style couplings that pure
+// lexical relations miss.)
+bool SharedChannel(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b) {
+  const auto& lex = nlp::Lexicon::Instance();
+  for (const auto& wa : a) {
+    const std::string& ca = lex.ChannelOf(wa);
+    if (ca.empty()) continue;
+    for (const auto& wb : b) {
+      if (lex.ChannelOf(wb) == ca) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+FloatVec FeatureExtractor::ExtractPair(const rules::Rule& src,
+                                       const rules::Rule& dst) const {
+  const nlp::ParsedRule ps = nlp::DepParser::Parse(src.text);
+  const nlp::ParsedRule pd = nlp::DepParser::Parse(dst.text);
+
+  std::vector<std::string> a_nouns, a_verbs, t_nouns, t_verbs;
+  ActionNounsVerbs(ps, &a_nouns, &a_verbs);   // PoS(A), line 3
+  TriggerNounsVerbs(pd, &t_nouns, &t_verbs);  // PoS(T), line 2
+
+  FloatVec out;
+  out.reserve(Dim());
+  // V1 — DTW similarities (line 4).
+  out.push_back(static_cast<float>(nlp::DtwWordDistance(a_verbs, t_verbs,
+                                                        *model_)));
+  out.push_back(static_cast<float>(nlp::DtwWordDistance(a_nouns, t_nouns,
+                                                        *model_)));
+  // V2 — binary verb relations (line 5).
+  out.push_back(AnySynonym(a_verbs, t_verbs) ? 1.f : 0.f);
+  out.push_back(AnyHypernym(a_verbs, t_verbs) ? 1.f : 0.f);
+  // V3 — binary object relations (line 6).
+  out.push_back(AnySynonym(a_nouns, t_nouns) ? 1.f : 0.f);
+  out.push_back(AnyMeronym(a_nouns, t_nouns) ? 1.f : 0.f);
+  std::vector<std::string> a_all(a_nouns);
+  a_all.insert(a_all.end(), a_verbs.begin(), a_verbs.end());
+  std::vector<std::string> t_all(t_nouns);
+  t_all.insert(t_all.end(), t_verbs.begin(), t_verbs.end());
+  out.push_back(SharedChannel(a_all, t_all) ? 1.f : 0.f);
+  // V4 — E_T + E_A (line 7).
+  FloatVec ea = model_->Average(a_all);
+  FloatVec et = model_->Average(t_all);
+  if (ea.empty()) ea.assign(model_->dim(), 0.f);
+  if (et.empty()) et.assign(model_->dim(), 0.f);
+  for (size_t i = 0; i < ea.size(); ++i) out.push_back(ea[i] + et[i]);
+  GLINT_CHECK(out.size() == Dim());
+  return out;
+}
+
+ml::Dataset BuildPairDataset(const std::vector<rules::Rule>& corpus,
+                             const FeatureExtractor& extractor,
+                             const PairDatasetConfig& config) {
+  GLINT_CHECK(corpus.size() >= 2);
+  Rng rng(config.seed);
+  ml::Dataset ds;
+  int pos = 0, neg = 0;
+  int attempts = 0;
+  const int max_attempts = 400 * (config.num_positive + config.num_negative);
+  while ((pos < config.num_positive || neg < config.num_negative) &&
+         attempts++ < max_attempts) {
+    const auto& a = corpus[rng.Below(corpus.size())];
+    const auto& b = corpus[rng.Below(corpus.size())];
+    if (a.id == b.id) continue;
+    const bool correlated = rules::RuleTriggersRule(a, b);
+    if (correlated && pos < config.num_positive) {
+      ds.Add(extractor.ExtractPair(a, b), 1);
+      ++pos;
+    } else if (!correlated && neg < config.num_negative) {
+      ds.Add(extractor.ExtractPair(a, b), 0);
+      ++neg;
+    }
+  }
+  return ds;
+}
+
+}  // namespace glint::correlation

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "ml/dataset.h"
+#include "nlp/embedding.h"
+#include "rules/rule.h"
+#include "util/rng.h"
+
+namespace glint::correlation {
+
+/// Algorithm 1 — Home Automation Rule Feature Extraction.
+///
+/// For a candidate "action-trigger" pair (the action clause of a source
+/// rule, the trigger clause of a destination rule) this computes:
+///   V1: DTW similarity between verb sequences and between object (noun)
+///       sequences, under the embedding cosine cost;
+///   V2: binary synonym / hypernym relations between the verbs;
+///   V3: binary meronym-holonym / hypernym / synonym relations between the
+///       objects;
+///   V4: the sum of the averaged word embeddings of the action and the
+///       trigger clause (E_T + E_A).
+/// The concatenation [V1, V2, V3, V4] is the correlation feature vector.
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(const nlp::EmbeddingModel* model)
+      : model_(model) {}
+
+  /// Features for "does src's action trigger dst?". Dimension: 7 + dim().
+  FloatVec ExtractPair(const rules::Rule& src, const rules::Rule& dst) const;
+
+  /// Feature dimensionality.
+  size_t Dim() const { return 7 + model_->dim(); }
+
+ private:
+  const nlp::EmbeddingModel* model_;
+};
+
+/// Builds a labeled action-trigger pair dataset from a rule corpus, using
+/// the semantic oracle for ground truth (the stand-in for the paper's 5,600
+/// manually labeled positive and 8,000 negative pairs).
+struct PairDatasetConfig {
+  int num_positive = 1400;
+  int num_negative = 2000;
+  uint64_t seed = 77;
+};
+ml::Dataset BuildPairDataset(const std::vector<rules::Rule>& corpus,
+                             const FeatureExtractor& extractor,
+                             const PairDatasetConfig& config);
+
+}  // namespace glint::correlation

@@ -1,0 +1,83 @@
+#include "gnn/drift.h"
+
+#include <cmath>
+
+namespace glint::gnn {
+
+void DriftDetector::Fit(const std::vector<FloatVec>& embeddings,
+                        const std::vector<int>& labels) {
+  GLINT_CHECK(embeddings.size() == labels.size());
+  GLINT_CHECK(!embeddings.empty());
+  constexpr int kClasses = 2;
+  centroids_.assign(kClasses, FloatVec(embeddings[0].size(), 0.f));
+  std::vector<int> counts(kClasses, 0);
+  for (size_t i = 0; i < embeddings.size(); ++i) {
+    AddInPlace(&centroids_[static_cast<size_t>(labels[i])], embeddings[i]);
+    counts[static_cast<size_t>(labels[i])] += 1;
+  }
+  for (int c = 0; c < kClasses; ++c) {
+    if (counts[static_cast<size_t>(c)] > 0) {
+      ScaleInPlace(&centroids_[static_cast<size_t>(c)],
+                   1.0f / static_cast<float>(counts[static_cast<size_t>(c)]));
+    }
+  }
+  // Per-class distances to the centroid; median + MAD (lines 5-9).
+  median_dist_.assign(kClasses, 0.0);
+  mad_.assign(kClasses, 1.0);
+  for (int c = 0; c < kClasses; ++c) {
+    std::vector<double> dists;
+    for (size_t i = 0; i < embeddings.size(); ++i) {
+      if (labels[i] == c) {
+        dists.push_back(
+            EuclideanDistance(embeddings[i], centroids_[static_cast<size_t>(c)]));
+      }
+    }
+    if (dists.empty()) continue;
+    median_dist_[static_cast<size_t>(c)] = Median(dists);
+    std::vector<double> dev;
+    dev.reserve(dists.size());
+    for (double d : dists) {
+      dev.push_back(std::fabs(d - median_dist_[static_cast<size_t>(c)]));
+    }
+    // Floor the MAD at a fraction of the median distance: contrastive
+    // training can collapse a class into a near-degenerate shell whose raw
+    // MAD would flag everything as drifting (Alg. 3 assumes a healthy
+    // spread, as CADE does).
+    const double mad = Median(dev);
+    const double floor =
+        std::max(1e-9, 0.15 * median_dist_[static_cast<size_t>(c)]);
+    mad_[static_cast<size_t>(c)] = std::max(mad, floor);
+  }
+}
+
+double DriftDetector::DriftingDegree(const FloatVec& embedding) const {
+  GLINT_CHECK(!centroids_.empty());
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    const double d = EuclideanDistance(embedding, centroids_[c]);
+    const double a = std::fabs(d - median_dist_[c]) / mad_[c];
+    best = std::min(best, a);
+  }
+  return best;
+}
+
+void DriftDetector::FitFromModel(GraphModel* model,
+                                 const std::vector<GnnGraph>& train) {
+  std::vector<FloatVec> embeddings = Trainer::EmbedAll(model, train);
+  std::vector<int> labels;
+  labels.reserve(train.size());
+  for (const auto& g : train) labels.push_back(g.label);
+  Fit(embeddings, labels);
+}
+
+std::vector<bool> DriftDetector::DetectDrifting(
+    GraphModel* model, const std::vector<GnnGraph>& unlabeled) const {
+  std::vector<bool> out;
+  out.reserve(unlabeled.size());
+  for (const auto& g : unlabeled) {
+    out.push_back(IsDrifting(Trainer::Embed(model, g)));
+  }
+  return out;
+}
+
+}  // namespace glint::gnn

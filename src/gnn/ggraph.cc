@@ -1,0 +1,88 @@
+#include "gnn/ggraph.h"
+
+#include <cmath>
+
+namespace glint::gnn {
+
+SparseMatrix NormalizedAdjacency(
+    int n, const std::vector<std::pair<int, int>>& edges) {
+  // Build symmetrized A + I, then D^-1/2 (A+I) D^-1/2.
+  std::vector<std::vector<char>> present(
+      static_cast<size_t>(n), std::vector<char>(static_cast<size_t>(n), 0));
+  for (int i = 0; i < n; ++i) present[static_cast<size_t>(i)][static_cast<size_t>(i)] = 1;
+  for (const auto& [s, d] : edges) {
+    present[static_cast<size_t>(s)][static_cast<size_t>(d)] = 1;
+    present[static_cast<size_t>(d)][static_cast<size_t>(s)] = 1;
+  }
+  std::vector<double> degree(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) degree[static_cast<size_t>(i)] += present[static_cast<size_t>(i)][static_cast<size_t>(j)];
+  }
+  SparseMatrix adj;
+  adj.rows = n;
+  adj.cols = n;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (present[static_cast<size_t>(i)][static_cast<size_t>(j)]) {
+        const float v = static_cast<float>(
+            1.0 / std::sqrt(degree[static_cast<size_t>(i)] *
+                            degree[static_cast<size_t>(j)]));
+        adj.entries.push_back({i, j, v});
+      }
+    }
+  }
+  return adj;
+}
+
+GnnGraph ToGnnGraph(const graph::InteractionGraph& g) {
+  GnnGraph out;
+  out.num_nodes = g.num_nodes();
+  out.label = g.vulnerable() ? 1 : 0;
+  out.node_types.reserve(static_cast<size_t>(out.num_nodes));
+
+  // Group nodes by type.
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const auto& node = g.nodes()[static_cast<size_t>(i)];
+    GLINT_CHECK(node.type >= 0 && node.type < kNumNodeTypes);
+    out.node_types.push_back(node.type);
+    out.type_rows[node.type].push_back(i);
+  }
+  for (int t = 0; t < kNumNodeTypes; ++t) {
+    const auto& rows = out.type_rows[t];
+    if (rows.empty()) continue;
+    const int dim = kTypeDims[t];
+    out.typed_features[t] = Matrix(static_cast<int>(rows.size()), dim);
+    for (size_t k = 0; k < rows.size(); ++k) {
+      const auto& feat = g.nodes()[static_cast<size_t>(rows[k])].features;
+      GLINT_CHECK(static_cast<int>(feat.size()) == dim);
+      for (int j = 0; j < dim; ++j) {
+        out.typed_features[t].At(static_cast<int>(k), j) = feat[static_cast<size_t>(j)];
+      }
+    }
+  }
+
+  out.neighbors.assign(static_cast<size_t>(out.num_nodes), {});
+  for (const auto& e : g.edges()) {
+    out.edges.emplace_back(e.src, e.dst);
+    out.neighbors[static_cast<size_t>(e.src)].push_back(e.dst);
+    out.neighbors[static_cast<size_t>(e.dst)].push_back(e.src);
+  }
+  out.adj_norm = NormalizedAdjacency(out.num_nodes, out.edges);
+
+  out.adj_raw.rows = out.num_nodes;
+  out.adj_raw.cols = out.num_nodes;
+  for (const auto& [s, d] : out.edges) {
+    out.adj_raw.entries.push_back({s, d, 1.f});
+    out.adj_raw.entries.push_back({d, s, 1.f});
+  }
+  return out;
+}
+
+std::vector<GnnGraph> ToGnnGraphs(const graph::GraphDataset& ds) {
+  std::vector<GnnGraph> out;
+  out.reserve(ds.graphs.size());
+  for (const auto& g : ds.graphs) out.push_back(ToGnnGraph(g));
+  return out;
+}
+
+}  // namespace glint::gnn

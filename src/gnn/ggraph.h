@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "gnn/tensor.h"
+#include "graph/interaction_graph.h"
+
+namespace glint::gnn {
+
+/// Number of node types (text-rule platforms vs voice platforms).
+constexpr int kNumNodeTypes = 2;
+/// Feature dimensionality per node type (300-d word vectors / 512-d
+/// sentence codes).
+constexpr int kTypeDims[kNumNodeTypes] = {300, 512};
+
+/// GNN-ready representation of an interaction graph: per-type feature
+/// blocks, adjacency structures, and the label.
+struct GnnGraph {
+  int num_nodes = 0;
+  int label = 0;  ///< 1 = vulnerable
+
+  /// Node type per node.
+  std::vector<int> node_types;
+
+  /// Per-type feature matrices. typed_features[t] has one row per node of
+  /// type t; type_rows[t][k] is the original node index of row k.
+  Matrix typed_features[kNumNodeTypes];
+  std::vector<int> type_rows[kNumNodeTypes];
+
+  /// Symmetrically normalized adjacency with self-loops:
+  /// D^-1/2 (A + A^T + I) D^-1/2 over all nodes.
+  SparseMatrix adj_norm;
+  /// Raw (unnormalized, symmetrized) adjacency without self-loops.
+  SparseMatrix adj_raw;
+  /// Directed edges as stored in the interaction graph.
+  std::vector<std::pair<int, int>> edges;
+
+  /// Per-node neighbour lists (undirected view) for metapath sampling.
+  std::vector<std::vector<int>> neighbors;
+
+  bool IsHeterogeneous() const {
+    return !type_rows[1].empty() && !type_rows[0].empty();
+  }
+};
+
+/// Converts an interaction graph (features already attached to nodes) into
+/// the GNN representation.
+GnnGraph ToGnnGraph(const graph::InteractionGraph& g);
+
+/// Converts a whole dataset.
+std::vector<GnnGraph> ToGnnGraphs(const graph::GraphDataset& ds);
+
+/// Builds the normalized adjacency for an explicit edge set over n nodes.
+SparseMatrix NormalizedAdjacency(int n,
+                                 const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace glint::gnn

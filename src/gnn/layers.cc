@@ -1,0 +1,97 @@
+#include "gnn/layers.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace glint::gnn {
+
+Tensor* SemanticAttention::Forward(Tape* t,
+                                   const std::vector<Tensor*>& paths) {
+  GLINT_CHECK(!paths.empty());
+  if (paths.size() == 1) return paths[0];
+
+  // s_p = mean_v sigmoid(M h_v + b); score_p = q . s_p
+  Tensor* scores = nullptr;  // 1 x P
+  for (Tensor* p : paths) {
+    Tensor* s = MeanRows(t, Sigmoid(t, summar_.Forward(t, p)));
+    Tensor* score = MatMul(t, s, t->Leaf(&q_));  // 1 x 1
+    scores = scores == nullptr ? score : ConcatCols(t, scores, score);
+  }
+  Tensor* beta = SoftmaxRowOp(t, scores);  // 1 x P
+
+  Tensor* out = nullptr;
+  for (size_t p = 0; p < paths.size(); ++p) {
+    Tensor* weighted = ScaleByEntry(t, paths[p], beta, static_cast<int>(p));
+    out = AddLoss(t, out, weighted);
+  }
+  return out;
+}
+
+VIPool::Result VIPool::Forward(Tape* t, const SparseMatrix& adj_norm,
+                               const SparseMatrix& adj_raw, Tensor* h) {
+  const int n = h->rows();
+  Result result;
+
+  // MI proxy: score_v = sigmoid(w . [h_v ; (Â h)_v]) — high when the vertex
+  // agrees with (is informative about) its neighbourhood.
+  Tensor* neigh = SpMM(t, adj_norm, h);
+  Tensor* both = ConcatCols(t, h, neigh);
+  Tensor* scores = Sigmoid(t, score_.Forward(t, both));  // n x 1
+
+  // Keep ceil(ratio * n) highest-scoring vertices (at least 1).
+  const int keep =
+      std::max(1, static_cast<int>(ratio_ * static_cast<double>(n) + 0.999));
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores->value.At(a, 0) > scores->value.At(b, 0);
+  });
+  order.resize(static_cast<size_t>(std::min(keep, n)));
+  std::sort(order.begin(), order.end());
+  result.kept = order;
+
+  // Gate features by score (keeps the scorer trainable), then gather.
+  Tensor* gated = RowScale(t, h, scores);
+  result.features = GatherRows(t, gated, order);
+
+  // Induced adjacency over kept nodes, connecting nodes whose original
+  // distance is <= 2 (so pooling does not disconnect chains).
+  std::vector<int> inv(static_cast<size_t>(n), -1);
+  for (size_t k = 0; k < order.size(); ++k) inv[static_cast<size_t>(order[k])] = static_cast<int>(k);
+  std::vector<std::vector<char>> adj1(
+      static_cast<size_t>(n), std::vector<char>(static_cast<size_t>(n), 0));
+  for (const auto& e : adj_raw.entries) adj1[static_cast<size_t>(e.r)][static_cast<size_t>(e.c)] = 1;
+  std::vector<std::pair<int, int>> new_edges;
+  for (size_t a = 0; a < order.size(); ++a) {
+    for (size_t b = 0; b < order.size(); ++b) {
+      if (a == b) continue;
+      const int u = order[a], v = order[b];
+      bool connected = adj1[static_cast<size_t>(u)][static_cast<size_t>(v)] != 0;
+      if (!connected) {
+        for (int w = 0; w < n && !connected; ++w) {
+          if (adj1[static_cast<size_t>(u)][static_cast<size_t>(w)] &&
+              adj1[static_cast<size_t>(w)][static_cast<size_t>(v)]) {
+            connected = true;
+          }
+        }
+      }
+      if (connected && u < v) {
+        new_edges.emplace_back(static_cast<int>(a), static_cast<int>(b));
+      }
+    }
+  }
+  result.adj_norm =
+      NormalizedAdjacency(static_cast<int>(order.size()), new_edges);
+  result.adj_raw.rows = static_cast<int>(order.size());
+  result.adj_raw.cols = result.adj_raw.rows;
+  for (const auto& [a, b] : new_edges) {
+    result.adj_raw.entries.push_back({a, b, 1.f});
+    result.adj_raw.entries.push_back({b, a, 1.f});
+  }
+
+  // Per-scale graph logit for the pooling loss.
+  result.graph_logit = logit_.Forward(t, MeanRows(t, result.features));
+  return result;
+}
+
+}  // namespace glint::gnn

@@ -1,0 +1,106 @@
+#include "gnn/metapath.h"
+
+namespace glint::gnn {
+
+MetapathConverter::MetapathConverter(Config config, Rng* rng)
+    : config_(config) {
+  for (int t = 0; t < kNumNodeTypes; ++t) {
+    proj_[t] = Linear(kTypeDims[t], config_.hidden, rng);
+    intra_[t] = Linear((config_.use_hadamard ? 3 : 2) * config_.hidden,
+                       config_.hidden, rng);
+  }
+  self_ = Linear(config_.hidden, config_.hidden, rng);
+  attention_ = SemanticAttention(config_.hidden, kNumNodeTypes + 1, rng);
+}
+
+Tensor* MetapathConverter::Forward(Tape* t, const GnnGraph& g) {
+  // 1. Project each type block, then scatter back to original node order.
+  Tensor* blocks = nullptr;
+  std::vector<int> perm(static_cast<size_t>(g.num_nodes), 0);
+  int offset = 0;
+  for (int type = 0; type < kNumNodeTypes; ++type) {
+    const auto& rows = g.type_rows[type];
+    if (rows.empty()) continue;
+    Tensor* projected =
+        proj_[type].Forward(t, t->Constant(g.typed_features[type]));
+    blocks = blocks == nullptr ? projected : ConcatRows(t, blocks, projected);
+    for (size_t k = 0; k < rows.size(); ++k) {
+      perm[static_cast<size_t>(rows[k])] = offset + static_cast<int>(k);
+    }
+    offset += static_cast<int>(rows.size());
+  }
+  Tensor* h = GatherRows(t, blocks, perm);  // n x hidden, node order
+
+  if (!config_.use_intra && !config_.use_inter) {
+    // Full ablation: plain projected features.
+    return h;
+  }
+
+  // 2. Intra-metapath aggregation: one metapath per neighbour type. The
+  // type-restricted mean-neighbour operator is a fixed sparse matrix.
+  std::vector<Tensor*> paths;
+  paths.push_back(Relu(t, self_.Forward(t, h)));
+  if (config_.use_intra) {
+    for (int type = 0; type < kNumNodeTypes; ++type) {
+      SparseMatrix mean_t;
+      mean_t.rows = g.num_nodes;
+      mean_t.cols = g.num_nodes;
+      for (int v = 0; v < g.num_nodes; ++v) {
+        int count = 0;
+        for (int u : g.neighbors[static_cast<size_t>(v)]) {
+          if (g.node_types[static_cast<size_t>(u)] == type) ++count;
+        }
+        if (count == 0) {
+          mean_t.entries.push_back({v, v, 1.f});  // fallback: self
+        } else {
+          const float w = 1.0f / static_cast<float>(count);
+          for (int u : g.neighbors[static_cast<size_t>(v)]) {
+            if (g.node_types[static_cast<size_t>(u)] == type) {
+              mean_t.entries.push_back({v, u, w});
+            }
+          }
+        }
+      }
+      Tensor* agg = SpMM(t, mean_t, h);
+      // Concat self, neighbour mean, and (optionally) their Hadamard
+      // product — the multiplicative term lets a linear detector express
+      // "my rule and a neighbour touch the same device with opposing
+      // commands", which additive aggregation cannot represent.
+      Tensor* both = ConcatCols(t, h, agg);
+      if (config_.use_hadamard) {
+        both = ConcatCols(t, both, Mul(t, h, agg));
+      }
+      paths.push_back(Relu(t, intra_[type].Forward(t, both)));
+    }
+  }
+
+  // 3. Inter-metapath aggregation: semantic attention (or plain mean when
+  // ablated).
+  if (config_.use_inter) {
+    return attention_.Forward(t, paths);
+  }
+  Tensor* sum = nullptr;
+  for (Tensor* p : paths) sum = AddLoss(t, sum, p);
+  return Scale(t, sum, 1.0f / static_cast<float>(paths.size()));
+}
+
+std::vector<Parameter*> MetapathConverter::Parameters() {
+  std::vector<Parameter*> out;
+  auto add = [&](std::vector<Parameter*> v) {
+    out.insert(out.end(), v.begin(), v.end());
+  };
+  for (int i = 0; i < kNumNodeTypes; ++i) add(proj_[i].Parameters());
+  for (int i = 0; i < kNumNodeTypes; ++i) add(intra_[i].Parameters());
+  add(self_.Parameters());
+  add(attention_.Parameters());
+  return out;
+}
+
+void MetapathConverter::SetFrozen(bool f) {
+  for (int i = 0; i < kNumNodeTypes; ++i) proj_[i].SetFrozen(f);
+  for (int i = 0; i < kNumNodeTypes; ++i) intra_[i].SetFrozen(f);
+  self_.SetFrozen(f);
+  attention_.SetFrozen(f);
+}
+
+}  // namespace glint::gnn

@@ -1,0 +1,69 @@
+#include "gnn/model_io.h"
+
+#include <cstdio>
+
+namespace glint::gnn {
+
+namespace {
+constexpr uint32_t kMagic = 0x474d444cu;  // "GMDL"
+}
+
+Status SaveModel(GraphModel* model, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  auto params = model->Parameters();
+  const uint32_t count = static_cast<uint32_t>(params.size());
+  std::fwrite(&kMagic, sizeof kMagic, 1, f);
+  std::fwrite(&count, sizeof count, 1, f);
+  for (Parameter* p : params) {
+    const int32_t rows = p->value.rows;
+    const int32_t cols = p->value.cols;
+    std::fwrite(&rows, sizeof rows, 1, f);
+    std::fwrite(&cols, sizeof cols, 1, f);
+    std::fwrite(p->value.data.data(), sizeof(float), p->value.data.size(), f);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status LoadModel(GraphModel* model, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  auto params = model->Parameters();
+  uint32_t magic = 0, count = 0;
+  if (std::fread(&magic, sizeof magic, 1, f) != 1 || magic != kMagic) {
+    std::fclose(f);
+    return Status::InvalidArgument("bad model file magic: " + path);
+  }
+  if (std::fread(&count, sizeof count, 1, f) != 1 ||
+      count != params.size()) {
+    std::fclose(f);
+    return Status::InvalidArgument("model architecture mismatch: " + path);
+  }
+  for (Parameter* p : params) {
+    int32_t rows = 0, cols = 0;
+    if (std::fread(&rows, sizeof rows, 1, f) != 1 ||
+        std::fread(&cols, sizeof cols, 1, f) != 1 ||
+        rows != p->value.rows || cols != p->value.cols) {
+      std::fclose(f);
+      return Status::InvalidArgument("parameter shape mismatch: " + path);
+    }
+    if (std::fread(p->value.data.data(), sizeof(float), p->value.data.size(),
+                   f) != p->value.data.size()) {
+      std::fclose(f);
+      return Status::IOError("truncated model file: " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+size_t ModelBytes(GraphModel* model) {
+  size_t bytes = sizeof(uint32_t) * 2;
+  for (Parameter* p : model->Parameters()) {
+    bytes += sizeof(int32_t) * 2 + sizeof(float) * p->value.size();
+  }
+  return bytes;
+}
+
+}  // namespace glint::gnn

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "gnn/models.h"
+#include "util/status.h"
+
+namespace glint::gnn {
+
+/// Serializes a model's parameter values to a binary file (used for the
+/// Sec. 4.8.2 model-size measurement and for shipping the cloud-trained
+/// public model to the hub).
+Status SaveModel(GraphModel* model, const std::string& path);
+
+/// Loads parameter values into a model of identical architecture.
+Status LoadModel(GraphModel* model, const std::string& path);
+
+/// Serialized size in bytes without writing a file.
+size_t ModelBytes(GraphModel* model);
+
+}  // namespace glint::gnn

@@ -1,0 +1,578 @@
+#include "gnn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace glint::gnn {
+
+Matrix Matrix::HeInit(int r, int c, Rng* rng) {
+  Matrix m(r, c);
+  const double scale = std::sqrt(2.0 / std::max(1, r));
+  for (auto& x : m.data) x = static_cast<float>(rng->Gaussian(0, scale));
+  return m;
+}
+
+Tensor* Tape::Constant(Matrix value) {
+  auto t = std::make_unique<Tensor>();
+  t->value = std::move(value);
+  t->requires_grad = false;
+  nodes_.push_back(std::move(t));
+  return nodes_.back().get();
+}
+
+Tensor* Tape::Leaf(Parameter* param) {
+  auto t = std::make_unique<Tensor>();
+  t->value = param->value;
+  t->grad = Matrix(param->value.rows, param->value.cols);
+  t->requires_grad = true;
+  Tensor* raw = t.get();
+  t->backward = [raw, param]() {
+    for (size_t i = 0; i < raw->grad.data.size(); ++i) {
+      param->grad.data[i] += raw->grad.data[i];
+    }
+  };
+  nodes_.push_back(std::move(t));
+  return raw;
+}
+
+Tensor* Tape::New(int rows, int cols, bool requires_grad) {
+  auto t = std::make_unique<Tensor>();
+  t->value = Matrix(rows, cols);
+  if (requires_grad) t->grad = Matrix(rows, cols);
+  t->requires_grad = requires_grad;
+  nodes_.push_back(std::move(t));
+  return nodes_.back().get();
+}
+
+void Tape::Backward(Tensor* loss) {
+  GLINT_CHECK(loss->rows() == 1 && loss->cols() == 1);
+  GLINT_CHECK(loss->requires_grad);
+  loss->grad.data[0] = 1.f;
+  // Creation order is topological; run closures newest-first.
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    Tensor* t = it->get();
+    if (t->requires_grad && t->backward) t->backward();
+  }
+}
+
+namespace {
+
+bool Track(std::initializer_list<Tensor*> inputs) {
+  for (Tensor* t : inputs) {
+    if (t != nullptr && t->requires_grad) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Tensor* MatMul(Tape* tape, Tensor* a, Tensor* b) {
+  GLINT_CHECK(a->cols() == b->rows());
+  Tensor* out = tape->New(a->rows(), b->cols(), Track({a, b}));
+  const int n = a->rows(), k = a->cols(), m = b->cols();
+  // C[i][j] = sum_l A[i][l] * B[l][j] — l-j inner order for locality.
+  for (int i = 0; i < n; ++i) {
+    float* crow = &out->value.data[static_cast<size_t>(i) * m];
+    const float* arow = &a->value.data[static_cast<size_t>(i) * k];
+    for (int l = 0; l < k; ++l) {
+      const float av = arow[l];
+      if (av == 0.f) continue;
+      const float* brow = &b->value.data[static_cast<size_t>(l) * m];
+      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  if (out->requires_grad) {
+    out->backward = [a, b, out, n, k, m]() {
+      if (a->requires_grad) {
+        // dA = dC * B^T
+        for (int i = 0; i < n; ++i) {
+          float* garow = &a->grad.data[static_cast<size_t>(i) * k];
+          const float* gcrow = &out->grad.data[static_cast<size_t>(i) * m];
+          for (int l = 0; l < k; ++l) {
+            const float* brow = &b->value.data[static_cast<size_t>(l) * m];
+            float s = 0;
+            for (int j = 0; j < m; ++j) s += gcrow[j] * brow[j];
+            garow[l] += s;
+          }
+        }
+      }
+      if (b->requires_grad) {
+        // dB = A^T * dC
+        for (int i = 0; i < n; ++i) {
+          const float* arow = &a->value.data[static_cast<size_t>(i) * k];
+          const float* gcrow = &out->grad.data[static_cast<size_t>(i) * m];
+          for (int l = 0; l < k; ++l) {
+            const float av = arow[l];
+            if (av == 0.f) continue;
+            float* gbrow = &b->grad.data[static_cast<size_t>(l) * m];
+            for (int j = 0; j < m; ++j) gbrow[j] += av * gcrow[j];
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor* Add(Tape* tape, Tensor* a, Tensor* b) {
+  const bool broadcast = (b->rows() == 1 && a->rows() != 1);
+  GLINT_CHECK(a->cols() == b->cols());
+  GLINT_CHECK(broadcast || a->rows() == b->rows());
+  Tensor* out = tape->New(a->rows(), a->cols(), Track({a, b}));
+  const int cols = a->cols();
+  for (int i = 0; i < a->rows(); ++i) {
+    for (int j = 0; j < cols; ++j) {
+      out->value.At(i, j) = a->value.At(i, j) +
+                            (broadcast ? b->value.At(0, j) : b->value.At(i, j));
+    }
+  }
+  if (out->requires_grad) {
+    out->backward = [a, b, out, broadcast, cols]() {
+      if (a->requires_grad) {
+        for (size_t i = 0; i < a->grad.data.size(); ++i) {
+          a->grad.data[i] += out->grad.data[i];
+        }
+      }
+      if (b->requires_grad) {
+        if (broadcast) {
+          for (int i = 0; i < out->rows(); ++i) {
+            for (int j = 0; j < cols; ++j) {
+              b->grad.At(0, j) += out->grad.At(i, j);
+            }
+          }
+        } else {
+          for (size_t i = 0; i < b->grad.data.size(); ++i) {
+            b->grad.data[i] += out->grad.data[i];
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor* Sub(Tape* tape, Tensor* a, Tensor* b) {
+  Tensor* nb = Scale(tape, b, -1.f);
+  return Add(tape, a, nb);
+}
+
+Tensor* Mul(Tape* tape, Tensor* a, Tensor* b) {
+  GLINT_CHECK(a->rows() == b->rows() && a->cols() == b->cols());
+  Tensor* out = tape->New(a->rows(), a->cols(), Track({a, b}));
+  for (size_t i = 0; i < out->value.data.size(); ++i) {
+    out->value.data[i] = a->value.data[i] * b->value.data[i];
+  }
+  if (out->requires_grad) {
+    out->backward = [a, b, out]() {
+      if (a->requires_grad) {
+        for (size_t i = 0; i < a->grad.data.size(); ++i) {
+          a->grad.data[i] += out->grad.data[i] * b->value.data[i];
+        }
+      }
+      if (b->requires_grad) {
+        for (size_t i = 0; i < b->grad.data.size(); ++i) {
+          b->grad.data[i] += out->grad.data[i] * a->value.data[i];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor* Scale(Tape* tape, Tensor* a, float s) {
+  Tensor* out = tape->New(a->rows(), a->cols(), a->requires_grad);
+  for (size_t i = 0; i < out->value.data.size(); ++i) {
+    out->value.data[i] = s * a->value.data[i];
+  }
+  if (out->requires_grad) {
+    out->backward = [a, out, s]() {
+      for (size_t i = 0; i < a->grad.data.size(); ++i) {
+        a->grad.data[i] += s * out->grad.data[i];
+      }
+    };
+  }
+  return out;
+}
+
+namespace {
+
+template <typename F, typename DF>
+Tensor* Elementwise(Tape* tape, Tensor* a, F f, DF df) {
+  Tensor* out = tape->New(a->rows(), a->cols(), a->requires_grad);
+  for (size_t i = 0; i < out->value.data.size(); ++i) {
+    out->value.data[i] = f(a->value.data[i]);
+  }
+  if (out->requires_grad) {
+    out->backward = [a, out, df]() {
+      for (size_t i = 0; i < a->grad.data.size(); ++i) {
+        a->grad.data[i] +=
+            out->grad.data[i] * df(a->value.data[i], out->value.data[i]);
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor* Relu(Tape* tape, Tensor* a) {
+  return Elementwise(
+      tape, a, [](float x) { return x > 0 ? x : 0.f; },
+      [](float x, float) { return x > 0 ? 1.f : 0.f; });
+}
+
+Tensor* Sigmoid(Tape* tape, Tensor* a) {
+  return Elementwise(
+      tape, a, [](float x) { return 1.f / (1.f + std::exp(-x)); },
+      [](float, float y) { return y * (1.f - y); });
+}
+
+Tensor* Tanh(Tape* tape, Tensor* a) {
+  return Elementwise(
+      tape, a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.f - y * y; });
+}
+
+Tensor* ConcatCols(Tape* tape, Tensor* a, Tensor* b) {
+  GLINT_CHECK(a->rows() == b->rows());
+  Tensor* out = tape->New(a->rows(), a->cols() + b->cols(), Track({a, b}));
+  for (int i = 0; i < a->rows(); ++i) {
+    for (int j = 0; j < a->cols(); ++j) out->value.At(i, j) = a->value.At(i, j);
+    for (int j = 0; j < b->cols(); ++j) {
+      out->value.At(i, a->cols() + j) = b->value.At(i, j);
+    }
+  }
+  if (out->requires_grad) {
+    out->backward = [a, b, out]() {
+      for (int i = 0; i < a->rows(); ++i) {
+        if (a->requires_grad) {
+          for (int j = 0; j < a->cols(); ++j) {
+            a->grad.At(i, j) += out->grad.At(i, j);
+          }
+        }
+        if (b->requires_grad) {
+          for (int j = 0; j < b->cols(); ++j) {
+            b->grad.At(i, j) += out->grad.At(i, a->cols() + j);
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor* ConcatRows(Tape* tape, Tensor* a, Tensor* b) {
+  GLINT_CHECK(a->cols() == b->cols());
+  Tensor* out = tape->New(a->rows() + b->rows(), a->cols(), Track({a, b}));
+  std::copy(a->value.data.begin(), a->value.data.end(),
+            out->value.data.begin());
+  std::copy(b->value.data.begin(), b->value.data.end(),
+            out->value.data.begin() + static_cast<long>(a->value.size()));
+  if (out->requires_grad) {
+    out->backward = [a, b, out]() {
+      if (a->requires_grad) {
+        for (size_t i = 0; i < a->grad.data.size(); ++i) {
+          a->grad.data[i] += out->grad.data[i];
+        }
+      }
+      if (b->requires_grad) {
+        for (size_t i = 0; i < b->grad.data.size(); ++i) {
+          b->grad.data[i] += out->grad.data[a->value.size() + i];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor* MeanRows(Tape* tape, Tensor* a) {
+  Tensor* out = tape->New(1, a->cols(), a->requires_grad);
+  const float inv = 1.0f / static_cast<float>(std::max(1, a->rows()));
+  for (int i = 0; i < a->rows(); ++i) {
+    for (int j = 0; j < a->cols(); ++j) {
+      out->value.At(0, j) += a->value.At(i, j) * inv;
+    }
+  }
+  if (out->requires_grad) {
+    out->backward = [a, out, inv]() {
+      for (int i = 0; i < a->rows(); ++i) {
+        for (int j = 0; j < a->cols(); ++j) {
+          a->grad.At(i, j) += out->grad.At(0, j) * inv;
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor* MaxRows(Tape* tape, Tensor* a) {
+  GLINT_CHECK(a->rows() >= 1);
+  Tensor* out = tape->New(1, a->cols(), a->requires_grad);
+  std::vector<int> argmax(static_cast<size_t>(a->cols()), 0);
+  for (int j = 0; j < a->cols(); ++j) {
+    float best = a->value.At(0, j);
+    for (int i = 1; i < a->rows(); ++i) {
+      if (a->value.At(i, j) > best) {
+        best = a->value.At(i, j);
+        argmax[static_cast<size_t>(j)] = i;
+      }
+    }
+    out->value.At(0, j) = best;
+  }
+  if (out->requires_grad) {
+    out->backward = [a, out, argmax = std::move(argmax)]() {
+      for (int j = 0; j < a->cols(); ++j) {
+        a->grad.At(argmax[static_cast<size_t>(j)], j) += out->grad.At(0, j);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor* GatherRows(Tape* tape, Tensor* a, std::vector<int> idx) {
+  Tensor* out =
+      tape->New(static_cast<int>(idx.size()), a->cols(), a->requires_grad);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    for (int j = 0; j < a->cols(); ++j) {
+      out->value.At(static_cast<int>(i), j) = a->value.At(idx[i], j);
+    }
+  }
+  if (out->requires_grad) {
+    out->backward = [a, out, idx = std::move(idx)]() {
+      for (size_t i = 0; i < idx.size(); ++i) {
+        for (int j = 0; j < a->cols(); ++j) {
+          a->grad.At(idx[i], j) += out->grad.At(static_cast<int>(i), j);
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor* SpMM(Tape* tape, const SparseMatrix& s, Tensor* a) {
+  GLINT_CHECK(s.cols == a->rows());
+  Tensor* out = tape->New(s.rows, a->cols(), a->requires_grad);
+  for (const auto& e : s.entries) {
+    const float* arow = &a->value.data[static_cast<size_t>(e.c) * a->cols()];
+    float* crow = &out->value.data[static_cast<size_t>(e.r) * a->cols()];
+    for (int j = 0; j < a->cols(); ++j) crow[j] += e.v * arow[j];
+  }
+  if (out->requires_grad) {
+    // Copy entries into the closure; SparseMatrix may not outlive the tape.
+    out->backward = [a, out, entries = s.entries]() {
+      for (const auto& e : entries) {
+        const float* gcrow =
+            &out->grad.data[static_cast<size_t>(e.r) * a->cols()];
+        float* garow = &a->grad.data[static_cast<size_t>(e.c) * a->cols()];
+        for (int j = 0; j < a->cols(); ++j) garow[j] += e.v * gcrow[j];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor* RowScale(Tape* tape, Tensor* a, Tensor* g) {
+  GLINT_CHECK(g->rows() == a->rows() && g->cols() == 1);
+  Tensor* out = tape->New(a->rows(), a->cols(), Track({a, g}));
+  for (int i = 0; i < a->rows(); ++i) {
+    const float s = g->value.At(i, 0);
+    for (int j = 0; j < a->cols(); ++j) {
+      out->value.At(i, j) = s * a->value.At(i, j);
+    }
+  }
+  if (out->requires_grad) {
+    out->backward = [a, g, out]() {
+      for (int i = 0; i < a->rows(); ++i) {
+        const float s = g->value.At(i, 0);
+        for (int j = 0; j < a->cols(); ++j) {
+          if (a->requires_grad) a->grad.At(i, j) += s * out->grad.At(i, j);
+          if (g->requires_grad) {
+            g->grad.At(i, 0) += a->value.At(i, j) * out->grad.At(i, j);
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor* SumAll(Tape* tape, Tensor* a) {
+  Tensor* out = tape->New(1, 1, a->requires_grad);
+  double s = 0;
+  for (float v : a->value.data) s += v;
+  out->value.data[0] = static_cast<float>(s);
+  if (out->requires_grad) {
+    out->backward = [a, out]() {
+      const float g = out->grad.data[0];
+      for (auto& gv : a->grad.data) gv += g;
+    };
+  }
+  return out;
+}
+
+std::vector<double> SoftmaxRow(const Tensor* logits) {
+  std::vector<double> p(logits->value.data.begin(), logits->value.data.end());
+  double mx = p[0];
+  for (double v : p) mx = std::max(mx, v);
+  double sum = 0;
+  for (double& v : p) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+Tensor* SoftmaxCrossEntropy(Tape* tape, Tensor* logits, int label,
+                            float weight) {
+  GLINT_CHECK(logits->rows() == 1);
+  GLINT_CHECK(label >= 0 && label < logits->cols());
+  Tensor* out = tape->New(1, 1, logits->requires_grad);
+  std::vector<double> p = SoftmaxRow(logits);
+  out->value.data[0] = static_cast<float>(
+      -weight * std::log(std::max(1e-12, p[static_cast<size_t>(label)])));
+  if (out->requires_grad) {
+    out->backward = [logits, out, label, weight, p = std::move(p)]() {
+      const float g = out->grad.data[0];
+      for (int j = 0; j < logits->cols(); ++j) {
+        const float onehot = (j == label) ? 1.f : 0.f;
+        logits->grad.At(0, j) +=
+            g * weight * (static_cast<float>(p[static_cast<size_t>(j)]) -
+                          onehot);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor* BceWithLogit(Tape* tape, Tensor* logit, int label, float weight) {
+  GLINT_CHECK(logit->rows() == 1 && logit->cols() == 1);
+  Tensor* out = tape->New(1, 1, logit->requires_grad);
+  const double x = logit->value.data[0];
+  const double y = label;
+  // Numerically stable: max(x,0) - x*y + log(1+exp(-|x|))
+  out->value.data[0] = static_cast<float>(
+      weight * (std::max(x, 0.0) - x * y + std::log1p(std::exp(-std::fabs(x)))));
+  if (out->requires_grad) {
+    out->backward = [logit, out, y, weight]() {
+      const double x = logit->value.data[0];
+      const double p = 1.0 / (1.0 + std::exp(-x));
+      logit->grad.data[0] +=
+          out->grad.data[0] * static_cast<float>(weight * (p - y));
+    };
+  }
+  return out;
+}
+
+Tensor* SquaredDistance(Tape* tape, Tensor* a, Tensor* b) {
+  Tensor* d = Sub(tape, a, b);
+  Tensor* sq = Mul(tape, d, d);
+  return SumAll(tape, sq);
+}
+
+Tensor* ContrastiveLoss(Tape* tape, Tensor* za, Tensor* zb, bool same_label,
+                        float eps) {
+  if (same_label) {
+    return SquaredDistance(tape, za, zb);  // ||f(xi) - f(xj)||^2
+  }
+  // max(0, eps - ||f(xi) - f(xj)||_2)^2, computed with a custom node for
+  // the norm to keep gradients exact.
+  Tensor* d = Sub(tape, za, zb);
+  Tensor* out = tape->New(1, 1, d->requires_grad);
+  double norm2 = 0;
+  for (float v : d->value.data) norm2 += double(v) * v;
+  const double norm = std::sqrt(std::max(1e-12, norm2));
+  const double margin = std::max(0.0, eps - norm);
+  out->value.data[0] = static_cast<float>(margin * margin);
+  if (out->requires_grad) {
+    out->backward = [d, out, norm, margin]() {
+      if (margin <= 0) return;
+      // dL/dd = 2 * margin * (-1) * d / norm
+      const float g = out->grad.data[0];
+      const float coef = static_cast<float>(-2.0 * margin / norm) * g;
+      for (size_t i = 0; i < d->grad.data.size(); ++i) {
+        d->grad.data[i] += coef * d->value.data[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor* AddLoss(Tape* tape, Tensor* a, Tensor* b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  return Add(tape, a, b);
+}
+
+Tensor* SoftmaxRowOp(Tape* tape, Tensor* a) {
+  GLINT_CHECK(a->rows() == 1);
+  Tensor* out = tape->New(1, a->cols(), a->requires_grad);
+  std::vector<double> p = SoftmaxRow(a);
+  for (int j = 0; j < a->cols(); ++j) {
+    out->value.At(0, j) = static_cast<float>(p[static_cast<size_t>(j)]);
+  }
+  if (out->requires_grad) {
+    out->backward = [a, out]() {
+      // dL/dx_i = p_i * (g_i - sum_j g_j p_j)
+      double dot = 0;
+      for (int j = 0; j < a->cols(); ++j) {
+        dot += double(out->grad.At(0, j)) * out->value.At(0, j);
+      }
+      for (int j = 0; j < a->cols(); ++j) {
+        a->grad.At(0, j) += static_cast<float>(
+            out->value.At(0, j) * (out->grad.At(0, j) - dot));
+      }
+    };
+  }
+  return out;
+}
+
+Tensor* ScaleByEntry(Tape* tape, Tensor* a, Tensor* s, int idx) {
+  GLINT_CHECK(s->rows() == 1 && idx >= 0 && idx < s->cols());
+  Tensor* out = tape->New(a->rows(), a->cols(), Track({a, s}));
+  const float sv = s->value.At(0, idx);
+  for (size_t i = 0; i < a->value.data.size(); ++i) {
+    out->value.data[i] = sv * a->value.data[i];
+  }
+  if (out->requires_grad) {
+    out->backward = [a, s, out, idx, sv]() {
+      if (a->requires_grad) {
+        for (size_t i = 0; i < a->grad.data.size(); ++i) {
+          a->grad.data[i] += sv * out->grad.data[i];
+        }
+      }
+      if (s->requires_grad) {
+        double g = 0;
+        for (size_t i = 0; i < a->value.data.size(); ++i) {
+          g += double(a->value.data[i]) * out->grad.data[i];
+        }
+        s->grad.At(0, idx) += static_cast<float>(g);
+      }
+    };
+  }
+  return out;
+}
+
+void Adam::Step(const std::vector<Parameter*>& parameters) {
+  t_ += 1;
+  const double bc1 = 1.0 - std::pow(params_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(params_.beta2, static_cast<double>(t_));
+  for (Parameter* p : parameters) {
+    if (!p->frozen) {
+      for (size_t i = 0; i < p->value.data.size(); ++i) {
+        const double g =
+            p->grad.data[i] + params_.weight_decay * p->value.data[i];
+        p->m.data[i] = static_cast<float>(params_.beta1 * p->m.data[i] +
+                                          (1 - params_.beta1) * g);
+        p->v.data[i] = static_cast<float>(params_.beta2 * p->v.data[i] +
+                                          (1 - params_.beta2) * g * g);
+        p->value.data[i] -= static_cast<float>(
+            params_.lr * (p->m.data[i] / bc1) /
+            (std::sqrt(p->v.data[i] / bc2) + params_.eps));
+      }
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace glint::gnn

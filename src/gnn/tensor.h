@@ -1,0 +1,177 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace glint::gnn {
+
+/// Dense row-major float matrix — the numeric workhorse of the GNN stack.
+struct Matrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> data;
+
+  Matrix() = default;
+  Matrix(int r, int c, float fill = 0.f)
+      : rows(r), cols(c), data(static_cast<size_t>(r) * c, fill) {}
+
+  float& At(int r, int c) { return data[static_cast<size_t>(r) * cols + c]; }
+  float At(int r, int c) const {
+    return data[static_cast<size_t>(r) * cols + c];
+  }
+  size_t size() const { return data.size(); }
+
+  /// Fills with He-scaled Gaussian noise (fan_in based).
+  static Matrix HeInit(int r, int c, Rng* rng);
+};
+
+/// Sparse matrix in coordinate form (used for normalized adjacencies).
+struct SparseMatrix {
+  int rows = 0;
+  int cols = 0;
+  struct Entry {
+    int r, c;
+    float v;
+  };
+  std::vector<Entry> entries;
+};
+
+/// A node in the autograd tape: value, gradient, and the closure that
+/// back-propagates into its parents.
+struct Tensor {
+  Matrix value;
+  Matrix grad;
+  bool requires_grad = false;
+  std::function<void()> backward;
+  std::vector<Tensor*> parents;
+
+  int rows() const { return value.rows; }
+  int cols() const { return value.cols; }
+};
+
+/// A trainable parameter: persistent value + accumulated gradient + Adam
+/// moments. Parameters live in layers; each forward pass leases them into
+/// the tape via Tape::Leaf.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+  Matrix m, v;  ///< Adam moments
+  bool frozen = false;  ///< transfer learning: excluded from updates
+
+  explicit Parameter(Matrix init)
+      : value(std::move(init)),
+        grad(value.rows, value.cols),
+        m(value.rows, value.cols),
+        v(value.rows, value.cols) {}
+
+  void ZeroGrad() { std::fill(grad.data.begin(), grad.data.end(), 0.f); }
+};
+
+/// Reverse-mode autograd tape. All tensors created through a tape are owned
+/// by it; Backward() runs the recorded closures in reverse creation order
+/// (creation order is already a topological order).
+class Tape {
+ public:
+  /// Creates a tensor from a value (no gradient tracking).
+  Tensor* Constant(Matrix value);
+
+  /// Creates a gradient-tracked leaf bound to a parameter: the forward pass
+  /// reads param->value, the backward pass accumulates into param->grad.
+  Tensor* Leaf(Parameter* param);
+
+  /// Allocates an intermediate tensor.
+  Tensor* New(int rows, int cols, bool requires_grad);
+
+  /// Runs backward from `loss` (must be 1x1).
+  void Backward(Tensor* loss);
+
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Tensor>> nodes_;
+};
+
+// ---- Ops (all append to the tape; gradients flow where inputs track) -----
+
+/// C = A * B.
+Tensor* MatMul(Tape* t, Tensor* a, Tensor* b);
+/// C = A + B (same shape), or row-broadcast when B is 1 x cols.
+Tensor* Add(Tape* t, Tensor* a, Tensor* b);
+/// C = A - B (same shape).
+Tensor* Sub(Tape* t, Tensor* a, Tensor* b);
+/// Elementwise product (same shape).
+Tensor* Mul(Tape* t, Tensor* a, Tensor* b);
+/// C = s * A.
+Tensor* Scale(Tape* t, Tensor* a, float s);
+/// Elementwise ReLU.
+Tensor* Relu(Tape* t, Tensor* a);
+/// Elementwise sigmoid.
+Tensor* Sigmoid(Tape* t, Tensor* a);
+/// Elementwise tanh.
+Tensor* Tanh(Tape* t, Tensor* a);
+/// Column-wise concatenation [A | B] (same row count).
+Tensor* ConcatCols(Tape* t, Tensor* a, Tensor* b);
+/// Row-wise concatenation [A ; B] (same column count).
+Tensor* ConcatRows(Tape* t, Tensor* a, Tensor* b);
+/// 1 x cols mean over rows (mean readout).
+Tensor* MeanRows(Tape* t, Tensor* a);
+/// 1 x cols max over rows (max readout).
+Tensor* MaxRows(Tape* t, Tensor* a);
+/// Select a subset of rows (graph pooling): out[i] = a[idx[i]].
+Tensor* GatherRows(Tape* t, Tensor* a, std::vector<int> idx);
+/// Sparse-dense product: C = S * A (S untracked).
+Tensor* SpMM(Tape* t, const SparseMatrix& s, Tensor* a);
+/// Scale each row i of A by the scalar in column vector g (n x 1).
+Tensor* RowScale(Tape* t, Tensor* a, Tensor* g);
+/// Sum of all entries (1x1).
+Tensor* SumAll(Tape* t, Tensor* a);
+/// Weighted softmax cross-entropy over logits (1 x k) with integer label;
+/// returns 1x1 loss. `weight` scales the sample's loss (class weighting).
+Tensor* SoftmaxCrossEntropy(Tape* t, Tensor* logits, int label, float weight);
+/// Binary cross-entropy of a single logit (1x1) against label in {0,1}.
+Tensor* BceWithLogit(Tape* t, Tensor* logit, int label, float weight);
+/// Squared L2 distance between two 1 x d tensors (1x1).
+Tensor* SquaredDistance(Tape* t, Tensor* a, Tensor* b);
+/// Contrastive loss (Eq. 1) for a pair of 1 x d embeddings: same-label
+/// pulls together, different-label pushes apart up to margin `eps`.
+Tensor* ContrastiveLoss(Tape* t, Tensor* za, Tensor* zb, bool same_label,
+                        float eps);
+/// a + b where either may be nullptr (returns the other).
+Tensor* AddLoss(Tape* t, Tensor* a, Tensor* b);
+/// Row softmax of a 1 x k tensor with exact Jacobian backward (used for
+/// inter-metapath semantic attention).
+Tensor* SoftmaxRowOp(Tape* t, Tensor* a);
+/// out = a * s(0, idx): scales a matrix by one entry of a tracked tensor.
+Tensor* ScaleByEntry(Tape* t, Tensor* a, Tensor* s, int idx);
+
+/// Softmax probabilities of a 1 x k logits row (forward only helper).
+std::vector<double> SoftmaxRow(const Tensor* logits);
+
+/// Adam update over a set of parameters (skips frozen ones) and zeroes
+/// gradients.
+class Adam {
+ public:
+  struct Params {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  Adam() : Adam(Params()) {}
+  explicit Adam(Params p) : params_(p) {}
+
+  void Step(const std::vector<Parameter*>& parameters);
+
+ private:
+  Params params_;
+  long t_ = 0;
+};
+
+}  // namespace glint::gnn

@@ -1,0 +1,190 @@
+#include "gnn/trainer.h"
+
+#include <cstdio>
+
+namespace glint::gnn {
+
+void SplitGraphs(const std::vector<GnnGraph>& all, double train_frac,
+                 Rng* rng, std::vector<GnnGraph>* train,
+                 std::vector<GnnGraph>* test) {
+  std::vector<size_t> idx(all.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng->Shuffle(&idx);
+  const size_t n_train =
+      static_cast<size_t>(train_frac * static_cast<double>(all.size()));
+  train->clear();
+  test->clear();
+  for (size_t i = 0; i < idx.size(); ++i) {
+    (i < n_train ? train : test)->push_back(all[idx[i]]);
+  }
+}
+
+std::vector<GnnGraph> OversampleGraphs(const std::vector<GnnGraph>& train,
+                                       double factor, Rng* rng) {
+  std::vector<GnnGraph> out = train;
+  std::vector<size_t> minority;
+  for (size_t i = 0; i < train.size(); ++i) {
+    if (train[i].label == 1) minority.push_back(i);
+  }
+  if (minority.empty()) return out;
+  const size_t extra = static_cast<size_t>(
+      (factor - 1.0) * static_cast<double>(minority.size()));
+  for (size_t k = 0; k < extra; ++k) {
+    out.push_back(train[minority[rng->Below(minority.size())]]);
+  }
+  return out;
+}
+
+void Trainer::TrainSupervised(GraphModel* model,
+                              const std::vector<GnnGraph>& train_in) {
+  Rng rng(config_.seed);
+  std::vector<GnnGraph> train =
+      OversampleGraphs(train_in, config_.oversample_factor, &rng);
+
+  // Class weights inversely proportional to frequency (Eq. 2's w_y).
+  double n1 = 0;
+  for (const auto& g : train) n1 += g.label;
+  const double n = static_cast<double>(train.size());
+  float w[2] = {static_cast<float>(n / (2.0 * std::max(1.0, n - n1))),
+                static_cast<float>(n / (2.0 * std::max(1.0, n1)))};
+
+  Adam adam({config_.lr, 0.9, 0.999, 1e-8, config_.weight_decay});
+  auto params = model->Parameters();
+
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const int kBatch = 8;  // gradient accumulation window
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double total_loss = 0;
+    int in_batch = 0;
+    for (size_t oi = 0; oi < order.size(); ++oi) {
+      const GnnGraph& g = train[order[oi]];
+      Tape tape;
+      ForwardResult r = model->Forward(&tape, g);
+      Tensor* loss = SoftmaxCrossEntropy(&tape, r.logits, g.label,
+                                         w[g.label]);
+      // β·L_pool: per-scale BCE logits against the graph label (Eq. 2).
+      if (!r.pool_logits.empty() && config_.beta_pool > 0) {
+        Tensor* pool_loss = nullptr;
+        for (Tensor* logit : r.pool_logits) {
+          pool_loss =
+              AddLoss(&tape, pool_loss,
+                      BceWithLogit(&tape, logit, g.label, 1.0f));
+        }
+        loss = AddLoss(
+            &tape, loss,
+            Scale(&tape, pool_loss,
+                  static_cast<float>(config_.beta_pool /
+                                     static_cast<double>(
+                                         r.pool_logits.size()))));
+      }
+      Tensor* aux = model->AuxLoss(&tape, g, r);
+      if (aux != nullptr) {
+        loss = AddLoss(&tape, loss, Scale(&tape, aux, 0.5f));
+      }
+      total_loss += loss->value.data[0];
+      tape.Backward(loss);
+      if (++in_batch == kBatch || oi + 1 == order.size()) {
+        adam.Step(params);
+        in_batch = 0;
+      }
+    }
+    if (config_.verbose) {
+      std::fprintf(stderr, "[%s] epoch %d loss %.4f\n",
+                   model->Name().c_str(), epoch,
+                   total_loss / static_cast<double>(train.size()));
+    }
+  }
+}
+
+void Trainer::TrainContrastive(GraphModel* model,
+                               const std::vector<GnnGraph>& train) {
+  Rng rng(config_.seed ^ 0xc0ffee);
+  Adam adam({config_.lr, 0.9, 0.999, 1e-8, config_.weight_decay});
+  auto params = model->Parameters();
+
+  // Index by class for balanced pair sampling.
+  std::vector<size_t> by_class[2];
+  for (size_t i = 0; i < train.size(); ++i) {
+    by_class[train[i].label].push_back(i);
+  }
+  if (by_class[0].empty() || by_class[1].empty()) return;
+
+  const size_t pairs_per_epoch = std::max<size_t>(
+      8, static_cast<size_t>(config_.pairs_per_sample *
+                             static_cast<double>(train.size())));
+  const int kBatch = 8;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    double total_loss = 0;
+    int in_batch = 0;
+    for (size_t k = 0; k < pairs_per_epoch; ++k) {
+      // 50% same-class pairs, 50% cross-class pairs.
+      size_t ia, ib;
+      bool same;
+      if (rng.Chance(0.5)) {
+        const auto& cls = by_class[rng.Chance(0.5) ? 1 : 0];
+        ia = cls[rng.Below(cls.size())];
+        ib = cls[rng.Below(cls.size())];
+        same = true;
+      } else {
+        ia = by_class[0][rng.Below(by_class[0].size())];
+        ib = by_class[1][rng.Below(by_class[1].size())];
+        same = false;
+      }
+      Tape tape;
+      Tensor* za = model->Forward(&tape, train[ia]).embedding;
+      Tensor* zb = model->Forward(&tape, train[ib]).embedding;
+      Tensor* loss = ContrastiveLoss(
+          &tape, za, zb, same,
+          static_cast<float>(config_.contrastive_margin));
+      total_loss += loss->value.data[0];
+      tape.Backward(loss);
+      if (++in_batch == kBatch || k + 1 == pairs_per_epoch) {
+        adam.Step(params);
+        in_batch = 0;
+      }
+    }
+    if (config_.verbose) {
+      std::fprintf(stderr, "[%s-C] epoch %d loss %.4f\n",
+                   model->Name().c_str(), epoch,
+                   total_loss / static_cast<double>(pairs_per_epoch));
+    }
+  }
+}
+
+int Trainer::Predict(GraphModel* model, const GnnGraph& g) {
+  Tape tape;
+  ForwardResult r = model->Forward(&tape, g);
+  auto p = SoftmaxRow(r.logits);
+  return p[1] > p[0] ? 1 : 0;
+}
+
+ml::Metrics Trainer::Evaluate(GraphModel* model,
+                              const std::vector<GnnGraph>& test) {
+  std::vector<int> y_true, y_pred;
+  y_true.reserve(test.size());
+  for (const auto& g : test) {
+    y_true.push_back(g.label);
+    y_pred.push_back(Predict(model, g));
+  }
+  return ml::WeightedMetrics(y_true, y_pred, 2);
+}
+
+FloatVec Trainer::Embed(GraphModel* model, const GnnGraph& g) {
+  Tape tape;
+  ForwardResult r = model->Forward(&tape, g);
+  return FloatVec(r.embedding->value.data.begin(),
+                  r.embedding->value.data.end());
+}
+
+std::vector<FloatVec> Trainer::EmbedAll(GraphModel* model,
+                                        const std::vector<GnnGraph>& set) {
+  std::vector<FloatVec> out;
+  out.reserve(set.size());
+  for (const auto& g : set) out.push_back(Embed(model, g));
+  return out;
+}
+
+}  // namespace glint::gnn

@@ -1,0 +1,25 @@
+#include "gnn/transfer.h"
+
+namespace glint::gnn {
+
+void TransferFineTune(GraphModel* model, const std::vector<GnnGraph>& target,
+                      const TransferConfig& config) {
+  auto groups = model->ParameterGroups();
+  const int total = static_cast<int>(groups.size());
+  int freeze = config.freeze_groups;
+  if (freeze < 0) freeze = total - 1;
+  freeze = std::min(freeze, total - 1);  // never freeze the head-only model
+
+  for (int gi = 0; gi < total; ++gi) {
+    for (Parameter* p : groups[static_cast<size_t>(gi)]) {
+      p->frozen = gi < freeze;
+    }
+  }
+  Trainer trainer(config.fine_tune);
+  trainer.TrainSupervised(model, target);
+  for (auto& group : groups) {
+    for (Parameter* p : group) p->frozen = false;
+  }
+}
+
+}  // namespace glint::gnn

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "gnn/trainer.h"
+
+namespace glint::gnn {
+
+/// Cross-domain graph transfer learning (Sec. 3.3.4): freeze the first k
+/// parameter groups of a source-trained model (the generic early-layer
+/// features), optionally re-initialize the head, and fine-tune on the
+/// target domain.
+struct TransferConfig {
+  /// Number of leading parameter groups to freeze. -1 = freeze all but the
+  /// last group (the paper's "only fine-tune the fully connected layer"
+  /// mode for tiny targets).
+  int freeze_groups = -1;
+  TrainConfig fine_tune;
+};
+
+/// Applies freezing and fine-tunes `model` (already trained on the source
+/// domain) on the target training set. Afterwards all parameters are
+/// unfrozen again.
+void TransferFineTune(GraphModel* model, const std::vector<GnnGraph>& target,
+                      const TransferConfig& config);
+
+}  // namespace glint::gnn

@@ -1,0 +1,281 @@
+#include "graph/dataset_store.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace glint::graph {
+namespace {
+
+constexpr uint32_t kMagic = 0x474c4e54;  // "GLNT"
+constexpr uint32_t kVersion = 2;
+
+class Writer {
+ public:
+  void U32(uint32_t v) { Raw(&v, sizeof v); }
+  void I32(int32_t v) { Raw(&v, sizeof v); }
+  void F64(double v) { Raw(&v, sizeof v); }
+  void F32(float v) { Raw(&v, sizeof v); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Raw(const void* p, size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+  const std::vector<char>& buffer() const { return buf_; }
+
+ private:
+  std::vector<char> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool U32(uint32_t* v) { return Raw(v, sizeof *v); }
+  bool I32(int32_t* v) { return Raw(v, sizeof *v); }
+  bool F64(double* v) { return Raw(v, sizeof *v); }
+  bool F32(float* v) { return Raw(v, sizeof *v); }
+  bool Str(std::string* s) {
+    uint32_t n;
+    if (!U32(&n) || pos_ + n > size_) return false;
+    s->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool Raw(void* p, size_t n) {
+    if (pos_ + n > size_) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void WriteTrigger(Writer* w, const rules::TriggerSpec& t) {
+  w->I32(static_cast<int32_t>(t.channel));
+  w->I32(static_cast<int32_t>(t.device));
+  w->I32(static_cast<int32_t>(t.cmp));
+  w->F64(t.lo);
+  w->F64(t.hi);
+  w->Str(t.state);
+  w->I32(t.direction);
+  w->I32(t.has_time ? 1 : 0);
+  w->I32(t.hour_lo);
+  w->I32(t.hour_hi);
+}
+
+bool ReadTrigger(Reader* r, rules::TriggerSpec* t) {
+  int32_t ch, dev, cmp, dir, ht, hlo, hhi;
+  if (!r->I32(&ch) || !r->I32(&dev) || !r->I32(&cmp) || !r->F64(&t->lo) ||
+      !r->F64(&t->hi) || !r->Str(&t->state) || !r->I32(&dir) ||
+      !r->I32(&ht) || !r->I32(&hlo) || !r->I32(&hhi)) {
+    return false;
+  }
+  t->channel = static_cast<rules::Channel>(ch);
+  t->device = static_cast<rules::DeviceType>(dev);
+  t->cmp = static_cast<rules::Comparator>(cmp);
+  t->direction = dir;
+  t->has_time = ht != 0;
+  t->hour_lo = hlo;
+  t->hour_hi = hhi;
+  return true;
+}
+
+void WriteRule(Writer* w, const rules::Rule& rule) {
+  w->I32(rule.id);
+  w->I32(static_cast<int32_t>(rule.platform));
+  w->I32(static_cast<int32_t>(rule.location));
+  WriteTrigger(w, rule.trigger);
+  w->U32(static_cast<uint32_t>(rule.conditions.size()));
+  for (const auto& c : rule.conditions) {
+    rules::TriggerSpec t;
+    t.channel = c.channel;
+    t.device = c.device;
+    t.cmp = c.cmp;
+    t.lo = c.lo;
+    t.hi = c.hi;
+    t.state = c.state;
+    t.has_time = c.has_time;
+    t.hour_lo = c.hour_lo;
+    t.hour_hi = c.hour_hi;
+    WriteTrigger(w, t);
+  }
+  w->U32(static_cast<uint32_t>(rule.actions.size()));
+  for (const auto& a : rule.actions) {
+    w->I32(static_cast<int32_t>(a.device));
+    w->I32(static_cast<int32_t>(a.command));
+    w->F64(a.level);
+  }
+  w->Str(rule.text);
+  w->I32(rule.manual_mode_pin ? 1 : 0);
+}
+
+bool ReadRule(Reader* r, rules::Rule* rule) {
+  int32_t platform, location, pin;
+  if (!r->I32(&rule->id) || !r->I32(&platform) || !r->I32(&location) ||
+      !ReadTrigger(r, &rule->trigger)) {
+    return false;
+  }
+  rule->platform = static_cast<rules::Platform>(platform);
+  rule->location = static_cast<rules::Location>(location);
+  uint32_t nc;
+  if (!r->U32(&nc)) return false;
+  rule->conditions.resize(nc);
+  for (auto& c : rule->conditions) {
+    rules::TriggerSpec t;
+    if (!ReadTrigger(r, &t)) return false;
+    c.channel = t.channel;
+    c.device = t.device;
+    c.cmp = t.cmp;
+    c.lo = t.lo;
+    c.hi = t.hi;
+    c.state = t.state;
+    c.has_time = t.has_time;
+    c.hour_lo = t.hour_lo;
+    c.hour_hi = t.hour_hi;
+  }
+  uint32_t na;
+  if (!r->U32(&na)) return false;
+  rule->actions.resize(na);
+  for (auto& a : rule->actions) {
+    int32_t dev, cmd;
+    if (!r->I32(&dev) || !r->I32(&cmd) || !r->F64(&a.level)) return false;
+    a.device = static_cast<rules::DeviceType>(dev);
+    a.command = static_cast<rules::Command>(cmd);
+  }
+  if (!r->Str(&rule->text)) return false;
+  if (!r->I32(&pin)) return false;
+  rule->manual_mode_pin = pin != 0;
+  return true;
+}
+
+void SerializeDataset(const GraphDataset& ds, Writer* w) {
+  w->U32(kMagic);
+  w->U32(kVersion);
+  w->U32(static_cast<uint32_t>(ds.graphs.size()));
+  for (const auto& g : ds.graphs) {
+    w->U32(static_cast<uint32_t>(g.num_nodes()));
+    for (const auto& node : g.nodes()) {
+      WriteRule(w, node.rule);
+      w->I32(node.type);
+      w->U32(static_cast<uint32_t>(node.features.size()));
+      for (float f : node.features) w->F32(f);
+    }
+    w->U32(static_cast<uint32_t>(g.edges().size()));
+    for (const auto& e : g.edges()) {
+      w->I32(e.src);
+      w->I32(e.dst);
+    }
+    w->I32(g.vulnerable() ? 1 : 0);
+    w->U32(static_cast<uint32_t>(g.threat_types().size()));
+    for (auto t : g.threat_types()) w->I32(static_cast<int32_t>(t));
+    w->U32(static_cast<uint32_t>(g.culprit_nodes().size()));
+    for (int c : g.culprit_nodes()) w->I32(c);
+  }
+}
+
+}  // namespace
+
+Status DatasetStore::Save(const GraphDataset& ds, const std::string& path) {
+  Writer w;
+  SerializeDataset(ds, &w);
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  const size_t written = std::fwrite(w.buffer().data(), 1, w.buffer().size(), f);
+  std::fclose(f);
+  if (written != w.buffer().size()) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Result<GraphDataset> DatasetStore::Load(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> buf(static_cast<size_t>(size));
+  const size_t got = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (got != buf.size()) return Status::IOError("short read: " + path);
+
+  Reader r(buf.data(), buf.size());
+  uint32_t magic, version, num_graphs;
+  if (!r.U32(&magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  if (!r.U32(&version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported version in " + path);
+  }
+  if (!r.U32(&num_graphs)) return Status::InvalidArgument("truncated header");
+
+  GraphDataset ds;
+  ds.graphs.reserve(num_graphs);
+  for (uint32_t gi = 0; gi < num_graphs; ++gi) {
+    uint32_t num_nodes;
+    if (!r.U32(&num_nodes)) return Status::InvalidArgument("truncated graph");
+    InteractionGraph g;
+    for (uint32_t ni = 0; ni < num_nodes; ++ni) {
+      Node node;
+      if (!ReadRule(&r, &node.rule)) {
+        return Status::InvalidArgument("truncated rule");
+      }
+      uint32_t feat_len;
+      if (!r.I32(&node.type) || !r.U32(&feat_len)) {
+        return Status::InvalidArgument("truncated node");
+      }
+      node.features.resize(feat_len);
+      for (auto& f : node.features) {
+        if (!r.F32(&f)) return Status::InvalidArgument("truncated features");
+      }
+      g.AddNode(std::move(node));
+    }
+    uint32_t num_edges;
+    if (!r.U32(&num_edges)) return Status::InvalidArgument("truncated edges");
+    for (uint32_t ei = 0; ei < num_edges; ++ei) {
+      int32_t src, dst;
+      if (!r.I32(&src) || !r.I32(&dst)) {
+        return Status::InvalidArgument("truncated edge");
+      }
+      g.AddEdge(src, dst);
+    }
+    int32_t vul;
+    uint32_t nt, nculprit;
+    if (!r.I32(&vul) || !r.U32(&nt)) {
+      return Status::InvalidArgument("truncated label");
+    }
+    g.set_vulnerable(vul != 0);
+    std::vector<ThreatType> types(nt);
+    for (auto& t : types) {
+      int32_t v;
+      if (!r.I32(&v)) return Status::InvalidArgument("truncated types");
+      t = static_cast<ThreatType>(v);
+    }
+    g.set_threat_types(std::move(types));
+    if (!r.U32(&nculprit)) return Status::InvalidArgument("truncated culprits");
+    std::vector<int> culprits(nculprit);
+    for (auto& c : culprits) {
+      if (!r.I32(&c)) return Status::InvalidArgument("truncated culprit");
+    }
+    g.set_culprit_nodes(std::move(culprits));
+    ds.graphs.push_back(std::move(g));
+  }
+  return ds;
+}
+
+size_t DatasetStore::SerializedBytes(const GraphDataset& ds) {
+  Writer w;
+  SerializeDataset(ds, &w);
+  return w.buffer().size();
+}
+
+}  // namespace glint::graph

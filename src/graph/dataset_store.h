@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "graph/interaction_graph.h"
+#include "util/status.h"
+
+namespace glint::graph {
+
+/// Binary persistence of interaction-graph datasets — the DGL-file
+/// substitute (Sec. 4.2 stores labeled datasets as graph files). Format:
+/// magic + version header, then length-prefixed graphs with full rule IR,
+/// node features, edges and labels. Endian-fragile by design (local
+/// artifact, not an interchange format).
+class DatasetStore {
+ public:
+  /// Writes `ds` to `path`, overwriting.
+  static Status Save(const GraphDataset& ds, const std::string& path);
+
+  /// Reads a dataset previously written by Save.
+  static Result<GraphDataset> Load(const std::string& path);
+
+  /// In-memory serialized size in bytes (for Table 3-style size reporting).
+  static size_t SerializedBytes(const GraphDataset& ds);
+};
+
+}  // namespace glint::graph

@@ -1,0 +1,518 @@
+#include "graph/threat_analyzer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace glint::graph {
+namespace {
+
+using rules::ActionSpec;
+using rules::Channel;
+using rules::Command;
+using rules::Comparator;
+using rules::DeviceType;
+using rules::Rule;
+
+// ---- Co-fireability helpers ------------------------------------------------
+
+// Time window during which the rule can run: intersection of the trigger's
+// time and any time conditions. Returns false if the rule is unconstrained.
+bool TimeWindow(const Rule& r, int* lo, int* hi) {
+  bool has = false;
+  int wlo = 0, whi = 24;
+  if (r.trigger.has_time) {
+    wlo = r.trigger.hour_lo;
+    whi = r.trigger.hour_hi;
+    has = true;
+  }
+  for (const auto& c : r.conditions) {
+    if (c.has_time) {
+      wlo = std::max(wlo, c.hour_lo);
+      whi = std::min(whi, c.hour_hi);
+      has = true;
+    }
+  }
+  *lo = wlo;
+  *hi = whi;
+  return has;
+}
+
+// Numeric value range in which the trigger fires (for threshold triggers).
+bool TriggerRange(const rules::TriggerSpec& t, double* lo, double* hi) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  switch (t.cmp) {
+    case Comparator::kAbove: *lo = t.lo; *hi = kInf; return true;
+    case Comparator::kBelow: *lo = -kInf; *hi = t.lo; return true;
+    case Comparator::kBetween: *lo = t.lo; *hi = t.hi; return true;
+    default: return false;
+  }
+}
+
+// Conservative test: can the two rules execute close together in time?
+// False only when we can *prove* disjointness (disjoint time windows, or
+// disjoint numeric ranges on the same channel in the same room).
+bool CoFireable(const Rule& a, const Rule& b) {
+  int alo, ahi, blo, bhi;
+  const bool at = TimeWindow(a, &alo, &ahi);
+  const bool bt = TimeWindow(b, &blo, &bhi);
+  if (at && bt && (ahi < blo || bhi < alo)) return false;
+
+  // Mutually exclusive state triggers: "presence == away" can never
+  // co-fire with "presence == present" on the same channel/scope.
+  if (a.trigger.cmp == Comparator::kEquals &&
+      b.trigger.cmp == Comparator::kEquals && !a.trigger.state.empty() &&
+      !b.trigger.state.empty() &&
+      a.trigger.channel == b.trigger.channel &&
+      a.trigger.device == b.trigger.device &&
+      rules::SameScope(a.location, b.location, a.trigger.channel) &&
+      a.trigger.state != b.trigger.state) {
+    return false;
+  }
+
+  double ralo, rahi, rblo, rbhi;
+  if (a.trigger.channel == b.trigger.channel &&
+      rules::SameScope(a.location, b.location, a.trigger.channel) &&
+      TriggerRange(a.trigger, &ralo, &rahi) &&
+      TriggerRange(b.trigger, &rblo, &rbhi)) {
+    if (rahi < rblo || rbhi < ralo) return false;
+  }
+  return true;
+}
+
+// The two actions drive the same physical device instance: same device
+// class and either a house-wide channel (a lock is THE lock), the same
+// explicit room, or both rules room-less ("the light" with no room named
+// reads as the same light).
+bool SameDeviceInstance(const Rule& ra, const ActionSpec& a, const Rule& rb,
+                        const ActionSpec& b) {
+  if (a.device != b.device) return false;
+  if (rules::IsHouseWideChannel(rules::StateChannelOf(a.device))) return true;
+  return ra.location == rb.location;
+}
+
+// Commands that *assert* a goal (turn something on / open / start) as
+// opposed to releasing one; goal conflicts are between two asserted goals.
+bool IsAssertive(Command c) {
+  return c == Command::kOn || c == Command::kOpen || c == Command::kPlay ||
+         c == Command::kSetLevel || c == Command::kStartClean ||
+         c == Command::kBrighten;
+}
+
+// For deduplicating pairwise findings.
+void AddPairFinding(std::vector<ThreatFinding>* out, ThreatType type, int i,
+                    int j) {
+  for (const auto& f : *out) {
+    if (f.type == type && f.nodes.size() == 2 &&
+        ((f.nodes[0] == i && f.nodes[1] == j) ||
+         (f.nodes[0] == j && f.nodes[1] == i))) {
+      return;
+    }
+  }
+  out->push_back({type, {i, j}});
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Classic detectors
+// ---------------------------------------------------------------------------
+
+std::vector<ThreatFinding> ThreatAnalyzer::DetectActionConflict(
+    const InteractionGraph& g) {
+  std::vector<ThreatFinding> out;
+  const auto& nodes = g.nodes();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    for (int j = i + 1; j < g.num_nodes(); ++j) {
+      const Rule& ri = nodes[static_cast<size_t>(i)].rule;
+      const Rule& rj = nodes[static_cast<size_t>(j)].rule;
+      // Chained opposition is action revert / loop, not conflict.
+      if (rules::RuleTriggersRule(ri, rj) || rules::RuleTriggersRule(rj, ri)) {
+        continue;
+      }
+      if (!CoFireable(ri, rj)) continue;
+      for (const auto& ai : ri.actions) {
+        for (const auto& aj : rj.actions) {
+          if (SameDeviceInstance(ri, ai, rj, aj) &&
+              rules::CommandsOppose(ai.command, aj.command)) {
+            AddPairFinding(&out, ThreatType::kActionConflict, i, j);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ThreatFinding> ThreatAnalyzer::DetectActionRevert(
+    const InteractionGraph& g) {
+  std::vector<ThreatFinding> out;
+  const auto& nodes = g.nodes();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    for (int j = 0; j < g.num_nodes(); ++j) {
+      if (i == j) continue;
+      const Rule& ri = nodes[static_cast<size_t>(i)].rule;
+      const Rule& rj = nodes[static_cast<size_t>(j)].rule;
+      if (!rules::RuleTriggersRule(ri, rj)) continue;
+      for (const auto& ai : ri.actions) {
+        for (const auto& aj : rj.actions) {
+          if (SameDeviceInstance(ri, ai, rj, aj) &&
+              rules::CommandsOppose(ai.command, aj.command)) {
+            AddPairFinding(&out, ThreatType::kActionRevert, i, j);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ThreatFinding> ThreatAnalyzer::DetectActionLoop(
+    const InteractionGraph& g) {
+  std::vector<ThreatFinding> out;
+  const int n = g.num_nodes();
+  // Semantic trigger adjacency (independent of stored, possibly learned,
+  // edges).
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      // Loops count only instantaneous links; slow env oscillations are
+      // action reverts, not loops.
+      if (i != j &&
+          rules::RuleTriggersRuleInstant(
+              g.nodes()[static_cast<size_t>(i)].rule,
+              g.nodes()[static_cast<size_t>(j)].rule)) {
+        adj[static_cast<size_t>(i)].push_back(j);
+      }
+    }
+  }
+  // Iterative DFS cycle detection; report each cycle once via its smallest
+  // node.
+  std::vector<int> color(static_cast<size_t>(n), 0);  // 0=white,1=gray,2=black
+  std::vector<int> parent(static_cast<size_t>(n), -1);
+  for (int start = 0; start < n; ++start) {
+    if (color[static_cast<size_t>(start)] != 0) continue;
+    struct Frame { int v; size_t next; };
+    std::vector<Frame> stack{{start, 0}};
+    color[static_cast<size_t>(start)] = 1;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next < adj[static_cast<size_t>(f.v)].size()) {
+        const int u = adj[static_cast<size_t>(f.v)][f.next++];
+        if (color[static_cast<size_t>(u)] == 0) {
+          color[static_cast<size_t>(u)] = 1;
+          parent[static_cast<size_t>(u)] = f.v;
+          stack.push_back({u, 0});
+        } else if (color[static_cast<size_t>(u)] == 1) {
+          // Back edge: reconstruct the cycle u -> ... -> f.v -> u.
+          std::vector<int> cycle{u};
+          int cur = f.v;
+          while (cur != u && cur != -1) {
+            cycle.push_back(cur);
+            cur = parent[static_cast<size_t>(cur)];
+          }
+          std::sort(cycle.begin(), cycle.end());
+          bool dup = false;
+          for (const auto& prev : out) {
+            if (prev.nodes == cycle) dup = true;
+          }
+          if (!dup) out.push_back({ThreatType::kActionLoop, cycle});
+        }
+      } else {
+        color[static_cast<size_t>(f.v)] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ThreatFinding> ThreatAnalyzer::DetectConditionBypass(
+    const InteractionGraph& g) {
+  std::vector<ThreatFinding> out;
+  const auto& nodes = g.nodes();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    for (int j = 0; j < g.num_nodes(); ++j) {
+      if (i == j) continue;
+      const Rule& fine = nodes[static_cast<size_t>(i)].rule;    // strict rule
+      const Rule& coarse = nodes[static_cast<size_t>(j)].rule;  // lax rule
+      // Same action goal.
+      bool same_action = false;
+      for (const auto& ai : fine.actions) {
+        for (const auto& aj : coarse.actions) {
+          if (SameDeviceInstance(fine, ai, coarse, aj) &&
+              ai.command == aj.command) {
+            same_action = true;
+          }
+        }
+      }
+      if (!same_action) continue;
+      // Same trigger channel & direction; the fine rule must be strictly
+      // more constrained (extra conditions or a time gate the coarse rule
+      // lacks).
+      if (fine.trigger.channel != coarse.trigger.channel) continue;
+      if (fine.trigger.cmp != coarse.trigger.cmp) continue;
+      int flo, fhi, clo, chi;
+      const bool fine_timed = TimeWindow(fine, &flo, &fhi);
+      const bool coarse_timed = TimeWindow(coarse, &clo, &chi);
+      const bool stricter =
+          (fine.conditions.size() > coarse.conditions.size()) ||
+          (fine_timed && !coarse_timed);
+      if (stricter) {
+        AddPairFinding(&out, ThreatType::kConditionBypass, i, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ThreatFinding> ThreatAnalyzer::DetectConditionBlock(
+    const InteractionGraph& g) {
+  std::vector<ThreatFinding> out;
+  const auto& nodes = g.nodes();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const Rule& guarded = nodes[static_cast<size_t>(i)].rule;
+    for (const auto& cond : guarded.conditions) {
+      if (cond.state.empty()) continue;
+      for (int j = 0; j < g.num_nodes(); ++j) {
+        if (i == j) continue;
+        const Rule& blocker = nodes[static_cast<size_t>(j)].rule;
+        for (const auto& a : blocker.actions) {
+          const bool same_target =
+              a.device == cond.device ||
+              rules::StateChannelOf(a.device) == cond.channel;
+          if (same_target &&
+              rules::SameScope(blocker.location, guarded.location,
+                               cond.channel) &&
+              rules::CommandNegatesState(a.command, cond.state)) {
+            AddPairFinding(&out, ThreatType::kConditionBlock, i, j);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ThreatFinding> ThreatAnalyzer::DetectGoalConflict(
+    const InteractionGraph& g) {
+  std::vector<ThreatFinding> out;
+  const auto& nodes = g.nodes();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    for (int j = i + 1; j < g.num_nodes(); ++j) {
+      const Rule& ri = nodes[static_cast<size_t>(i)].rule;
+      const Rule& rj = nodes[static_cast<size_t>(j)].rule;
+      if (!CoFireable(ri, rj)) continue;
+      for (const auto& ai : ri.actions) {
+        for (const auto& aj : rj.actions) {
+          if (ai.device == aj.device) continue;  // same device => conflict
+          // A goal conflict is two *asserted* goals pulling a slow
+          // environmental channel in opposite directions (heater on vs
+          // window open), not transient side effects.
+          if (!IsAssertive(ai.command) || !IsAssertive(aj.command)) continue;
+          for (const auto& ei : rules::EffectsOf(ai.device, ai.command)) {
+            for (const auto& ej : rules::EffectsOf(aj.device, aj.command)) {
+              if (ei.channel == ej.channel && ei.slow && ej.slow &&
+                  ei.direction * ej.direction < 0 &&
+                  rules::SameScope(ri.location, rj.location, ei.channel)) {
+                AddPairFinding(&out, ThreatType::kGoalConflict, i, j);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// New-type detectors (Sec. 4.7)
+// ---------------------------------------------------------------------------
+
+std::vector<ThreatFinding> ThreatAnalyzer::DetectActionBlock(
+    const InteractionGraph& g) {
+  std::vector<ThreatFinding> out;
+  const auto& nodes = g.nodes();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const Rule& pin = nodes[static_cast<size_t>(i)].rule;
+    if (!pin.manual_mode_pin || pin.actions.empty()) continue;
+    const DeviceType pinned = pin.actions[0].device;
+    for (int j = 0; j < g.num_nodes(); ++j) {
+      if (i == j) continue;
+      const Rule& victim = nodes[static_cast<size_t>(j)].rule;
+      for (const auto& a : victim.actions) {
+        if (a.device == pinned && a.command != pin.actions[0].command &&
+            rules::SameScope(pin.location, victim.location,
+                             rules::StateChannelOf(pinned))) {
+          AddPairFinding(&out, ThreatType::kActionBlock, i, j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ThreatFinding> ThreatAnalyzer::DetectActionAblation(
+    const InteractionGraph& g) {
+  std::vector<ThreatFinding> out;
+  const auto& nodes = g.nodes();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    for (int j = 0; j < g.num_nodes(); ++j) {
+      if (i == j) continue;
+      const Rule& ri = nodes[static_cast<size_t>(i)].rule;
+      const Rule& rj = nodes[static_cast<size_t>(j)].rule;
+      // ri's action perturbs a *slow* channel that eventually fires rj,
+      // whose action undoes ri's — a revert manifesting over a long
+      // horizon.
+      bool slow_link = false;
+      for (const auto& ai : ri.actions) {
+        for (const auto& e : rules::EffectsOf(ai.device, ai.command)) {
+          if (!e.slow || e.channel != rj.trigger.channel) continue;
+          if (!rules::SameScope(ri.location, rj.location, e.channel)) continue;
+          if ((rj.trigger.cmp == Comparator::kBelow && e.direction < 0) ||
+              (rj.trigger.cmp == Comparator::kAbove && e.direction > 0)) {
+            slow_link = true;
+          }
+        }
+      }
+      if (!slow_link) continue;
+      for (const auto& ai : ri.actions) {
+        for (const auto& aj : rj.actions) {
+          if (SameDeviceInstance(ri, ai, rj, aj) &&
+              rules::CommandsOppose(ai.command, aj.command)) {
+            AddPairFinding(&out, ThreatType::kActionAblation, i, j);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ThreatFinding> ThreatAnalyzer::DetectTriggerIntake(
+    const InteractionGraph& g) {
+  std::vector<ThreatFinding> out;
+  const auto& nodes = g.nodes();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const Rule& src = nodes[static_cast<size_t>(i)].rule;
+    // A non-sensor device whose side effect is motion/sound (vacuum, pet
+    // feeder...) spuriously firing someone else's sensor trigger.
+    bool emits_motion = false;
+    for (const auto& a : src.actions) {
+      if (a.device == DeviceType::kVacuum) {
+        for (const auto& e : rules::EffectsOf(a.device, a.command)) {
+          if (e.channel == Channel::kMotion && e.direction > 0) {
+            emits_motion = true;
+          }
+        }
+      }
+    }
+    if (!emits_motion) continue;
+    for (int j = 0; j < g.num_nodes(); ++j) {
+      if (i == j) continue;
+      const Rule& victim = nodes[static_cast<size_t>(j)].rule;
+      if (victim.trigger.device != DeviceType::kMotionSensor) continue;
+      if (!rules::SameScope(src.location, victim.location, Channel::kMotion)) {
+        continue;
+      }
+      // The annoyance is user-facing (notification / snapshot spam).
+      for (const auto& a : victim.actions) {
+        if (a.command == Command::kNotify || a.command == Command::kSnapshot) {
+          AddPairFinding(&out, ThreatType::kTriggerIntake, i, j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ThreatFinding> ThreatAnalyzer::DetectConditionDuplicate(
+    const InteractionGraph& g) {
+  std::vector<ThreatFinding> out;
+  const auto& nodes = g.nodes();
+  // Chain: media-playing action (j) -> occupancy reporter triggered by
+  // sound (i) -> occupancy-conditioned automation (k).
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const Rule& reporter = nodes[static_cast<size_t>(i)].rule;
+    if (reporter.trigger.channel != Channel::kSound ||
+        reporter.trigger.state != "playing") {
+      continue;
+    }
+    for (int j = 0; j < g.num_nodes(); ++j) {
+      if (j == i) continue;
+      const Rule& media = nodes[static_cast<size_t>(j)].rule;
+      bool plays = false;
+      for (const auto& a : media.actions) {
+        if (a.command == Command::kPlay) plays = true;
+      }
+      if (!plays) continue;
+      for (int k = 0; k < g.num_nodes(); ++k) {
+        if (k == i || k == j) continue;
+        const Rule& consumer = nodes[static_cast<size_t>(k)].rule;
+        bool occupancy_gated =
+            consumer.trigger.channel == Channel::kOccupancy;
+        for (const auto& c : consumer.conditions) {
+          if (c.channel == Channel::kOccupancy) occupancy_gated = true;
+        }
+        if (occupancy_gated) {
+          out.push_back({ThreatType::kConditionDuplicate, {j, i, k}});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+std::vector<ThreatFinding> ThreatAnalyzer::DetectClassic(
+    const InteractionGraph& g) {
+  std::vector<ThreatFinding> out;
+  auto append = [&](std::vector<ThreatFinding> v) {
+    out.insert(out.end(), v.begin(), v.end());
+  };
+  append(DetectConditionBypass(g));
+  append(DetectConditionBlock(g));
+  append(DetectActionRevert(g));
+  append(DetectActionConflict(g));
+  append(DetectActionLoop(g));
+  append(DetectGoalConflict(g));
+  return out;
+}
+
+std::vector<ThreatFinding> ThreatAnalyzer::DetectNewTypes(
+    const InteractionGraph& g) {
+  std::vector<ThreatFinding> out;
+  auto append = [&](std::vector<ThreatFinding> v) {
+    out.insert(out.end(), v.begin(), v.end());
+  };
+  append(DetectActionBlock(g));
+  append(DetectActionAblation(g));
+  append(DetectTriggerIntake(g));
+  append(DetectConditionDuplicate(g));
+  return out;
+}
+
+void ThreatAnalyzer::Label(InteractionGraph* g) {
+  auto findings = DetectClassic(*g);
+  g->set_vulnerable(!findings.empty());
+  std::vector<ThreatType> types;
+  std::vector<int> culprits;
+  for (const auto& f : findings) {
+    if (std::find(types.begin(), types.end(), f.type) == types.end()) {
+      types.push_back(f.type);
+    }
+    for (int n : f.nodes) {
+      if (std::find(culprits.begin(), culprits.end(), n) == culprits.end()) {
+        culprits.push_back(n);
+      }
+    }
+  }
+  std::sort(culprits.begin(), culprits.end());
+  g->set_threat_types(std::move(types));
+  g->set_culprit_nodes(std::move(culprits));
+}
+
+}  // namespace glint::graph

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/interaction_graph.h"
+
+namespace glint::graph {
+
+/// One detected threat instance: its type and the culprit node indices.
+struct ThreatFinding {
+  ThreatType type = ThreatType::kNone;
+  std::vector<int> nodes;
+};
+
+/// Executable encoding of the paper's labeling criteria (Sec. 4.2): the six
+/// classic interactive-threat types used by the volunteer labelers, plus
+/// detectors for the four *new* types of Sec. 4.7 (used to validate what
+/// drifting-sample analysis surfaces; they are NOT part of dataset labels,
+/// mirroring the paper where they were unknown at labeling time).
+class ThreatAnalyzer {
+ public:
+  /// Runs the six classic detectors and returns all findings.
+  static std::vector<ThreatFinding> DetectClassic(const InteractionGraph& g);
+
+  /// Runs the four new-type detectors.
+  static std::vector<ThreatFinding> DetectNewTypes(const InteractionGraph& g);
+
+  /// Labels the graph in place: vulnerable = any classic finding; also
+  /// records the threat types and culprit nodes.
+  static void Label(InteractionGraph* g);
+
+  // Individual classic detectors (exposed for unit tests).
+  static std::vector<ThreatFinding> DetectConditionBypass(
+      const InteractionGraph& g);
+  static std::vector<ThreatFinding> DetectConditionBlock(
+      const InteractionGraph& g);
+  static std::vector<ThreatFinding> DetectActionRevert(
+      const InteractionGraph& g);
+  static std::vector<ThreatFinding> DetectActionConflict(
+      const InteractionGraph& g);
+  static std::vector<ThreatFinding> DetectActionLoop(
+      const InteractionGraph& g);
+  static std::vector<ThreatFinding> DetectGoalConflict(
+      const InteractionGraph& g);
+
+  // New-type detectors.
+  static std::vector<ThreatFinding> DetectActionBlock(
+      const InteractionGraph& g);
+  static std::vector<ThreatFinding> DetectActionAblation(
+      const InteractionGraph& g);
+  static std::vector<ThreatFinding> DetectTriggerIntake(
+      const InteractionGraph& g);
+  static std::vector<ThreatFinding> DetectConditionDuplicate(
+      const InteractionGraph& g);
+};
+
+}  // namespace glint::graph

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace glint::ml {
+
+/// Common interface for the classic classifiers compared in Fig. 6.
+/// Implementations must be deterministic given their constructor seed.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the dataset. `class_weights` (one per class, may be empty for
+  /// uniform) scale each sample's contribution to the loss.
+  virtual void Fit(const Dataset& data,
+                   const std::vector<double>& class_weights) = 0;
+
+  /// Predicts the class of a single sample.
+  virtual int Predict(const FloatVec& x) const = 0;
+
+  /// Probability of class 1 (binary classifiers; default derives from
+  /// Predict).
+  virtual double PredictProba(const FloatVec& x) const {
+    return Predict(x) == 1 ? 1.0 : 0.0;
+  }
+
+  /// Short display name ("SVC", "MLP", ...).
+  virtual std::string Name() const = 0;
+
+  /// Convenience batch prediction.
+  std::vector<int> PredictBatch(const std::vector<FloatVec>& xs) const {
+    std::vector<int> out;
+    out.reserve(xs.size());
+    for (const auto& x : xs) out.push_back(Predict(x));
+    return out;
+  }
+};
+
+}  // namespace glint::ml

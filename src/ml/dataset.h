@@ -1,0 +1,94 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/vecmath.h"
+
+namespace glint::ml {
+
+/// A labeled feature-vector dataset for the classic ML substrate.
+struct Dataset {
+  std::vector<FloatVec> x;
+  std::vector<int> y;
+
+  size_t size() const { return x.size(); }
+  size_t dim() const { return x.empty() ? 0 : x[0].size(); }
+
+  void Add(FloatVec features, int label) {
+    x.push_back(std::move(features));
+    y.push_back(label);
+  }
+
+  /// Subset by indices.
+  Dataset Select(const std::vector<size_t>& idx) const {
+    Dataset out;
+    out.x.reserve(idx.size());
+    out.y.reserve(idx.size());
+    for (size_t i : idx) {
+      out.x.push_back(x[i]);
+      out.y.push_back(y[i]);
+    }
+    return out;
+  }
+
+  /// Number of distinct classes (assumes labels are 0..k-1).
+  int NumClasses() const {
+    int k = 0;
+    for (int label : y) k = std::max(k, label + 1);
+    return k;
+  }
+};
+
+/// Random train/test split with the given train fraction.
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+inline Split TrainTestSplit(const Dataset& d, double train_frac, Rng* rng) {
+  std::vector<size_t> idx(d.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng->Shuffle(&idx);
+  size_t n_train = static_cast<size_t>(train_frac * static_cast<double>(idx.size()));
+  Split s;
+  s.train = d.Select({idx.begin(), idx.begin() + static_cast<long>(n_train)});
+  s.test = d.Select({idx.begin() + static_cast<long>(n_train), idx.end()});
+  return s;
+}
+
+/// Class weights inversely proportional to class frequencies
+/// (scikit-learn's "balanced" mode): w_c = n / (k * n_c).
+inline std::vector<double> BalancedClassWeights(const std::vector<int>& y,
+                                                int num_classes) {
+  std::vector<double> counts(static_cast<size_t>(num_classes), 0.0);
+  for (int label : y) counts[static_cast<size_t>(label)] += 1.0;
+  std::vector<double> w(static_cast<size_t>(num_classes), 1.0);
+  const double n = static_cast<double>(y.size());
+  for (int c = 0; c < num_classes; ++c) {
+    if (counts[static_cast<size_t>(c)] > 0) {
+      w[static_cast<size_t>(c)] = n / (num_classes * counts[static_cast<size_t>(c)]);
+    }
+  }
+  return w;
+}
+
+/// Random oversampling of the minority class until its count reaches
+/// `target_ratio` times the majority count (paper: doubled minority).
+inline Dataset Oversample(const Dataset& d, int minority_class, double factor,
+                          Rng* rng) {
+  Dataset out = d;
+  std::vector<size_t> minority_idx;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (d.y[i] == minority_class) minority_idx.push_back(i);
+  }
+  if (minority_idx.empty()) return out;
+  size_t extra = static_cast<size_t>(
+      (factor - 1.0) * static_cast<double>(minority_idx.size()));
+  for (size_t k = 0; k < extra; ++k) {
+    size_t i = minority_idx[rng->Below(minority_idx.size())];
+    out.Add(d.x[i], d.y[i]);
+  }
+  return out;
+}
+
+}  // namespace glint::ml

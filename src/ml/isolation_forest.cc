@@ -1,0 +1,129 @@
+#include "ml/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace glint::ml {
+namespace {
+
+// Average unsuccessful-search path length in a BST of n nodes (c(n) in the
+// isolation-forest paper).
+double AvgPath(double n) {
+  if (n <= 1) return 0;
+  const double h = std::log(n - 1) + 0.5772156649015329;
+  return 2 * h - 2 * (n - 1) / n;
+}
+
+}  // namespace
+
+int IsolationForest::BuildTree(Tree* tree,
+                               std::vector<const FloatVec*> points, int depth,
+                               int max_depth, Rng* rng) {
+  Node node;
+  node.size = static_cast<int>(points.size());
+  if (depth >= max_depth || points.size() <= 1) {
+    tree->nodes.push_back(node);
+    return static_cast<int>(tree->nodes.size() - 1);
+  }
+  const size_t dim = points[0]->size();
+  // Pick a random feature with spread.
+  int feature = -1;
+  float lo = 0, hi = 0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const size_t f = rng->Below(dim);
+    float mn = (*points[0])[f], mx = mn;
+    for (const auto* p : points) {
+      mn = std::min(mn, (*p)[f]);
+      mx = std::max(mx, (*p)[f]);
+    }
+    if (mx > mn) {
+      feature = static_cast<int>(f);
+      lo = mn;
+      hi = mx;
+      break;
+    }
+  }
+  if (feature < 0) {
+    tree->nodes.push_back(node);
+    return static_cast<int>(tree->nodes.size() - 1);
+  }
+  node.feature = feature;
+  node.threshold = static_cast<float>(rng->Uniform(lo, hi));
+
+  std::vector<const FloatVec*> left, right;
+  for (const auto* p : points) {
+    ((*p)[static_cast<size_t>(feature)] < node.threshold ? left : right)
+        .push_back(p);
+  }
+  if (left.empty() || right.empty()) {
+    node.feature = -1;
+    tree->nodes.push_back(node);
+    return static_cast<int>(tree->nodes.size() - 1);
+  }
+  tree->nodes.push_back(node);
+  const int self = static_cast<int>(tree->nodes.size() - 1);
+  const int l = BuildTree(tree, std::move(left), depth + 1, max_depth, rng);
+  const int r = BuildTree(tree, std::move(right), depth + 1, max_depth, rng);
+  tree->nodes[static_cast<size_t>(self)].left = l;
+  tree->nodes[static_cast<size_t>(self)].right = r;
+  return self;
+}
+
+void IsolationForest::Fit(const std::vector<FloatVec>& xs) {
+  GLINT_CHECK(!xs.empty());
+  trees_.clear();
+  Rng rng(params_.seed);
+  const size_t sub =
+      std::min<size_t>(static_cast<size_t>(params_.subsample), xs.size());
+  const int max_depth =
+      static_cast<int>(std::ceil(std::log2(std::max<size_t>(2, sub))));
+  avg_path_norm_ = AvgPath(static_cast<double>(sub));
+
+  for (int t = 0; t < params_.num_trees; ++t) {
+    std::vector<const FloatVec*> sample;
+    sample.reserve(sub);
+    for (size_t i = 0; i < sub; ++i) sample.push_back(&xs[rng.Below(xs.size())]);
+    Tree tree;
+    BuildTree(&tree, std::move(sample), 0, max_depth, &rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double IsolationForest::PathLength(const Tree& tree, const FloatVec& x) const {
+  size_t cur = 0;
+  double depth = 0;
+  while (tree.nodes[cur].feature >= 0) {
+    const Node& n = tree.nodes[cur];
+    cur = static_cast<size_t>(
+        x[static_cast<size_t>(n.feature)] < n.threshold ? n.left : n.right);
+    depth += 1;
+  }
+  return depth + AvgPath(static_cast<double>(tree.nodes[cur].size));
+}
+
+double IsolationForest::Score(const FloatVec& x) const {
+  GLINT_CHECK(!trees_.empty());
+  double sum = 0;
+  for (const auto& tree : trees_) sum += PathLength(tree, x);
+  const double avg = sum / static_cast<double>(trees_.size());
+  return std::pow(2.0, -avg / std::max(1e-9, avg_path_norm_));
+}
+
+int IsolationForest::Predict(const FloatVec& x) const {
+  return Score(x) >= params_.threshold ? -1 : +1;
+}
+
+void IsolationForest::FitThreshold(const std::vector<FloatVec>& xs,
+                                   double contamination) {
+  std::vector<double> scores;
+  scores.reserve(xs.size());
+  for (const auto& x : xs) scores.push_back(Score(x));
+  std::sort(scores.begin(), scores.end());
+  const size_t cut = static_cast<size_t>(
+      (1.0 - contamination) * static_cast<double>(scores.size()));
+  params_.threshold = scores[std::min(cut, scores.size() - 1)];
+}
+
+}  // namespace glint::ml

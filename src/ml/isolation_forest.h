@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/vecmath.h"
+
+namespace glint::ml {
+
+/// Isolation forest anomaly detector (Liu et al. 2008) — a Fig. 11
+/// baseline. Shorter average isolation path = more anomalous.
+class IsolationForest {
+ public:
+  struct Params {
+    int num_trees = 100;
+    int subsample = 256;
+    /// Score threshold above which a point is an anomaly (paper default 0.5;
+    /// sklearn tunes by contamination — use FitThreshold for that).
+    double threshold = 0.55;
+    uint64_t seed = 37;
+  };
+
+  IsolationForest() : IsolationForest(Params()) {}
+  explicit IsolationForest(Params params) : params_(params) {}
+
+  /// Builds the forest on (mostly normal) data.
+  void Fit(const std::vector<FloatVec>& xs);
+
+  /// Anomaly score in (0, 1); higher = more anomalous.
+  double Score(const FloatVec& x) const;
+
+  /// -1 for anomalies, +1 for normal (sklearn convention).
+  int Predict(const FloatVec& x) const;
+
+  /// Calibrates the threshold so that `contamination` of the training data
+  /// is flagged anomalous.
+  void FitThreshold(const std::vector<FloatVec>& xs, double contamination);
+
+ private:
+  struct Node {
+    int feature = -1;
+    float threshold = 0;
+    int left = -1, right = -1;
+    int size = 0;  ///< leaf: number of samples that reached it
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  int BuildTree(Tree* tree, std::vector<const FloatVec*> points, int depth,
+                int max_depth, Rng* rng);
+  double PathLength(const Tree& tree, const FloatVec& x) const;
+
+  Params params_;
+  std::vector<Tree> trees_;
+  double avg_path_norm_ = 1;
+};
+
+}  // namespace glint::ml

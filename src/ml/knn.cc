@@ -1,0 +1,55 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace glint::ml {
+
+void Knn::Fit(const Dataset& data, const std::vector<double>& class_weights) {
+  GLINT_CHECK(data.size() > 0);
+  scaler_.Fit(data.x);
+  train_ = data;
+  scaler_.TransformInPlace(&train_.x);
+  class_weights_ = class_weights;
+  num_classes_ = std::max(2, data.NumClasses());
+}
+
+std::vector<double> Knn::Votes(const FloatVec& x) const {
+  FloatVec q = scaler_.Transform(x);
+  // Partial selection of the k nearest.
+  std::vector<std::pair<double, int>> dists;
+  dists.reserve(train_.size());
+  for (size_t i = 0; i < train_.size(); ++i) {
+    dists.emplace_back(EuclideanDistance(q, train_.x[i]), train_.y[i]);
+  }
+  const size_t k = std::min<size_t>(static_cast<size_t>(params_.k), dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<long>(k),
+                    dists.end());
+  std::vector<double> votes(static_cast<size_t>(num_classes_), 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    double w = params_.distance_weighted ? 1.0 / (dists[i].first + 1e-6) : 1.0;
+    if (!class_weights_.empty()) {
+      w *= class_weights_[static_cast<size_t>(dists[i].second)];
+    }
+    votes[static_cast<size_t>(dists[i].second)] += w;
+  }
+  return votes;
+}
+
+int Knn::Predict(const FloatVec& x) const {
+  auto votes = Votes(x);
+  int best = 0;
+  for (size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[static_cast<size_t>(best)]) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+double Knn::PredictProba(const FloatVec& x) const {
+  auto votes = Votes(x);
+  double total = 0;
+  for (double v : votes) total += v;
+  return total > 0 && votes.size() > 1 ? votes[1] / total : 0.0;
+}
+
+}  // namespace glint::ml

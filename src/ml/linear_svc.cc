@@ -1,0 +1,64 @@
+#include "ml/linear_svc.h"
+
+#include <cmath>
+
+namespace glint::ml {
+
+void LinearSvc::Fit(const Dataset& data,
+                    const std::vector<double>& class_weights) {
+  GLINT_CHECK(data.size() > 0);
+  scaler_.Fit(data.x);
+  std::vector<FloatVec> xs = data.x;
+  scaler_.TransformInPlace(&xs);
+
+  const size_t dim = xs[0].size();
+  w_.assign(dim, 0.f);
+  b_ = 0;
+  Rng rng(params_.seed);
+  const double lambda = 1.0 / (params_.c * static_cast<double>(xs.size()));
+
+  std::vector<size_t> order(xs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double t = 1;
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t i : order) {
+      const double eta = params_.lr / (1.0 + params_.lr * lambda * t);
+      t += 1;
+      const double y = data.y[i] == 1 ? 1.0 : -1.0;
+      const double cw =
+          class_weights.empty() ? 1.0
+                                : class_weights[static_cast<size_t>(data.y[i])];
+      double margin = b_;
+      for (size_t d = 0; d < dim; ++d) margin += double(w_[d]) * xs[i][d];
+      margin *= y;
+      // L2 shrinkage.
+      const float shrink = static_cast<float>(1.0 - eta * lambda);
+      for (auto& wd : w_) wd *= shrink;
+      if (margin < 1.0) {
+        const float step = static_cast<float>(eta * cw * y);
+        for (size_t d = 0; d < dim; ++d) w_[d] += step * xs[i][d];
+        b_ += eta * cw * y;
+      }
+    }
+  }
+}
+
+double LinearSvc::Decision(const FloatVec& x) const {
+  FloatVec xs = scaler_.Transform(x);
+  double v = b_;
+  for (size_t d = 0; d < xs.size(); ++d) v += double(w_[d]) * xs[d];
+  return v;
+}
+
+int LinearSvc::Predict(const FloatVec& x) const {
+  return Decision(x) >= 0 ? 1 : 0;
+}
+
+double LinearSvc::PredictProba(const FloatVec& x) const {
+  // Platt-style squashing of the margin.
+  return 1.0 / (1.0 + std::exp(-2.0 * Decision(x)));
+}
+
+}  // namespace glint::ml

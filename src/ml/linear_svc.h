@@ -1,0 +1,38 @@
+#pragma once
+
+#include "ml/classifier.h"
+#include "ml/scaler.h"
+
+namespace glint::ml {
+
+/// Linear C-support-vector classifier trained with subgradient descent on
+/// the L2-regularized hinge loss (Pegasos-style). Features are standardized
+/// internally. Binary labels {0, 1}.
+class LinearSvc : public Classifier {
+ public:
+  struct Params {
+    double c = 1.0;          ///< inverse regularization strength
+    int epochs = 60;
+    double lr = 0.05;
+    uint64_t seed = 7;
+  };
+
+  LinearSvc() : LinearSvc(Params()) {}
+  explicit LinearSvc(Params params) : params_(params) {}
+
+  void Fit(const Dataset& data, const std::vector<double>& class_weights) override;
+  int Predict(const FloatVec& x) const override;
+  double PredictProba(const FloatVec& x) const override;
+  std::string Name() const override { return "SVC"; }
+
+  /// Raw decision value w·x + b (after scaling).
+  double Decision(const FloatVec& x) const;
+
+ private:
+  Params params_;
+  StandardScaler scaler_;
+  FloatVec w_;
+  double b_ = 0;
+};
+
+}  // namespace glint::ml

@@ -1,0 +1,91 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace glint::ml {
+namespace {
+
+struct ClassCounts {
+  double tp = 0, fp = 0, fn = 0, support = 0;
+};
+
+std::vector<ClassCounts> CountPerClass(const std::vector<int>& y_true,
+                                       const std::vector<int>& y_pred,
+                                       int num_classes) {
+  GLINT_CHECK(y_true.size() == y_pred.size());
+  std::vector<ClassCounts> counts(static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    const int t = y_true[i];
+    const int p = y_pred[i];
+    counts[static_cast<size_t>(t)].support += 1;
+    if (t == p) {
+      counts[static_cast<size_t>(t)].tp += 1;
+    } else {
+      counts[static_cast<size_t>(p)].fp += 1;
+      counts[static_cast<size_t>(t)].fn += 1;
+    }
+  }
+  return counts;
+}
+
+double SafeDiv(double a, double b) { return b > 0 ? a / b : 0; }
+
+}  // namespace
+
+Metrics BinaryMetrics(const std::vector<int>& y_true,
+                      const std::vector<int>& y_pred) {
+  auto counts = CountPerClass(y_true, y_pred, 2);
+  const auto& c = counts[1];
+  Metrics m;
+  double correct = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) correct += 1;
+  }
+  m.accuracy = SafeDiv(correct, static_cast<double>(y_true.size()));
+  m.precision = SafeDiv(c.tp, c.tp + c.fp);
+  m.recall = SafeDiv(c.tp, c.tp + c.fn);
+  m.f1 = SafeDiv(2 * m.precision * m.recall, m.precision + m.recall);
+  return m;
+}
+
+Metrics WeightedMetrics(const std::vector<int>& y_true,
+                        const std::vector<int>& y_pred, int num_classes) {
+  auto counts = CountPerClass(y_true, y_pred, num_classes);
+  Metrics m;
+  double correct = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) correct += 1;
+  }
+  const double n = static_cast<double>(y_true.size());
+  m.accuracy = SafeDiv(correct, n);
+  for (const auto& c : counts) {
+    const double w = SafeDiv(c.support, n);
+    const double prec = SafeDiv(c.tp, c.tp + c.fp);
+    const double rec = SafeDiv(c.tp, c.tp + c.fn);
+    const double f1 = SafeDiv(2 * prec * rec, prec + rec);
+    m.precision += w * prec;
+    m.recall += w * rec;
+    m.f1 += w * f1;
+  }
+  return m;
+}
+
+Stats Summarize(const std::vector<double>& values) {
+  Stats s;
+  if (values.empty()) return s;
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  for (double v : values) s.mean += v;
+  s.mean /= static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0;
+    for (double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+}  // namespace glint::ml

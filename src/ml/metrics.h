@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+namespace glint::ml {
+
+/// Classification quality metrics (all in [0, 1]).
+struct Metrics {
+  double accuracy = 0;
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+
+/// Binary metrics with class 1 as the positive ("threat"/"true") class.
+Metrics BinaryMetrics(const std::vector<int>& y_true,
+                      const std::vector<int>& y_pred);
+
+/// Weighted-average metrics across classes, each class weighted by its
+/// support (scikit-learn `average="weighted"`); the paper uses weighted F1
+/// for the imbalanced graph datasets (Sec. 4.4).
+Metrics WeightedMetrics(const std::vector<int>& y_true,
+                        const std::vector<int>& y_pred, int num_classes = 2);
+
+/// Mean and sample standard deviation of a series.
+struct Stats {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+};
+Stats Summarize(const std::vector<double>& values);
+
+}  // namespace glint::ml

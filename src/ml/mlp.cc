@@ -1,0 +1,186 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+
+namespace glint::ml {
+namespace {
+
+void Softmax(std::vector<double>* logits) {
+  double mx = (*logits)[0];
+  for (double v : *logits) mx = std::max(mx, v);
+  double sum = 0;
+  for (double& v : *logits) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (double& v : *logits) v /= sum;
+}
+
+}  // namespace
+
+std::vector<double> Mlp::Forward(const FloatVec& x,
+                                 std::vector<FloatVec>* activations) const {
+  FloatVec cur = scaler_.Transform(x);
+  if (activations) activations->push_back(cur);
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    FloatVec next(layer.b.size());
+    for (size_t o = 0; o < next.size(); ++o) {
+      double s = layer.b[o];
+      const FloatVec& row = layer.w[o];
+      for (size_t i = 0; i < cur.size(); ++i) s += double(row[i]) * cur[i];
+      next[o] = static_cast<float>(s);
+    }
+    const bool last = (li + 1 == layers_.size());
+    if (!last) {
+      for (auto& v : next) v = v > 0 ? v : 0.f;  // ReLU
+    }
+    if (activations) activations->push_back(next);
+    cur = std::move(next);
+  }
+  std::vector<double> logits(cur.begin(), cur.end());
+  Softmax(&logits);
+  return logits;
+}
+
+void Mlp::Fit(const Dataset& data, const std::vector<double>& class_weights) {
+  GLINT_CHECK(data.size() > 0);
+  scaler_.Fit(data.x);
+  num_classes_ = std::max(2, data.NumClasses());
+
+  Rng rng(params_.seed);
+  // Build layers: input -> hidden... -> num_classes.
+  std::vector<size_t> dims;
+  dims.push_back(data.dim());
+  for (size_t h : params_.hidden) dims.push_back(h);
+  dims.push_back(static_cast<size_t>(num_classes_));
+  layers_.clear();
+  for (size_t li = 0; li + 1 < dims.size(); ++li) {
+    Layer layer;
+    const size_t in = dims[li];
+    const size_t out = dims[li + 1];
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));  // He init
+    layer.w.assign(out, FloatVec(in));
+    layer.mw.assign(out, FloatVec(in, 0.f));
+    layer.vw.assign(out, FloatVec(in, 0.f));
+    layer.b.assign(out, 0.f);
+    layer.mb.assign(out, 0.f);
+    layer.vb.assign(out, 0.f);
+    for (auto& row : layer.w) {
+      for (auto& v : row) v = static_cast<float>(rng.Gaussian(0, scale));
+    }
+    layers_.push_back(std::move(layer));
+  }
+
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  double step_count = 0;
+
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(params_.batch_size)) {
+      const size_t end =
+          std::min(order.size(), start + static_cast<size_t>(params_.batch_size));
+      // Accumulate gradients over the batch.
+      std::vector<std::vector<FloatVec>> gw(layers_.size());
+      std::vector<FloatVec> gb(layers_.size());
+      for (size_t li = 0; li < layers_.size(); ++li) {
+        gw[li].assign(layers_[li].w.size(),
+                      FloatVec(layers_[li].w[0].size(), 0.f));
+        gb[li].assign(layers_[li].b.size(), 0.f);
+      }
+
+      for (size_t bi = start; bi < end; ++bi) {
+        const size_t i = order[bi];
+        std::vector<FloatVec> acts;
+        std::vector<double> probs = Forward(data.x[i], &acts);
+        const int label = data.y[i];
+        const double cw =
+            class_weights.empty()
+                ? 1.0
+                : class_weights[static_cast<size_t>(label)];
+        // dL/dlogit = (p - onehot) * cw
+        FloatVec delta(probs.size());
+        for (size_t c = 0; c < probs.size(); ++c) {
+          delta[c] = static_cast<float>(
+              cw * (probs[c] - (static_cast<int>(c) == label ? 1.0 : 0.0)));
+        }
+        // Backprop through layers (acts[li] is input to layer li).
+        for (size_t li = layers_.size(); li-- > 0;) {
+          const FloatVec& input = acts[li];
+          for (size_t o = 0; o < delta.size(); ++o) {
+            gb[li][o] += delta[o];
+            FloatVec& grow = gw[li][o];
+            for (size_t d = 0; d < input.size(); ++d) {
+              grow[d] += delta[o] * input[d];
+            }
+          }
+          if (li == 0) break;
+          // Propagate delta to previous layer through W and ReLU.
+          FloatVec prev(input.size(), 0.f);
+          for (size_t o = 0; o < delta.size(); ++o) {
+            const FloatVec& row = layers_[li].w[o];
+            for (size_t d = 0; d < input.size(); ++d) {
+              prev[d] += delta[o] * row[d];
+            }
+          }
+          for (size_t d = 0; d < prev.size(); ++d) {
+            if (input[d] <= 0) prev[d] = 0;  // ReLU'
+          }
+          delta = std::move(prev);
+        }
+      }
+
+      // Adam update.
+      step_count += 1;
+      const double bc1 = 1.0 - std::pow(beta1, step_count);
+      const double bc2 = 1.0 - std::pow(beta2, step_count);
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (size_t li = 0; li < layers_.size(); ++li) {
+        Layer& layer = layers_[li];
+        for (size_t o = 0; o < layer.w.size(); ++o) {
+          for (size_t d = 0; d < layer.w[o].size(); ++d) {
+            const double g = gw[li][o][d] * inv_batch +
+                             params_.weight_decay * layer.w[o][d];
+            layer.mw[o][d] = static_cast<float>(beta1 * layer.mw[o][d] +
+                                                (1 - beta1) * g);
+            layer.vw[o][d] = static_cast<float>(beta2 * layer.vw[o][d] +
+                                                (1 - beta2) * g * g);
+            layer.w[o][d] -= static_cast<float>(
+                params_.lr * (layer.mw[o][d] / bc1) /
+                (std::sqrt(layer.vw[o][d] / bc2) + eps));
+          }
+          const double g = gb[li][o] * inv_batch;
+          layer.mb[o] = static_cast<float>(beta1 * layer.mb[o] + (1 - beta1) * g);
+          layer.vb[o] = static_cast<float>(beta2 * layer.vb[o] +
+                                           (1 - beta2) * g * g);
+          layer.b[o] -= static_cast<float>(params_.lr * (layer.mb[o] / bc1) /
+                                           (std::sqrt(layer.vb[o] / bc2) + eps));
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> Mlp::Probabilities(const FloatVec& x) const {
+  return Forward(x, nullptr);
+}
+
+int Mlp::Predict(const FloatVec& x) const {
+  auto probs = Probabilities(x);
+  int best = 0;
+  for (size_t c = 1; c < probs.size(); ++c) {
+    if (probs[c] > probs[static_cast<size_t>(best)]) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+double Mlp::PredictProba(const FloatVec& x) const {
+  auto probs = Probabilities(x);
+  return probs.size() > 1 ? probs[1] : 0.0;
+}
+
+}  // namespace glint::ml

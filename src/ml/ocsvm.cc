@@ -1,0 +1,87 @@
+#include "ml/ocsvm.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace glint::ml {
+
+FloatVec OneClassSvm::FeatureMap(const FloatVec& x) const {
+  FloatVec xs = scaler_.Transform(x);
+  if (params_.rff_dim <= 0) return xs;
+  FloatVec out(static_cast<size_t>(params_.rff_dim));
+  const double scale =
+      std::sqrt(2.0 / static_cast<double>(params_.rff_dim));
+  for (size_t d = 0; d < out.size(); ++d) {
+    const double proj = Dot(rff_w_[d], xs) + rff_b_[d];
+    out[d] = static_cast<float>(scale * std::cos(proj));
+  }
+  return out;
+}
+
+void OneClassSvm::Fit(const std::vector<FloatVec>& xs) {
+  GLINT_CHECK(!xs.empty());
+  scaler_.Fit(xs);
+  Rng rng(params_.seed);
+
+  if (params_.rff_dim > 0) {
+    const size_t dim = xs[0].size();
+    rff_w_.assign(static_cast<size_t>(params_.rff_dim), FloatVec(dim));
+    rff_b_.assign(static_cast<size_t>(params_.rff_dim), 0.f);
+    const double sigma = std::sqrt(2.0 * params_.gamma);
+    for (auto& row : rff_w_) {
+      for (auto& v : row) v = static_cast<float>(rng.Gaussian(0, sigma));
+    }
+    for (auto& b : rff_b_) {
+      b = static_cast<float>(rng.Uniform(0, 2 * 3.14159265358979));
+    }
+  }
+
+  std::vector<FloatVec> feats;
+  feats.reserve(xs.size());
+  for (const auto& x : xs) feats.push_back(FeatureMap(x));
+
+  const size_t fdim = feats[0].size();
+  w_.assign(fdim, 0.f);
+  rho_ = 0;
+  const double n = static_cast<double>(feats.size());
+  const double inv_nu_n = 1.0 / (params_.nu * n);
+
+  std::vector<size_t> order(feats.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double t = 1;
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t i : order) {
+      const double eta = params_.lr / std::sqrt(t);
+      t += 1;
+      double margin = -rho_;
+      for (size_t d = 0; d < fdim; ++d) margin += double(w_[d]) * feats[i][d];
+      // Gradient of ½|w|² term.
+      const float shrink = static_cast<float>(1.0 - eta);
+      for (auto& wd : w_) wd *= shrink;
+      if (margin < 0) {
+        // Hinge active: push w toward x, lower rho.
+        const float step = static_cast<float>(eta * inv_nu_n * n);
+        for (size_t d = 0; d < fdim; ++d) w_[d] += step * feats[i][d];
+        rho_ -= eta * (inv_nu_n * n - 1.0);
+      } else {
+        rho_ += eta;
+      }
+    }
+  }
+}
+
+double OneClassSvm::Decision(const FloatVec& x) const {
+  FloatVec f = FeatureMap(x);
+  double v = -rho_;
+  for (size_t d = 0; d < f.size(); ++d) v += double(w_[d]) * f[d];
+  return v;
+}
+
+int OneClassSvm::Predict(const FloatVec& x) const {
+  return Decision(x) >= 0 ? 1 : -1;
+}
+
+}  // namespace glint::ml

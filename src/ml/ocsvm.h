@@ -1,0 +1,48 @@
+#pragma once
+
+#include "ml/scaler.h"
+#include "util/rng.h"
+#include "util/vecmath.h"
+
+namespace glint::ml {
+
+/// Linear one-class SVM trained with SGD (Schölkopf et al. 2001 objective:
+/// min ½‖w‖² + 1/(νn) Σ max(0, ρ − w·x) − ρ). Samples with w·x < ρ are
+/// outliers (score -1), matching scikit-learn's OneClassSVM convention used
+/// as a Fig. 11 baseline. A random-Fourier-feature map approximates the RBF
+/// kernel so non-linearly-shaped normal regions are representable.
+class OneClassSvm {
+ public:
+  struct Params {
+    double nu = 0.1;          ///< expected outlier fraction
+    int epochs = 40;
+    double lr = 0.02;
+    int rff_dim = 128;        ///< random Fourier features (0 = linear)
+    double gamma = 0.5;       ///< RBF bandwidth for the feature map
+    uint64_t seed = 31;
+  };
+
+  OneClassSvm() : OneClassSvm(Params()) {}
+  explicit OneClassSvm(Params params) : params_(params) {}
+
+  /// Fits on (assumed mostly normal) data.
+  void Fit(const std::vector<FloatVec>& xs);
+
+  /// +1 for inliers (normal), -1 for outliers (threat).
+  int Predict(const FloatVec& x) const;
+
+  /// Signed decision value w·φ(x) − ρ (negative = outlier).
+  double Decision(const FloatVec& x) const;
+
+ private:
+  FloatVec FeatureMap(const FloatVec& x) const;
+
+  Params params_;
+  StandardScaler scaler_;
+  std::vector<FloatVec> rff_w_;  ///< random projection directions
+  FloatVec rff_b_;               ///< random phases
+  FloatVec w_;
+  double rho_ = 0;
+};
+
+}  // namespace glint::ml

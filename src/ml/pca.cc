@@ -1,0 +1,87 @@
+#include "ml/pca.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace glint::ml {
+
+void Pca::Fit(const std::vector<FloatVec>& xs) {
+  GLINT_CHECK(!xs.empty());
+  const size_t dim = xs[0].size();
+  const size_t n = xs.size();
+
+  mean_.assign(dim, 0.f);
+  for (const auto& x : xs) AddInPlace(&mean_, x);
+  ScaleInPlace(&mean_, 1.0f / static_cast<float>(n));
+
+  // Centered data copy.
+  std::vector<FloatVec> centered(xs);
+  for (auto& x : centered) {
+    for (size_t i = 0; i < dim; ++i) x[i] -= mean_[i];
+  }
+
+  Rng rng(params_.seed);
+  components_.clear();
+  variance_.clear();
+  const int k = std::min<int>(params_.num_components, static_cast<int>(dim));
+
+  for (int c = 0; c < k; ++c) {
+    // Random init, orthogonal to found components.
+    FloatVec v(dim);
+    for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+    for (int iter = 0; iter < params_.power_iters; ++iter) {
+      // w = Cov * v computed as (1/n) X^T (X v) without forming Cov.
+      std::vector<double> xv(n, 0.0);
+      for (size_t i = 0; i < n; ++i) xv[i] = Dot(centered[i], v);
+      FloatVec w(dim, 0.f);
+      for (size_t i = 0; i < n; ++i) {
+        const float s = static_cast<float>(xv[i]);
+        for (size_t d = 0; d < dim; ++d) w[d] += s * centered[i][d];
+      }
+      ScaleInPlace(&w, 1.0f / static_cast<float>(n));
+      // Deflate against previous components.
+      for (const auto& prev : components_) {
+        const double proj = Dot(w, prev);
+        for (size_t d = 0; d < dim; ++d) {
+          w[d] -= static_cast<float>(proj * prev[d]);
+        }
+      }
+      const double norm = Norm(w);
+      if (norm < 1e-12) break;
+      ScaleInPlace(&w, static_cast<float>(1.0 / norm));
+      v = std::move(w);
+    }
+    // Variance along the component.
+    double var = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double proj = Dot(centered[i], v);
+      var += proj * proj;
+    }
+    var /= static_cast<double>(n);
+    components_.push_back(std::move(v));
+    variance_.push_back(var);
+  }
+}
+
+FloatVec Pca::Transform(const FloatVec& x) const {
+  GLINT_CHECK(x.size() == mean_.size());
+  FloatVec centered(x);
+  for (size_t i = 0; i < centered.size(); ++i) centered[i] -= mean_[i];
+  FloatVec out(components_.size());
+  for (size_t c = 0; c < components_.size(); ++c) {
+    out[c] = static_cast<float>(Dot(centered, components_[c]));
+  }
+  return out;
+}
+
+std::vector<FloatVec> Pca::TransformBatch(
+    const std::vector<FloatVec>& xs) const {
+  std::vector<FloatVec> out;
+  out.reserve(xs.size());
+  for (const auto& x : xs) out.push_back(Transform(x));
+  return out;
+}
+
+}  // namespace glint::ml

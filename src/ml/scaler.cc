@@ -1,0 +1,43 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace glint::ml {
+
+void StandardScaler::Fit(const std::vector<FloatVec>& xs) {
+  GLINT_CHECK(!xs.empty());
+  const size_t dim = xs[0].size();
+  mean_.assign(dim, 0.f);
+  scale_.assign(dim, 1.f);
+  for (const auto& x : xs) {
+    for (size_t i = 0; i < dim; ++i) mean_[i] += x[i];
+  }
+  const float n = static_cast<float>(xs.size());
+  for (auto& m : mean_) m /= n;
+  FloatVec var(dim, 0.f);
+  for (const auto& x : xs) {
+    for (size_t i = 0; i < dim; ++i) {
+      const float d = x[i] - mean_[i];
+      var[i] += d * d;
+    }
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    const float sd = std::sqrt(var[i] / n);
+    scale_[i] = sd > 1e-8f ? sd : 1.f;
+  }
+}
+
+FloatVec StandardScaler::Transform(const FloatVec& x) const {
+  GLINT_CHECK(x.size() == mean_.size());
+  FloatVec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - mean_[i]) / scale_[i];
+  return out;
+}
+
+void StandardScaler::TransformInPlace(std::vector<FloatVec>* xs) const {
+  for (auto& x : *xs) x = Transform(x);
+}
+
+}  // namespace glint::ml

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "util/vecmath.h"
+
+namespace glint::ml {
+
+/// Standardizes features to zero mean / unit variance (fit on train, apply
+/// to test). Constant features are left centred with unit scale.
+class StandardScaler {
+ public:
+  /// Computes per-dimension mean and stddev from `xs`.
+  void Fit(const std::vector<FloatVec>& xs);
+
+  /// Standardizes one vector.
+  FloatVec Transform(const FloatVec& x) const;
+
+  /// Standardizes a batch in place.
+  void TransformInPlace(std::vector<FloatVec>* xs) const;
+
+  const FloatVec& mean() const { return mean_; }
+  const FloatVec& scale() const { return scale_; }
+
+ private:
+  FloatVec mean_;
+  FloatVec scale_;
+};
+
+}  // namespace glint::ml

@@ -1,0 +1,96 @@
+#include "nlp/dep_parser.h"
+
+#include "nlp/tokenizer.h"
+
+namespace glint::nlp {
+namespace {
+
+bool IsClauseBoundary(const TaggedToken& t) {
+  // Subordinating conjunctions ("if", "when", ...) and the coordinator
+  // "then" open a new clause in trigger-action sentences.
+  return t.pos == Pos::kSconj || t.text == "then";
+}
+
+}  // namespace
+
+Clause DepParser::ParseClause(const std::vector<TaggedToken>& tagged) {
+  const Lexicon& lex = Lexicon::Instance();
+  Clause clause;
+  for (const auto& t : tagged) {
+    if (lex.IsNamedEntity(t.text)) continue;  // Algorithm 1 discards NEs.
+    switch (t.pos) {
+      case Pos::kVerb:
+        clause.verbs.push_back(t.text);
+        if (clause.root_verb.empty()) clause.root_verb = t.text;
+        break;
+      case Pos::kNoun:
+        if (!lex.IsStopWord(t.text)) {
+          clause.nouns.push_back(t.text);
+          clause.objects.push_back(t.text);
+        }
+        break;
+      case Pos::kAdjective:
+      case Pos::kAdverb:
+        clause.modifiers.push_back(t.text);
+        break;
+      default:
+        break;
+    }
+  }
+  // Participles used as states ("is beeping", "is detected") often leave the
+  // root verb as the participle; prefer a non-auxiliary if available.
+  if (clause.root_verb.empty() && !clause.verbs.empty()) {
+    clause.root_verb = clause.verbs.front();
+  }
+  return clause;
+}
+
+ParsedRule DepParser::Parse(const std::string& sentence) {
+  auto tagged = PosTagger::TagSentence(sentence);
+  ParsedRule parsed;
+
+  // Split tokens into clauses at boundaries. The boundary token itself is
+  // dropped but remembered: a SCONJ marks the following span as the trigger.
+  std::vector<std::vector<TaggedToken>> spans;
+  std::vector<bool> span_is_trigger;
+  std::vector<TaggedToken> cur;
+  bool cur_trigger = false;
+  for (const auto& t : tagged) {
+    if (IsClauseBoundary(t)) {
+      if (!cur.empty()) {
+        spans.push_back(cur);
+        span_is_trigger.push_back(cur_trigger);
+        cur.clear();
+      }
+      cur_trigger = (t.pos == Pos::kSconj);
+      continue;
+    }
+    cur.push_back(t);
+  }
+  if (!cur.empty()) {
+    spans.push_back(cur);
+    span_is_trigger.push_back(cur_trigger);
+  }
+
+  // Assemble: trigger clause first, then actions in order.
+  int trigger_idx = -1;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (span_is_trigger[i]) {
+      trigger_idx = static_cast<int>(i);
+      break;
+    }
+  }
+  if (trigger_idx >= 0) {
+    parsed.has_trigger = true;
+    parsed.clauses.push_back(ParseClause(spans[trigger_idx]));
+  }
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (static_cast<int>(i) == trigger_idx) continue;
+    Clause c = ParseClause(spans[i]);
+    if (c.root_verb.empty() && c.objects.empty()) continue;  // empty span
+    parsed.clauses.push_back(std::move(c));
+  }
+  return parsed;
+}
+
+}  // namespace glint::nlp

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nlp/pos_tagger.h"
+
+namespace glint::nlp {
+
+/// A clause extracted from a rule sentence: the root verb (main task), its
+/// object nouns, and modifiers. Approximates the spaCy dependency output of
+/// Figure 4 with patterns tuned to trigger-action sentences.
+struct Clause {
+  std::string root_verb;               ///< main task, e.g. "turn_on"
+  std::vector<std::string> objects;    ///< dobj/nsubj nouns, e.g. "light"
+  std::vector<std::string> modifiers;  ///< adjectives/adverbs on the objects
+  std::vector<std::string> verbs;      ///< all verbs in the clause
+  std::vector<std::string> nouns;      ///< all content nouns in the clause
+};
+
+/// Full parse of a rule sentence.
+struct ParsedRule {
+  /// Clauses in trigger-first order: clause 0 is the trigger ("if/when..."),
+  /// the remainder are actions ("then ..."). Imperative sentences with no
+  /// subordinating conjunction yield a single action clause.
+  std::vector<Clause> clauses;
+
+  /// True when a subordinating conjunction introduced a trigger clause.
+  bool has_trigger = false;
+
+  const Clause* trigger() const {
+    return has_trigger && !clauses.empty() ? &clauses[0] : nullptr;
+  }
+  std::vector<const Clause*> actions() const {
+    std::vector<const Clause*> out;
+    for (size_t i = has_trigger ? 1 : 0; i < clauses.size(); ++i) {
+      out.push_back(&clauses[i]);
+    }
+    return out;
+  }
+};
+
+/// Pattern-based dependency extractor for trigger-action rule sentences.
+class DepParser {
+ public:
+  /// Parses a raw rule sentence.
+  static ParsedRule Parse(const std::string& sentence);
+
+  /// Parses a single clause from tagged tokens.
+  static Clause ParseClause(const std::vector<TaggedToken>& tagged);
+};
+
+}  // namespace glint::nlp

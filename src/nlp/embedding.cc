@@ -1,0 +1,91 @@
+#include "nlp/embedding.h"
+
+#include <cmath>
+
+#include "nlp/lexicon.h"
+#include "nlp/tokenizer.h"
+#include "util/rng.h"
+
+namespace glint::nlp {
+
+EmbeddingModel::EmbeddingModel(size_t dim, uint64_t seed, double noise_share)
+    : dim_(dim), seed_(seed), noise_share_(noise_share) {}
+
+FloatVec EmbeddingModel::UnitGaussian(uint64_t seed) const {
+  Rng rng(seed ^ seed_);
+  FloatVec v(dim_);
+  double norm2 = 0;
+  for (size_t i = 0; i < dim_; ++i) {
+    v[i] = static_cast<float>(rng.Gaussian());
+    norm2 += double(v[i]) * v[i];
+  }
+  double inv = 1.0 / std::sqrt(norm2 > 0 ? norm2 : 1.0);
+  for (auto& x : v) x = static_cast<float>(x * inv);
+  return v;
+}
+
+const FloatVec& EmbeddingModel::WordVector(const std::string& word) const {
+  auto it = cache_.find(word);
+  if (it != cache_.end()) return it->second;
+
+  const Lexicon& lex = Lexicon::Instance();
+  // Pick the semantic anchor: synonym cluster > physical channel > the word.
+  std::string anchor = lex.ClusterOf(word);
+  if (anchor.empty()) anchor = lex.ChannelOf(word);
+  if (anchor.empty()) anchor = word;
+
+  FloatVec centroid =
+      UnitGaussian(HashString(anchor.data(), anchor.size()) * 0x9e37u + 1);
+  FloatVec noise =
+      UnitGaussian(HashString(word.data(), word.size()) * 0x85ebu + 2);
+
+  const float wc = static_cast<float>(std::sqrt(1.0 - noise_share_));
+  const float wn = static_cast<float>(std::sqrt(noise_share_));
+  FloatVec v(dim_);
+  for (size_t i = 0; i < dim_; ++i) v[i] = wc * centroid[i] + wn * noise[i];
+  return cache_.emplace(word, std::move(v)).first->second;
+}
+
+FloatVec EmbeddingModel::Average(const std::vector<std::string>& tokens) const {
+  const Lexicon& lex = Lexicon::Instance();
+  FloatVec out(dim_, 0.f);
+  int count = 0;
+  for (const auto& t : tokens) {
+    if (lex.IsStopWord(t) || lex.IsNamedEntity(t)) continue;
+    AddInPlace(&out, WordVector(t));
+    ++count;
+  }
+  if (count > 0) ScaleInPlace(&out, 1.0f / static_cast<float>(count));
+  return out;
+}
+
+FloatVec EmbeddingModel::EmbedSentence(const std::string& sentence) const {
+  return Average(Tokenizer::Words(sentence));
+}
+
+FloatVec EmbeddingModel::EncodeSentence(const std::string& sentence) const {
+  const Lexicon& lex = Lexicon::Instance();
+  auto tokens = Tokenizer::Words(sentence);
+  FloatVec out(dim_, 0.f);
+  int count = 0;
+  size_t pos = 0;
+  for (const auto& t : tokens) {
+    ++pos;
+    if (lex.IsStopWord(t) || lex.IsNamedEntity(t)) continue;
+    const FloatVec& w = WordVector(t);
+    // Positional mixing: add a small position-dependent fraction of the
+    // shifted vector. Keeps the cosine geometry dominant (shifted random
+    // vectors are near-orthogonal, so a small alpha is a small nudge) while
+    // making word order observable, as in a real sentence encoder.
+    const float alpha =
+        0.25f * static_cast<float>((pos * 7) % 5) / 5.0f;
+    for (size_t i = 0; i < dim_; ++i) {
+      out[i] += w[i] + alpha * w[(i + 1) % dim_];
+    }
+    ++count;
+  }
+  if (count > 0) ScaleInPlace(&out, 1.0f / static_cast<float>(count));
+  return out;
+}
+
+}  // namespace glint::nlp

@@ -1,0 +1,101 @@
+#include "nlp/tokenizer.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace glint::nlp {
+namespace {
+
+// Multi-word expressions normalised into lexicon entries. Checked greedily
+// over (w1, w2) bigrams after basic tokenization.
+const std::unordered_map<std::string, std::string>& Bigrams() {
+  static const auto* m = new std::unordered_map<std::string, std::string>({
+      {"turn on", "turn_on"},
+      {"turn off", "turn_off"},
+      {"switch on", "switch_on"},
+      {"switch off", "switch_off"},
+      {"shut off", "shut_off"},
+      {"living room", "living_room"},
+      {"motion sensor", "motion_sensor"},
+      {"contact sensor", "contact_sensor"},
+      {"temperature sensor", "temperature_sensor"},
+      {"humidity sensor", "humidity_sensor"},
+      {"presence sensor", "presence_sensor"},
+      {"leak sensor", "leak_sensor"},
+      {"smoke alarm", "smoke_alarm"},
+      {"smoke detector", "smoke_alarm"},
+      {"co detector", "co_detector"},
+      {"air conditioner", "ac"},
+      {"coffee maker", "coffee_maker"},
+      {"vacuum cleaner", "vacuum"},
+      {"robot vacuum", "vacuum"},
+      {"power usage", "power_usage"},
+      {"water level", "water_level"},
+      {"home state", "home_obj_state"},
+      {"sun rise", "sunrise"},
+      {"sun set", "sunset"},
+  });
+  return *m;
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\'';
+}
+
+}  // namespace
+
+std::vector<Token> Tokenizer::Tokenize(const std::string& sentence) {
+  // Pass 1: raw lowercase word/number tokens.
+  std::vector<Token> raw;
+  size_t i = 0;
+  const size_t n = sentence.size();
+  while (i < n) {
+    unsigned char c = static_cast<unsigned char>(sentence[i]);
+    if (IsWordChar(static_cast<char>(c))) {
+      size_t start = i;
+      std::string tok;
+      while (i < n && IsWordChar(sentence[i])) {
+        tok.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(sentence[i]))));
+        ++i;
+      }
+      raw.push_back({tok, start});
+    } else if (c == 0xC2 && i + 1 < n &&
+               static_cast<unsigned char>(sentence[i + 1]) == 0xB0) {
+      // UTF-8 degree sign: normalise "°F"/"°C" to the token "degrees".
+      size_t start = i;
+      i += 2;
+      if (i < n && (sentence[i] == 'F' || sentence[i] == 'f' ||
+                    sentence[i] == 'C' || sentence[i] == 'c')) {
+        ++i;
+      }
+      raw.push_back({"degrees", start});
+    } else {
+      ++i;
+    }
+  }
+
+  // Pass 2: merge known bigrams.
+  std::vector<Token> out;
+  for (size_t k = 0; k < raw.size(); ++k) {
+    if (k + 1 < raw.size()) {
+      auto it = Bigrams().find(raw[k].text + " " + raw[k + 1].text);
+      if (it != Bigrams().end()) {
+        out.push_back({it->second, raw[k].offset});
+        ++k;
+        continue;
+      }
+    }
+    out.push_back(raw[k]);
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenizer::Words(const std::string& sentence) {
+  std::vector<std::string> out;
+  for (auto& t : Tokenize(sentence)) out.push_back(std::move(t.text));
+  return out;
+}
+
+}  // namespace glint::nlp

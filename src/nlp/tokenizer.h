@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace glint::nlp {
+
+/// A token with its surface form (lowercased) and character offset.
+struct Token {
+  std::string text;
+  size_t offset = 0;
+};
+
+/// Tokenizes rule sentences: lowercases, splits on whitespace and
+/// punctuation, keeps numbers ("85") and degree markers ("°f" -> "degrees"),
+/// and merges known multi-word expressions ("turn on" -> "turn_on",
+/// "living room" -> "living_room", "motion sensor" -> "motion_sensor") so
+/// the lexicon can resolve them as single entries.
+class Tokenizer {
+ public:
+  /// Tokenizes `sentence` into normalized tokens.
+  static std::vector<Token> Tokenize(const std::string& sentence);
+
+  /// Convenience: token texts only.
+  static std::vector<std::string> Words(const std::string& sentence);
+};
+
+}  // namespace glint::nlp

@@ -1,0 +1,572 @@
+#include "rules/corpus.h"
+
+namespace glint::rules {
+namespace {
+
+// Actuator devices with their plausible commands.
+struct Actuator {
+  DeviceType device;
+  std::vector<Command> commands;
+  double weight;
+};
+
+const std::vector<Actuator>& Actuators() {
+  using D = DeviceType;
+  using C = Command;
+  static const auto* v = new std::vector<Actuator>{
+      {D::kLight, {C::kOn, C::kOff, C::kDim, C::kBrighten, C::kSetLevel}, 3.0},
+      {D::kWindow, {C::kOpen, C::kClose}, 2.0},
+      {D::kDoor, {C::kOpen, C::kClose}, 1.2},
+      {D::kLock, {C::kLock, C::kUnlock}, 1.5},
+      {D::kGarage, {C::kOpen, C::kClose}, 0.6},
+      {D::kBlind, {C::kOpen, C::kClose}, 0.8},
+      {D::kAc, {C::kOn, C::kOff}, 1.5},
+      {D::kHeater, {C::kOn, C::kOff}, 1.3},
+      {D::kOven, {C::kOn, C::kOff}, 0.5},
+      {D::kHumidifier, {C::kOn, C::kOff}, 0.8},
+      {D::kDehumidifier, {C::kOn, C::kOff}, 0.4},
+      {D::kFan, {C::kOn, C::kOff}, 0.9},
+      {D::kTv, {C::kOn, C::kOff, C::kPlay, C::kStopPlay}, 1.2},
+      {D::kSpeaker, {C::kPlay, C::kStopPlay, C::kOn, C::kOff}, 1.2},
+      {D::kVacuum, {C::kStartClean, C::kOff}, 0.7},
+      {D::kSprinkler, {C::kOn, C::kOff}, 0.6},
+      {D::kCoffeeMaker, {C::kOn, C::kOff}, 0.5},
+      {D::kKettle, {C::kOn, C::kOff}, 0.3},
+      {D::kCamera, {C::kSnapshot, C::kOn, C::kOff}, 0.8},
+      {D::kPlug, {C::kOn, C::kOff}, 0.8},
+      {D::kSecuritySystem, {C::kArm, C::kDisarm}, 0.8},
+      {D::kPhone, {C::kNotify}, 1.5},
+  };
+  return *v;
+}
+
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(const CorpusConfig& config)
+    : config_(config), rng_(config.seed), phrasing_(config.seed ^ 0xbeef) {}
+
+TriggerSpec CorpusGenerator::RandomTrigger() {
+  TriggerSpec t;
+  const double kind = rng_.Uniform();
+  if (kind < 0.22) {
+    // Numeric environmental threshold.
+    const bool temp = rng_.Chance(0.7);
+    t.channel = temp ? Channel::kTemperature : Channel::kHumidity;
+    t.device = temp ? DeviceType::kTemperatureSensor
+                    : DeviceType::kHumiditySensor;
+    const double r = rng_.Uniform();
+    if (r < 0.4) {
+      t.cmp = Comparator::kAbove;
+      t.lo = temp ? rng_.Int(70, 100) : rng_.Int(50, 80);
+      t.direction = +1;
+    } else if (r < 0.8) {
+      t.cmp = Comparator::kBelow;
+      t.lo = temp ? rng_.Int(30, 68) : rng_.Int(20, 45);
+      t.direction = -1;
+    } else {
+      t.cmp = Comparator::kBetween;
+      t.lo = temp ? rng_.Int(55, 70) : rng_.Int(30, 50);
+      t.hi = t.lo + rng_.Int(10, 25);
+    }
+  } else if (kind < 0.40) {
+    // Sensor event.
+    static const std::vector<std::pair<DeviceType, std::string>> sensors = {
+        {DeviceType::kMotionSensor, "active"},
+        {DeviceType::kSmokeAlarm, "beeping"},
+        {DeviceType::kPresenceSensor, "present"},
+        {DeviceType::kPresenceSensor, "away"},
+        {DeviceType::kLeakSensor, "wet"},
+        {DeviceType::kButton, "pressed"},
+    };
+    auto [dev, state] = rng_.Pick(sensors);
+    t.device = dev;
+    t.channel = SensedChannelOf(dev);
+    t.cmp = Comparator::kEquals;
+    t.state = state;
+    t.direction = +1;
+  } else if (kind < 0.55) {
+    // Time-of-day trigger.
+    t.channel = Channel::kTime;
+    t.device = DeviceType::kButton;  // placeholder; channel is what matters
+    t.cmp = Comparator::kEquals;
+    t.has_time = true;
+    t.hour_lo = static_cast<int>(rng_.Int(0, 23));
+    t.hour_hi = t.hour_lo;
+  } else {
+    // Device-state trigger ("when the door opens", "when the light is off").
+    static const std::vector<std::pair<DeviceType, std::vector<std::string>>>
+        states = {
+            {DeviceType::kDoor, {"open", "closed"}},
+            {DeviceType::kWindow, {"open", "closed"}},
+            {DeviceType::kGarage, {"open", "closed"}},
+            {DeviceType::kLight, {"on", "off"}},
+            {DeviceType::kLock, {"locked", "unlocked"}},
+            {DeviceType::kTv, {"on", "playing", "off"}},
+            {DeviceType::kSpeaker, {"playing"}},
+            {DeviceType::kAc, {"on", "off"}},
+            {DeviceType::kHeater, {"on", "off"}},
+            {DeviceType::kSecuritySystem, {"armed", "disarmed"}},
+            {DeviceType::kPlug, {"on", "off"}},
+        };
+    const auto& [dev, opts] = rng_.Pick(states);
+    t.device = dev;
+    t.channel = StateChannelOf(dev);
+    t.cmp = Comparator::kEquals;
+    t.state = rng_.Pick(opts);
+    t.direction = +1;
+  }
+  return t;
+}
+
+ConditionSpec CorpusGenerator::RandomCondition() {
+  ConditionSpec c;
+  const double kind = rng_.Uniform();
+  if (kind < 0.35) {
+    c.has_time = true;
+    c.hour_lo = static_cast<int>(rng_.Int(0, 20));
+    c.hour_hi = c.hour_lo + static_cast<int>(rng_.Int(1, 4));
+    c.channel = Channel::kTime;
+  } else if (kind < 0.6) {
+    c.channel = Channel::kSecurity;
+    c.device = DeviceType::kSecuritySystem;
+    c.cmp = Comparator::kEquals;
+    c.state = rng_.Chance(0.5) ? "armed" : "disarmed";
+  } else if (kind < 0.8) {
+    c.channel = Channel::kTemperature;
+    c.device = DeviceType::kTemperatureSensor;
+    c.cmp = rng_.Chance(0.5) ? Comparator::kAbove : Comparator::kBelow;
+    c.lo = rng_.Int(40, 90);
+  } else {
+    c.channel = Channel::kPresence;
+    c.device = DeviceType::kPresenceSensor;
+    c.cmp = Comparator::kEquals;
+    c.state = rng_.Chance(0.5) ? "present" : "away";
+  }
+  return c;
+}
+
+ActionSpec CorpusGenerator::RandomAction() {
+  std::vector<double> weights;
+  for (const auto& a : Actuators()) weights.push_back(a.weight);
+  const Actuator& act = Actuators()[rng_.Weighted(weights)];
+  ActionSpec a;
+  a.device = act.device;
+  a.command = rng_.Pick(act.commands);
+  if (a.command == Command::kSetLevel) {
+    a.level = static_cast<double>(rng_.Int(1, 10) * 10);
+  }
+  return a;
+}
+
+TriggerSpec CorpusGenerator::RandomWebTrigger() {
+  TriggerSpec t;
+  static const std::vector<DeviceType> kWebSources = {
+      DeviceType::kEmailService, DeviceType::kWeatherService,
+      DeviceType::kCalendar, DeviceType::kSocialMedia};
+  t.device = rng_.Pick(kWebSources);
+  t.channel = Channel::kDigital;
+  t.cmp = Comparator::kAny;
+  return t;
+}
+
+ActionSpec CorpusGenerator::RandomWebAction() {
+  static const std::vector<std::pair<DeviceType, Command>> kWebSinks = {
+      {DeviceType::kEmailService, Command::kNotify},
+      {DeviceType::kSocialMedia, Command::kNotify},
+      {DeviceType::kSpreadsheet, Command::kSetLevel},
+      {DeviceType::kPhone, Command::kNotify},
+  };
+  auto [dev, cmd] = rng_.Pick(kWebSinks);
+  ActionSpec a;
+  a.device = dev;
+  a.command = cmd;
+  return a;
+}
+
+Rule CorpusGenerator::GenerateRule(Platform p) {
+  Rule r;
+  r.id = next_id_++;
+  r.platform = p;
+  // ~55% of rules are room-scoped; the rest apply anywhere.
+  if (rng_.Chance(0.55)) {
+    r.location = static_cast<Location>(rng_.Int(1, kNumLocations - 1));
+  }
+
+  // Real IFTTT corpora are dominated by non-IoT web applets (email,
+  // weather, social feeds); other platforms have a smaller share.
+  double web_p = 0.05;
+  switch (p) {
+    case Platform::kIFTTT: web_p = 0.45; break;
+    case Platform::kGoogleAssistant: web_p = 0.25; break;
+    case Platform::kAlexa: web_p = 0.15; break;
+    case Platform::kHomeAssistant: web_p = 0.12; break;
+    case Platform::kSmartThings: web_p = 0.05; break;
+  }
+  if (rng_.Chance(web_p)) {
+    const double mix = rng_.Uniform();
+    if (mix < 0.5) {  // web trigger -> web action
+      r.trigger = RandomWebTrigger();
+      r.actions.push_back(RandomWebAction());
+    } else if (mix < 0.75) {  // web trigger -> device action
+      r.trigger = RandomWebTrigger();
+      r.actions.push_back(RandomAction());
+    } else {  // device trigger -> web action
+      r.trigger = RandomTrigger();
+      r.actions.push_back(RandomWebAction());
+    }
+    phrasing_.Render(&r);
+    return r;
+  }
+
+  r.trigger = RandomTrigger();
+  // Alexa voice skills are mostly single-clause; others carry conditions.
+  const double cond_p = (p == Platform::kAlexa) ? 0.08 : 0.3;
+  if (rng_.Chance(cond_p)) r.conditions.push_back(RandomCondition());
+  r.actions.push_back(RandomAction());
+  if (rng_.Chance(p == Platform::kIFTTT ? 0.25 : 0.12)) {
+    r.actions.push_back(RandomAction());
+  }
+  phrasing_.Render(&r);
+  return r;
+}
+
+std::vector<Rule> CorpusGenerator::GeneratePlatform(Platform p, int n) {
+  std::vector<Rule> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(GenerateRule(p));
+  return out;
+}
+
+std::vector<Rule> CorpusGenerator::Generate() {
+  std::vector<Rule> out;
+  for (int pi = 0; pi < kNumPlatforms; ++pi) {
+    Platform p = static_cast<Platform>(pi);
+    auto batch = GeneratePlatform(p, config_.CountFor(p));
+    out.insert(out.end(), batch.begin(), batch.end());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Paper's concrete rule sets.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Rule MakeRule(int id, Platform p, TriggerSpec t, std::vector<ConditionSpec> cs,
+              std::vector<ActionSpec> as, const char* text) {
+  Rule r;
+  r.id = id;
+  r.platform = p;
+  r.trigger = t;
+  r.conditions = std::move(cs);
+  r.actions = std::move(as);
+  r.text = text;
+  return r;
+}
+
+TriggerSpec StateTrigger(DeviceType d, const char* state) {
+  TriggerSpec t;
+  t.device = d;
+  t.channel = StateChannelOf(d);
+  t.cmp = Comparator::kEquals;
+  t.state = state;
+  t.direction = +1;
+  return t;
+}
+
+TriggerSpec NumTrigger(Channel ch, DeviceType d, Comparator cmp, double lo,
+                       double hi = 0) {
+  TriggerSpec t;
+  t.channel = ch;
+  t.device = d;
+  t.cmp = cmp;
+  t.lo = lo;
+  t.hi = hi;
+  t.direction = cmp == Comparator::kAbove ? +1 : -1;
+  return t;
+}
+
+TriggerSpec TimeTrigger(int hour) {
+  TriggerSpec t;
+  t.channel = Channel::kTime;
+  t.cmp = Comparator::kEquals;
+  t.has_time = true;
+  t.hour_lo = hour;
+  t.hour_hi = hour;
+  return t;
+}
+
+ActionSpec Act(DeviceType d, Command c, double level = 0) {
+  return ActionSpec{d, c, level};
+}
+
+}  // namespace
+
+std::vector<Rule> CorpusGenerator::Table1Rules() {
+  using D = DeviceType;
+  using C = Command;
+  using P = Platform;
+  std::vector<Rule> rules;
+  rules.push_back(MakeRule(1, P::kSmartThings, StateTrigger(D::kTv, "playing"),
+                           {}, {Act(D::kLight, C::kOff)},
+                           "Turn off lights if playing movies."));
+  {
+    TriggerSpec t = NumTrigger(Channel::kTemperature, D::kTemperatureSensor,
+                               Comparator::kBetween, 65, 80);
+    ConditionSpec c;
+    c.has_time = true;
+    c.hour_lo = 6;
+    c.hour_hi = 20;
+    c.channel = Channel::kTime;
+    rules.push_back(MakeRule(
+        2, P::kSmartThings, t, {c}, {Act(D::kWindow, C::kOpen)},
+        "If the outdoor temperature is between 65 degrees and 80 degrees, "
+        "open windows after sun rise."));
+  }
+  rules.push_back(
+      MakeRule(3, P::kSmartThings,
+               NumTrigger(Channel::kTemperature, D::kTemperatureSensor,
+                          Comparator::kBelow, 60),
+               {}, {Act(D::kWindow, C::kClose)},
+               "If outdoor temperature is below 60 degrees, then close "
+               "windows."));
+  rules.push_back(
+      MakeRule(4, P::kSmartThings,
+               NumTrigger(Channel::kTemperature, D::kTemperatureSensor,
+                          Comparator::kAbove, 85),
+               {}, {Act(D::kAc, C::kOn)},
+               "Turn on the air conditioner when temperature is above 85 "
+               "degrees."));
+  rules.push_back(MakeRule(5, P::kIFTTT, StateTrigger(D::kAc, "on"), {},
+                           {Act(D::kWindow, C::kClose)},
+                           "If air conditioner is on, then close windows."));
+  rules.push_back(
+      MakeRule(6, P::kIFTTT, StateTrigger(D::kSmokeAlarm, "beeping"), {},
+               {Act(D::kWindow, C::kOpen), Act(D::kLock, C::kUnlock)},
+               "If the smoke alarm is beeping, then open the window and "
+               "unlock the door."));
+  rules.push_back(MakeRule(7, P::kIFTTT,
+                           StateTrigger(D::kMotionSensor, "active"), {},
+                           {Act(D::kLight, C::kOn)},
+                           "If motion is detected, turn on lights."));
+  rules.push_back(MakeRule(8, P::kIFTTT,
+                           StateTrigger(D::kMotionSensor, "active"), {},
+                           {Act(D::kDoor, C::kOpen)},
+                           "If motion is detected, open the door."));
+  rules.push_back(MakeRule(9, P::kAlexa, StateTrigger(D::kLight, "off"), {},
+                           {Act(D::kLock, C::kLock)},
+                           "Lock the door if all lights are turned off."));
+  return rules;
+}
+
+std::vector<Rule> CorpusGenerator::Table4Settings() {
+  using D = DeviceType;
+  using C = Command;
+  using P = Platform;
+  std::vector<Rule> rules;
+
+  // (1)+(2) Condition bypass.
+  {
+    TriggerSpec t = NumTrigger(Channel::kTemperature, D::kTemperatureSensor,
+                               Comparator::kAbove, 70);
+    ConditionSpec c;
+    c.has_time = true;
+    c.hour_lo = 11;
+    c.hour_hi = 11;
+    c.channel = Channel::kTime;
+    rules.push_back(MakeRule(
+        1, P::kSmartThings, t, {c}, {Act(D::kWindow, C::kOpen)},
+        "If outside temperature is above 70 degrees and time is 11 am, then "
+        "open windows."));
+  }
+  rules.push_back(
+      MakeRule(2, P::kAlexa,
+               NumTrigger(Channel::kTemperature, D::kTemperatureSensor,
+                          Comparator::kAbove, 70),
+               {}, {Act(D::kWindow, C::kOpen)},
+               "If outside temperature is above 70 degrees, then open "
+               "windows."));
+
+  // (3)(4)(5) Condition block.
+  {
+    TriggerSpec t = StateTrigger(D::kMotionSensor, "active");
+    ConditionSpec c;
+    c.channel = Channel::kSecurity;
+    c.device = D::kSecuritySystem;
+    c.cmp = Comparator::kEquals;
+    c.state = "armed";
+    rules.push_back(MakeRule(
+        3, P::kIFTTT, t, {c}, {Act(D::kPhone, C::kNotify)},
+        "If motion is detected at the door and home is in armed state, then "
+        "send a notification."));
+  }
+  rules.push_back(MakeRule(4, P::kIFTTT, StateTrigger(D::kLight, "on"), {},
+                           {Act(D::kSecuritySystem, C::kDisarm)},
+                           "When light is on, disarm home state."));
+  rules.push_back(MakeRule(5, P::kSmartThings, TimeTrigger(19), {},
+                           {Act(D::kLight, C::kOn)},
+                           "Turn on the light at 7 pm."));
+
+  // (6)(7) Action revert.
+  rules.push_back(
+      MakeRule(6, P::kAlexa,
+               NumTrigger(Channel::kTemperature, D::kTemperatureSensor,
+                          Comparator::kAbove, 100),
+               {}, {Act(D::kAc, C::kOn)},
+               "Turn on the air conditioner when temperature is above 100 "
+               "degrees."));
+  rules.push_back(
+      MakeRule(7, P::kIFTTT,
+               NumTrigger(Channel::kHumidity, D::kHumiditySensor,
+                          Comparator::kBelow, 30),
+               {}, {Act(D::kHumidifier, C::kOn), Act(D::kAc, C::kOff)},
+               "When humidity is below 30 percent, turn on humidifier and "
+               "turn off air conditioner."));
+
+  // (8)(9) Action conflict.
+  rules.push_back(MakeRule(
+      8, P::kSmartThings, StateTrigger(D::kSmokeAlarm, "beeping"), {},
+      {Act(D::kLock, C::kUnlock)}, "If smoke is detected, unlock the door."));
+  rules.push_back(MakeRule(9, P::kAlexa, TimeTrigger(22), {},
+                           {Act(D::kLock, C::kLock)},
+                           "Lock the door at 10 pm every day."));
+
+  // (10)(11) Action loop.
+  rules.push_back(MakeRule(10, P::kIFTTT, StateTrigger(D::kLight, "on"), {},
+                           {Act(D::kLight, C::kOff)},
+                           "Turn off the living-room light when bedroom "
+                           "light is on."));
+  {
+    TriggerSpec t = StateTrigger(D::kLight, "off");
+    ConditionSpec c;
+    c.channel = Channel::kPresence;
+    c.device = D::kPresenceSensor;
+    c.cmp = Comparator::kEquals;
+    c.state = "away";
+    rules.push_back(MakeRule(
+        11, P::kIFTTT, t, {c}, {Act(D::kLight, C::kOn)},
+        "If the living-room light is turned off and the homestate is away, "
+        "then turn on bedroom light."));
+  }
+
+  // (12)(13) Goal conflict.
+  rules.push_back(MakeRule(12, P::kAlexa, TimeTrigger(18), {},
+                           {Act(D::kHeater, C::kOn)}, "Turn on a heater."));
+  rules.push_back(
+      MakeRule(13, P::kSmartThings,
+               NumTrigger(Channel::kTemperature, D::kTemperatureSensor,
+                          Comparator::kAbove, 80),
+               {}, {Act(D::kWindow, C::kOpen)},
+               "Open windows if indoor temperature is above 80 degrees."));
+  return rules;
+}
+
+std::vector<std::vector<Rule>> CorpusGenerator::NewThreatBlueprints() {
+  using D = DeviceType;
+  using C = Command;
+  using P = Platform;
+  std::vector<std::vector<Rule>> groups;
+
+  // Action block: a manual-mode pin makes another automation ineffective.
+  {
+    std::vector<Rule> g;
+    TriggerSpec t;
+    t.device = D::kLight;
+    t.channel = Channel::kIlluminance;
+    t.cmp = Comparator::kEquals;
+    t.state = "manual";
+    Rule r1 = MakeRule(1, P::kHomeAssistant, t, {},
+                       {Act(D::kLight, C::kSetLevel, 100)},
+                       "Blueprint: if the light is set in manual mode, keep "
+                       "the light level to 100 percent.");
+    r1.manual_mode_pin = true;
+    g.push_back(r1);
+    g.push_back(MakeRule(2, P::kHomeAssistant, StateTrigger(D::kTv, "on"), {},
+                         {Act(D::kLight, C::kDim)},
+                         "Blueprint: when the tv is on, dim the lights."));
+    groups.push_back(g);
+  }
+
+  // Action ablation: AC state reverted over time via the humidity channel.
+  {
+    std::vector<Rule> g;
+    g.push_back(
+        MakeRule(1, P::kHomeAssistant,
+                 NumTrigger(Channel::kTemperature, D::kTemperatureSensor,
+                            Comparator::kAbove, 95),
+                 {}, {Act(D::kAc, C::kOn)},
+                 "Blueprint: when the temperature is above 95 degrees, turn "
+                 "on the ac."));
+    g.push_back(
+        MakeRule(2, P::kHomeAssistant,
+                 NumTrigger(Channel::kHumidity, D::kHumiditySensor,
+                            Comparator::kBelow, 30),
+                 {}, {Act(D::kHumidifier, C::kOn), Act(D::kAc, C::kOff)},
+                 "Blueprint: when the humidity is below 30 percent, turn on "
+                 "the humidifier and turn off the ac."));
+    groups.push_back(g);
+  }
+
+  // Trigger intake: the vacuum spuriously fires the motion-snapshot rule.
+  {
+    std::vector<Rule> g;
+    g.push_back(MakeRule(
+        1, P::kHomeAssistant, StateTrigger(D::kMotionSensor, "active"), {},
+        {Act(D::kCamera, C::kSnapshot), Act(D::kPhone, C::kNotify)},
+        "Blueprint: when motion is detected at the door, capture a snapshot "
+        "with the camera and notify my phone."));
+    g.push_back(MakeRule(2, P::kHomeAssistant, TimeTrigger(21), {},
+                         {Act(D::kVacuum, C::kStartClean)},
+                         "Blueprint: at 9 pm, run the vacuum cleaner."));
+    groups.push_back(g);
+  }
+
+  // Condition duplicate: played music fakes the occupancy condition.
+  {
+    std::vector<Rule> g;
+    TriggerSpec occ;
+    occ.device = D::kSpeaker;
+    occ.channel = Channel::kSound;
+    occ.cmp = Comparator::kEquals;
+    occ.state = "playing";
+    g.push_back(MakeRule(
+        1, P::kHomeAssistant, occ, {},
+        {Act(D::kPhone, C::kNotify)},
+        "Blueprint: report the room is occupied when motion is detected or "
+        "the door is shut or media is playing on devices in the room."));
+    {
+      TriggerSpec t = TimeTrigger(15);
+      ConditionSpec c;
+      c.has_time = true;
+      c.hour_lo = 15;
+      c.hour_hi = 16;
+      c.channel = Channel::kTime;
+      g.push_back(MakeRule(2, P::kIFTTT, t, {c},
+                           {Act(D::kSpeaker, C::kPlay)},
+                           "If the time is 3 pm, then play music in the room "
+                           "from 3 pm to 4 pm."));
+    }
+    {
+      TriggerSpec t;
+      t.device = D::kPresenceSensor;
+      t.channel = Channel::kOccupancy;
+      t.cmp = Comparator::kEquals;
+      t.state = "occupied";
+      ConditionSpec c;
+      c.channel = Channel::kTemperature;
+      c.device = D::kTemperatureSensor;
+      c.cmp = Comparator::kBelow;
+      c.lo = 60;
+      g.push_back(MakeRule(3, P::kHomeAssistant, t, {c},
+                           {Act(D::kHeater, C::kOn)},
+                           "Blueprint: start the heating when the room is "
+                           "occupied and the temperature is below 60 "
+                           "degrees."));
+    }
+    groups.push_back(g);
+  }
+  return groups;
+}
+
+}  // namespace glint::rules

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "rules/phrasing.h"
+#include "rules/rule.h"
+#include "util/rng.h"
+
+namespace glint::rules {
+
+/// Scaled corpus sizes mirroring Table 2's proportions. The paper crawled
+/// {316928, 185, 5506, 5292, 574} rules; we default to a 1:100 scale for
+/// IFTTT / Alexa / Google Assistant and keep the small platforms intact so
+/// the "insufficient data" phenomenon (SmartThings) survives.
+struct CorpusConfig {
+  int ifttt = 3169;
+  int smartthings = 185;
+  int alexa = 550;
+  int google_assistant = 529;
+  int home_assistant = 574;
+  uint64_t seed = 4242;
+
+  int CountFor(Platform p) const {
+    switch (p) {
+      case Platform::kIFTTT: return ifttt;
+      case Platform::kSmartThings: return smartthings;
+      case Platform::kAlexa: return alexa;
+      case Platform::kGoogleAssistant: return google_assistant;
+      case Platform::kHomeAssistant: return home_assistant;
+    }
+    return 0;
+  }
+};
+
+/// Synthetic rule corpus generator — the substitute for the paper's crawl
+/// of five platforms (Sec. 4.1). Every generated rule carries both the
+/// ground-truth semantic IR and a rendered noisy NL description.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(const CorpusConfig& config = {});
+
+  /// Generates the full corpus: config.CountFor(p) rules per platform.
+  std::vector<Rule> Generate();
+
+  /// Generates `n` rules for one platform.
+  std::vector<Rule> GeneratePlatform(Platform p, int n);
+
+  /// Generates a single random rule.
+  Rule GenerateRule(Platform p);
+
+  /// The nine concrete rules of the paper's Table 1 (running example).
+  static std::vector<Rule> Table1Rules();
+
+  /// The thirteen settings of Table 4 (threat-type examples).
+  static std::vector<Rule> Table4Settings();
+
+  /// Home Assistant blueprint groups exhibiting the four *new* threat types
+  /// of Sec. 4.7 (action block, action ablation, trigger intake, condition
+  /// duplicate). Each inner vector is one co-deployed rule group.
+  static std::vector<std::vector<Rule>> NewThreatBlueprints();
+
+ private:
+  TriggerSpec RandomTrigger();
+  TriggerSpec RandomWebTrigger();
+  ConditionSpec RandomCondition();
+  ActionSpec RandomAction();
+  ActionSpec RandomWebAction();
+
+  CorpusConfig config_;
+  Rng rng_;
+  PhrasingEngine phrasing_;
+  int next_id_ = 1;
+};
+
+}  // namespace glint::rules

@@ -1,0 +1,257 @@
+#include "rules/phrasing.h"
+
+#include "util/string_utils.h"
+
+namespace glint::rules {
+namespace {
+
+// Synonym pools for verbs; the first entry is the canonical lexicon word.
+const std::vector<std::string>& Synonyms(Command cmd) {
+  static const auto* on = new std::vector<std::string>{
+      "turn on", "activate", "switch on", "enable", "start"};
+  static const auto* off = new std::vector<std::string>{
+      "turn off", "deactivate", "switch off", "disable", "stop"};
+  static const auto* open = new std::vector<std::string>{"open", "raise"};
+  static const auto* close = new std::vector<std::string>{"close", "shut"};
+  static const auto* lock = new std::vector<std::string>{"lock", "secure"};
+  static const auto* unlock = new std::vector<std::string>{"unlock"};
+  static const auto* dim = new std::vector<std::string>{"dim", "darken"};
+  static const auto* brighten = new std::vector<std::string>{"brighten"};
+  static const auto* play = new std::vector<std::string>{"play", "stream"};
+  static const auto* stop_play = new std::vector<std::string>{"stop", "pause"};
+  static const auto* notify = new std::vector<std::string>{
+      "send a notification to", "notify", "alert", "text"};
+  static const auto* snapshot = new std::vector<std::string>{
+      "capture a snapshot with", "record"};
+  static const auto* arm = new std::vector<std::string>{"arm"};
+  static const auto* disarm = new std::vector<std::string>{"disarm"};
+  static const auto* clean = new std::vector<std::string>{"run", "start"};
+  static const auto* set = new std::vector<std::string>{"set", "adjust"};
+  switch (cmd) {
+    case Command::kOn: return *on;
+    case Command::kOff: return *off;
+    case Command::kOpen: return *open;
+    case Command::kClose: return *close;
+    case Command::kLock: return *lock;
+    case Command::kUnlock: return *unlock;
+    case Command::kDim: return *dim;
+    case Command::kBrighten: return *brighten;
+    case Command::kPlay: return *play;
+    case Command::kStopPlay: return *stop_play;
+    case Command::kNotify: return *notify;
+    case Command::kSnapshot: return *snapshot;
+    case Command::kArm: return *arm;
+    case Command::kDisarm: return *disarm;
+    case Command::kStartClean: return *clean;
+    case Command::kSetLevel: return *set;
+  }
+  return *set;
+}
+
+std::string NounSurface(DeviceType d, Rng* rng) {
+  // Human-readable noun phrases; multi-word forms are re-merged by the
+  // tokenizer's bigram table.
+  switch (d) {
+    case DeviceType::kAc: return "air conditioner";
+    case DeviceType::kMotionSensor: return "motion sensor";
+    case DeviceType::kContactSensor: return "contact sensor";
+    case DeviceType::kTemperatureSensor: return "temperature sensor";
+    case DeviceType::kHumiditySensor: return "humidity sensor";
+    case DeviceType::kSmokeAlarm:
+      return rng->Chance(0.5) ? "smoke alarm" : "smoke detector";
+    case DeviceType::kPresenceSensor: return "presence sensor";
+    case DeviceType::kLeakSensor: return "leak sensor";
+    case DeviceType::kCoffeeMaker: return "coffee maker";
+    case DeviceType::kVacuum:
+      return rng->Chance(0.5) ? "vacuum cleaner" : "robot vacuum";
+    case DeviceType::kPhone: return "phone";
+    case DeviceType::kSecuritySystem: return "alarm";
+    case DeviceType::kLight:
+      return rng->Chance(0.3) ? "lights" : "light";
+    case DeviceType::kWindow:
+      return rng->Chance(0.3) ? "windows" : "window";
+    default: return DeviceWord(d);
+  }
+}
+
+std::string HourPhrase(int hour) {
+  if (hour == 0) return "midnight";
+  if (hour == 12) return "noon";
+  if (hour < 12) return StrFormat("%d am", hour);
+  return StrFormat("%d pm", hour - 12);
+}
+
+}  // namespace
+
+std::string PhrasingEngine::VerbFor(Command cmd) {
+  const auto& pool = Synonyms(cmd);
+  // Bias toward the canonical phrasing; noisy variants appear ~35% of time.
+  if (pool.size() == 1 || rng_.Chance(0.65)) return pool[0];
+  return pool[1 + rng_.Below(pool.size() - 1)];
+}
+
+std::string PhrasingEngine::DeviceNoun(DeviceType d) {
+  std::string noun = NounSurface(d, &rng_);
+  // Occasional brand prefix (a named entity Algorithm 1 must discard).
+  if (rng_.Chance(0.08)) {
+    static const std::vector<std::string> brands = {"wyze", "philips", "nest",
+                                                    "samsung", "ecobee"};
+    noun = rng_.Pick(brands) + " " + noun;
+  }
+  return noun;
+}
+
+std::string PhrasingEngine::RenderTrigger(const TriggerSpec& t) {
+  std::string dev = DeviceNoun(t.device);
+  switch (t.cmp) {
+    case Comparator::kAbove:
+      return StrFormat("the %s %s is above %.0f degrees",
+                       rng_.Chance(0.5) ? "outdoor" : "indoor",
+                       ChannelName(t.channel), t.lo);
+    case Comparator::kBelow:
+      return StrFormat("the %s is below %.0f%s", ChannelName(t.channel), t.lo,
+                       t.channel == Channel::kHumidity ? " percent"
+                                                       : " degrees");
+    case Comparator::kBetween:
+      return StrFormat("the %s is between %.0f and %.0f degrees",
+                       ChannelName(t.channel), t.lo, t.hi);
+    case Comparator::kEquals:
+    case Comparator::kAny: {
+      if (t.has_time && t.channel == Channel::kTime) {
+        return "the time is " + HourPhrase(t.hour_lo);
+      }
+      switch (t.device) {
+        case DeviceType::kEmailService:
+          return rng_.Chance(0.5) ? "a new email arrives"
+                                  : "i receive an email";
+        case DeviceType::kWeatherService:
+          return rng_.Chance(0.5) ? "the weather forecast says rain"
+                                  : "rain is expected";
+        case DeviceType::kCalendar: return "a calendar event starts";
+        case DeviceType::kSocialMedia: return "a new message is posted";
+        default: break;
+      }
+      std::string state = t.state;
+      if (t.device == DeviceType::kMotionSensor) {
+        return "motion is detected";
+      }
+      if (t.device == DeviceType::kSmokeAlarm) {
+        return rng_.Chance(0.5) ? "smoke is detected"
+                                : "the smoke alarm is beeping";
+      }
+      if (t.device == DeviceType::kPresenceSensor) {
+        return state == "present" ? "someone arrives home"
+                                  : "everyone leaves home";
+      }
+      if (t.device == DeviceType::kLeakSensor) return "a leak is detected";
+      if (t.device == DeviceType::kButton) return "the button is pressed";
+      if (state.empty()) return "the " + dev + " changes";
+      if (state == "playing") return "media is playing on the " + dev;
+      return "the " + dev + " is " + state;
+    }
+  }
+  return "the " + dev + " changes";
+}
+
+std::string PhrasingEngine::RenderCondition(const ConditionSpec& c) {
+  if (c.has_time) {
+    return StrFormat("the time is between %s and %s",
+                     HourPhrase(c.hour_lo).c_str(),
+                     HourPhrase(c.hour_hi % 24).c_str());
+  }
+  TriggerSpec t;
+  t.channel = c.channel;
+  t.device = c.device;
+  t.cmp = c.cmp;
+  t.lo = c.lo;
+  t.hi = c.hi;
+  t.state = c.state;
+  return RenderTrigger(t);
+}
+
+std::string PhrasingEngine::RenderAction(const ActionSpec& a) {
+  switch (a.device) {
+    case DeviceType::kEmailService: return "send me an email";
+    case DeviceType::kSocialMedia: return "post a message";
+    case DeviceType::kSpreadsheet: return "add a row to the spreadsheet";
+    default: break;
+  }
+  std::string verb = VerbFor(a.command);
+  std::string dev = DeviceNoun(a.device);
+  if (a.command == Command::kNotify) return verb + " my " + dev;
+  if (a.command == Command::kSetLevel) {
+    return StrFormat("%s the %s level to %.0f percent", verb.c_str(),
+                     dev.c_str(), a.level);
+  }
+  if (a.command == Command::kSnapshot) return verb + " the " + dev;
+  const char* article = rng_.Chance(0.8) ? "the" : "my";
+  return verb + " " + article + " " + dev;
+}
+
+void PhrasingEngine::Render(Rule* rule) {
+  std::string trig = RenderTrigger(rule->trigger);
+  if (rule->location != Location::kAny && rng_.Chance(0.8)) {
+    std::string room = LocationWord(rule->location);
+    for (auto& ch : room) {
+      if (ch == '_') ch = ' ';
+    }
+    trig += " in the " + room;
+  }
+  std::vector<std::string> actions;
+  for (const auto& a : rule->actions) actions.push_back(RenderAction(a));
+  std::string act = Join(actions, " and ");
+  std::string cond;
+  if (!rule->conditions.empty()) {
+    std::vector<std::string> conds;
+    for (const auto& c : rule->conditions) conds.push_back(RenderCondition(c));
+    cond = Join(conds, " and ");
+  }
+
+  std::string text;
+  switch (rule->platform) {
+    case Platform::kIFTTT: {
+      // "If <trigger>[ and <cond>], then <action>."
+      text = "If " + trig;
+      if (!cond.empty()) text += " and " + cond;
+      text += ", then " + act + ".";
+      break;
+    }
+    case Platform::kSmartThings: {
+      // App-description style, action-first half the time.
+      if (rng_.Chance(0.5)) {
+        std::string a0 = act;
+        a0[0] = static_cast<char>(std::toupper(a0[0]));
+        text = a0 + " when " + trig;
+        if (!cond.empty()) text += " and " + cond;
+        text += ".";
+      } else {
+        text = "If " + trig + ", " + act;
+        if (!cond.empty()) text += " when " + cond;
+        text += ".";
+      }
+      break;
+    }
+    case Platform::kAlexa: {
+      text = "Alexa, " + act;
+      if (rng_.Chance(0.8)) text += " if " + trig;
+      if (!cond.empty()) text += " and " + cond;
+      text += ".";
+      break;
+    }
+    case Platform::kGoogleAssistant: {
+      text = "When " + trig;
+      if (!cond.empty()) text += " and " + cond;
+      text += ", " + act + ".";
+      break;
+    }
+    case Platform::kHomeAssistant: {
+      text = "Blueprint: when " + trig;
+      if (!cond.empty()) text += " and if " + cond;
+      text += ", " + act + ".";
+      break;
+    }
+  }
+  rule->text = text;
+}
+
+}  // namespace glint::rules

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "rules/rule.h"
+#include "util/rng.h"
+
+namespace glint::rules {
+
+/// Renders the natural-language description of a rule in the phrasing style
+/// of its platform (IFTTT "If X, then Y.", SmartThings app descriptions,
+/// Alexa voice skills, Google Assistant routines, Home Assistant
+/// blueprints). The renderer injects controlled noise — synonym swaps,
+/// optional brand names, article variation — so the corpus exhibits the
+/// "large volume of noisy data with disparate formats" the paper describes.
+class PhrasingEngine {
+ public:
+  explicit PhrasingEngine(uint64_t seed = 99) : rng_(seed) {}
+
+  /// Produces a full description for the rule and stores it in `rule->text`.
+  void Render(Rule* rule);
+
+  /// Renders just a trigger / condition / action span (used for tests).
+  std::string RenderTrigger(const TriggerSpec& t);
+  std::string RenderCondition(const ConditionSpec& c);
+  std::string RenderAction(const ActionSpec& a);
+
+ private:
+  std::string VerbFor(Command cmd);
+  std::string DeviceNoun(DeviceType d);
+
+  Rng rng_;
+};
+
+}  // namespace glint::rules

@@ -1,0 +1,203 @@
+#include "rules/rule.h"
+
+namespace glint::rules {
+
+const char* LocationWord(Location l) {
+  switch (l) {
+    case Location::kAny: return "";
+    case Location::kLivingRoom: return "living_room";
+    case Location::kBedroom: return "bedroom";
+    case Location::kKitchen: return "kitchen";
+    case Location::kBathroom: return "bathroom";
+    case Location::kHallway: return "hallway";
+    case Location::kGarden: return "garden";
+  }
+  return "";
+}
+
+bool IsHouseWideChannel(Channel c) {
+  switch (c) {
+    case Channel::kSmoke:
+    case Channel::kPresence:
+    case Channel::kSecurity:
+    case Channel::kTime:
+    case Channel::kWater:
+    case Channel::kPower:
+    case Channel::kLockState:
+    case Channel::kDigital:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool SameScope(Location a, Location b, Channel channel) {
+  if (IsHouseWideChannel(channel)) return true;
+  return a == Location::kAny || b == Location::kAny || a == b;
+}
+
+std::string CommandResultState(Command cmd) {
+  switch (cmd) {
+    case Command::kOn: return "on";
+    case Command::kOff: return "off";
+    case Command::kOpen: return "open";
+    case Command::kClose: return "closed";
+    case Command::kLock: return "locked";
+    case Command::kUnlock: return "unlocked";
+    case Command::kDim: return "dim";
+    case Command::kBrighten: return "bright";
+    case Command::kPlay: return "playing";
+    case Command::kStopPlay: return "stopped";
+    case Command::kNotify: return "notified";
+    case Command::kSnapshot: return "captured";
+    case Command::kArm: return "armed";
+    case Command::kDisarm: return "disarmed";
+    case Command::kStartClean: return "cleaning";
+    case Command::kSetLevel: return "set";
+  }
+  return "";
+}
+
+bool CommandAssertsState(Command cmd, const std::string& state) {
+  if (state.empty()) return true;
+  if (CommandResultState(cmd) == state) return true;
+  // A few equivalences used by rule phrasing ("on" ~ "playing" for media).
+  if (cmd == Command::kPlay && state == "on") return true;
+  if (cmd == Command::kOn && state == "playing") return true;
+  if (cmd == Command::kStartClean && state == "on") return true;
+  return false;
+}
+
+bool CommandNegatesState(Command cmd, const std::string& state) {
+  static const struct {
+    const char* state;
+    Command negator;
+  } kNegations[] = {
+      {"on", Command::kOff},        {"off", Command::kOn},
+      {"open", Command::kClose},    {"closed", Command::kOpen},
+      {"locked", Command::kUnlock}, {"unlocked", Command::kLock},
+      {"playing", Command::kStopPlay}, {"stopped", Command::kPlay},
+      {"armed", Command::kDisarm},
+      {"disarmed", Command::kArm},  {"bright", Command::kDim},
+      {"dim", Command::kBrighten},
+  };
+  for (const auto& n : kNegations) {
+    if (state == n.state && cmd == n.negator) return true;
+  }
+  return false;
+}
+
+bool ActionTriggers(const ActionSpec& action, const TriggerSpec& trigger,
+                    Location action_loc, Location trigger_loc) {
+  if (!SameScope(action_loc, trigger_loc, trigger.channel)) return false;
+  // (i) Direct device-state trigger: the trigger watches the very device
+  // class the action commands, and the resulting state matches.
+  if (trigger.channel == StateChannelOf(action.device) &&
+      trigger.device == action.device) {
+    if (trigger.cmp == Comparator::kEquals || !trigger.state.empty()) {
+      if (CommandAssertsState(action.command, trigger.state)) return true;
+    } else if (trigger.cmp == Comparator::kAny) {
+      return true;
+    }
+  }
+  // Contact-sensor indirection: a contact sensor on a door/window observes
+  // open/close commands on that opening.
+  if (trigger.device == DeviceType::kContactSensor &&
+      (action.device == DeviceType::kWindow ||
+       action.device == DeviceType::kDoor ||
+       action.device == DeviceType::kGarage)) {
+    if (trigger.state.empty() ||
+        CommandAssertsState(action.command, trigger.state)) {
+      return true;
+    }
+  }
+
+  // (ii)+(iii) Environmental coupling: the action perturbs the channel the
+  // trigger observes, in a direction consistent with the comparator.
+  for (const EnvEffect& e : EffectsOf(action.device, action.command)) {
+    if (e.channel != trigger.channel) continue;
+    switch (trigger.cmp) {
+      case Comparator::kAbove:
+        if (e.direction > 0) return true;
+        break;
+      case Comparator::kBelow:
+        if (e.direction < 0) return true;
+        break;
+      case Comparator::kBetween:
+      case Comparator::kAny:
+      case Comparator::kEquals:
+        // Any perturbation can move the value into the band / fire an
+        // any-event trigger; state equality on env channels ("motion
+        // detected") fires on positive perturbation.
+        if (trigger.cmp == Comparator::kEquals) {
+          if (e.direction > 0) return true;
+        } else {
+          return true;
+        }
+        break;
+    }
+  }
+  return false;
+}
+
+bool RuleTriggersRule(const Rule& src, const Rule& dst) {
+  for (const auto& a : src.actions) {
+    if (ActionTriggers(a, dst.trigger, src.location, dst.location)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// ActionTriggers restricted to instantaneous couplings: direct device-state
+// matches, contact-sensor indirection, and fast (non-slow) env effects.
+bool ActionTriggersInstant(const ActionSpec& action,
+                           const TriggerSpec& trigger, Location action_loc,
+                           Location trigger_loc) {
+  if (!SameScope(action_loc, trigger_loc, trigger.channel)) return false;
+  if (trigger.channel == StateChannelOf(action.device) &&
+      trigger.device == action.device) {
+    if (trigger.cmp == Comparator::kEquals || !trigger.state.empty()) {
+      if (CommandAssertsState(action.command, trigger.state)) return true;
+    } else if (trigger.cmp == Comparator::kAny) {
+      return true;
+    }
+  }
+  if (trigger.device == DeviceType::kContactSensor &&
+      (action.device == DeviceType::kWindow ||
+       action.device == DeviceType::kDoor ||
+       action.device == DeviceType::kGarage)) {
+    if (trigger.state.empty() ||
+        CommandAssertsState(action.command, trigger.state)) {
+      return true;
+    }
+  }
+  for (const EnvEffect& e : EffectsOf(action.device, action.command)) {
+    if (e.channel != trigger.channel || e.slow) continue;
+    if (trigger.cmp == Comparator::kEquals) {
+      if (e.direction > 0) return true;
+    } else if (trigger.cmp == Comparator::kAbove) {
+      if (e.direction > 0) return true;
+    } else if (trigger.cmp == Comparator::kBelow) {
+      if (e.direction < 0) return true;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool RuleTriggersRuleInstant(const Rule& src, const Rule& dst) {
+  for (const auto& a : src.actions) {
+    if (ActionTriggersInstant(a, dst.trigger, src.location, dst.location)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace glint::rules

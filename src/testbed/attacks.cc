@@ -1,0 +1,82 @@
+#include "testbed/attacks.h"
+
+namespace glint::testbed {
+
+using rules::Command;
+using rules::DeviceType;
+using rules::Location;
+
+const char* AttackName(AttackType a) {
+  switch (a) {
+    case AttackType::kNone: return "none";
+    case AttackType::kFakeCommand: return "fake_command";
+    case AttackType::kStealthyCommand: return "stealthy_command";
+    case AttackType::kFakeEvent: return "fake_event";
+    case AttackType::kEventLoss: return "event_loss";
+    case AttackType::kCommandFailure: return "command_failure";
+  }
+  return "?";
+}
+
+void ApplyAttack(AttackType type, SmartHome* home, Rng* rng) {
+  switch (type) {
+    case AttackType::kNone:
+      return;
+    case AttackType::kFakeCommand: {
+      // "Manually turning off lights during normal operation" — or other
+      // unauthorized commands on actuators.
+      static const std::pair<DeviceType, Command> kCommands[] = {
+          {DeviceType::kLight, Command::kOff},
+          {DeviceType::kLock, Command::kUnlock},
+          {DeviceType::kWindow, Command::kOpen},
+          {DeviceType::kAc, Command::kOff},
+      };
+      const auto& [dev, cmd] = kCommands[rng->Below(4)];
+      home->InjectCommand(dev, Location::kAny, cmd);
+      return;
+    }
+    case AttackType::kStealthyCommand: {
+      // "Manually starting a robot vacuum to trigger motion sensors."
+      home->InjectCommand(DeviceType::kVacuum, Location::kLivingRoom,
+                          Command::kStartClean);
+      return;
+    }
+    case AttackType::kFakeEvent: {
+      // Forged sensor report with no physical cause.
+      graph::Event e;
+      if (rng->Chance(0.5)) {
+        e.device = DeviceType::kSmokeAlarm;
+        e.state = "beeping";
+      } else {
+        e.device = DeviceType::kMotionSensor;
+        e.location = Location::kHallway;
+        e.state = "active";
+      }
+      home->InjectEvent(e);
+      return;
+    }
+    case AttackType::kEventLoss: {
+      // Drop a slice of recent events (jammed radio / dropped reports).
+      auto* log = home->mutable_log();
+      auto events = log->events();
+      if (events.size() < 6) return;
+      const size_t start = events.size() - 1 - rng->Below(4);
+      const size_t count = 1 + rng->Below(3);
+      graph::EventLog rebuilt;
+      for (size_t i = 0; i < events.size(); ++i) {
+        if (i >= start - count && i < start) continue;
+        rebuilt.Append(events[i]);
+      }
+      *log = rebuilt;
+      return;
+    }
+    case AttackType::kCommandFailure:
+      // Handled via SmartHome::Config::command_failure_rate; inject one
+      // command that will race the elevated failure rate.
+      home->InjectCommand(DeviceType::kLight, Location::kLivingRoom,
+                          Command::kOn);
+      return;
+  }
+}
+
+}  // namespace glint::testbed

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "testbed/home.h"
+
+namespace glint::testbed {
+
+/// The five attack/misbehaviour models of Sec. 4.8.1.
+enum class AttackType {
+  kNone = 0,
+  kFakeCommand,      ///< targeted compromise: attacker issues a command
+  kStealthyCommand,  ///< targeted compromise: vacuum started to fire sensors
+  kFakeEvent,        ///< interaction abuse: forged sensor event
+  kEventLoss,        ///< interaction abuse: events dropped from the log
+  kCommandFailure,   ///< misconfiguration: commands silently fail
+};
+constexpr int kNumAttackTypes = 6;
+
+const char* AttackName(AttackType a);
+
+/// Applies one attack instance to the running home at its current time.
+/// kEventLoss removes recent events from the log; the others inject.
+void ApplyAttack(AttackType type, SmartHome* home, Rng* rng);
+
+}  // namespace glint::testbed

@@ -1,0 +1,65 @@
+#include "testbed/frames.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace glint::testbed {
+
+FrameEncoder::FrameEncoder(std::vector<DeviceInstance> devices)
+    : devices_(std::move(devices)) {}
+
+float FrameEncoder::StateCode(const std::string& state) {
+  static const std::unordered_map<std::string, float>* codes =
+      new std::unordered_map<std::string, float>{
+          {"off", 0},      {"on", 1},        {"open", 1},
+          {"closed", 0},   {"locked", 1},    {"unlocked", 0},
+          {"active", 1},   {"inactive", 0},  {"present", 1},
+          {"away", 0},     {"beeping", 1},   {"quiet", 0},
+          {"playing", 1},  {"stopped", 0},   {"armed", 1},
+          {"disarmed", 0}, {"cleaning", 1},  {"idle", 0},
+          {"high", 1},     {"low", -1},      {"normal", 0},
+          {"bright", 1},   {"dim", 0.5f},    {"captured", 1},
+          {"notified", 1}, {"pressed", 1},   {"set", 1},
+      };
+  auto it = codes->find(state);
+  return it == codes->end() ? 0.5f : it->second;
+}
+
+FloatVec FrameEncoder::FrameAt(const graph::EventLog& log,
+                               size_t event_index) const {
+  const auto& events = log.events();
+  GLINT_CHECK(event_index < events.size());
+  const double t = events[event_index].time_hours;
+  FloatVec frame;
+  frame.reserve(frame_dim());
+  for (const auto& dev : devices_) {
+    const std::string state = log.StateAt(dev.type, dev.location, t);
+    frame.push_back(state.empty() ? StateCode(dev.state) : StateCode(state));
+  }
+  // Hour-of-day feature (as a fraction) so diurnal structure is learnable.
+  frame.push_back(static_cast<float>(std::fmod(t, 24.0) / 24.0));
+  return frame;
+}
+
+std::vector<FloatVec> FrameEncoder::Windows(const graph::EventLog& log,
+                                            int window) const {
+  std::vector<FloatVec> out;
+  const auto& events = log.events();
+  if (events.size() < static_cast<size_t>(window)) return out;
+  // Precompute per-event frames, then concatenate sliding windows.
+  std::vector<FloatVec> frames;
+  frames.reserve(events.size());
+  for (size_t i = 0; i < events.size(); ++i) frames.push_back(FrameAt(log, i));
+  for (size_t i = 0; i + static_cast<size_t>(window) <= frames.size(); ++i) {
+    FloatVec v;
+    v.reserve(frame_dim() * static_cast<size_t>(window));
+    for (int k = 0; k < window; ++k) {
+      const auto& f = frames[i + static_cast<size_t>(k)];
+      v.insert(v.end(), f.begin(), f.end());
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace glint::testbed

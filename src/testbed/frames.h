@@ -1,0 +1,34 @@
+#pragma once
+
+#include "graph/event_log.h"
+#include "testbed/home.h"
+#include "util/vecmath.h"
+
+namespace glint::testbed {
+
+/// Encodes event logs into fixed-width state frames for the OCSVM and
+/// IsolationForest baselines (Sec. 4.8.1: "we capture all devices' states
+/// as a frame when a new event happens; four consecutive frames compose a
+/// data vector").
+class FrameEncoder {
+ public:
+  /// `devices` fixes the frame layout (one slot per device instance).
+  explicit FrameEncoder(std::vector<DeviceInstance> devices);
+
+  /// One frame: the devices' states just after the i-th event of `log`.
+  FloatVec FrameAt(const graph::EventLog& log, size_t event_index) const;
+
+  /// Sliding windows of `window` consecutive frames, concatenated.
+  std::vector<FloatVec> Windows(const graph::EventLog& log,
+                                int window = 4) const;
+
+  size_t frame_dim() const { return devices_.size() + 1; }
+
+ private:
+  /// Numeric code of a device state keyword.
+  static float StateCode(const std::string& state);
+
+  std::vector<DeviceInstance> devices_;
+};
+
+}  // namespace glint::testbed

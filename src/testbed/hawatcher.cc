@@ -1,0 +1,76 @@
+#include "testbed/hawatcher.h"
+
+#include <set>
+
+#include "rules/device.h"
+
+namespace glint::testbed {
+
+std::string HaWatcher::Sig(const graph::Event& e) {
+  return std::string(rules::DeviceWord(e.device)) + ":" + e.state;
+}
+
+void HaWatcher::Train(const graph::EventLog& benign) {
+  correlations_.clear();
+  known_.clear();
+  const auto& events = benign.events();
+  std::map<std::string, int> count_a;
+  std::map<std::pair<std::string, std::string>, int> count_ab;
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    const std::string sa = Sig(events[i]);
+    known_[sa] += 1;
+    count_a[sa] += 1;
+    std::set<std::string> followers;
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      if (events[j].time_hours - events[i].time_hours > params_.window_hours) {
+        break;
+      }
+      followers.insert(Sig(events[j]));
+    }
+    for (const auto& sb : followers) count_ab[{sa, sb}] += 1;
+  }
+
+  for (const auto& [pair, n_ab] : count_ab) {
+    const auto& [sa, sb] = pair;
+    if (sa == sb) continue;
+    const int n_a = count_a[sa];
+    if (n_a < params_.min_support) continue;
+    const double conf = static_cast<double>(n_ab) / n_a;
+    if (conf >= params_.min_confidence) {
+      correlations_.push_back({sa, sb, conf});
+    }
+  }
+}
+
+int HaWatcher::CountAnomalies(const std::vector<graph::Event>& window) const {
+  int anomalies = 0;
+  const double window_end =
+      window.empty() ? 0 : window.back().time_hours;
+  // 1. Violated correlations: antecedent without consequent in δ. Events
+  // too close to the window end are skipped — their consequent may simply
+  // not have been observed yet.
+  for (size_t i = 0; i < window.size(); ++i) {
+    if (window_end - window[i].time_hours < params_.window_hours) continue;
+    const std::string sa = Sig(window[i]);
+    for (const auto& corr : correlations_) {
+      if (corr.antecedent != sa) continue;
+      bool satisfied = false;
+      for (size_t j = i + 1; j < window.size(); ++j) {
+        if (window[j].time_hours - window[i].time_hours >
+            params_.window_hours) {
+          break;
+        }
+        if (Sig(window[j]) == corr.consequent) satisfied = true;
+      }
+      if (!satisfied) ++anomalies;
+    }
+  }
+  // 2. Events never observed in benign operation.
+  for (const auto& e : window) {
+    if (known_.find(Sig(e)) == known_.end()) ++anomalies;
+  }
+  return anomalies;
+}
+
+}  // namespace glint::testbed

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/event_log.h"
+#include "util/rng.h"
+
+namespace glint::testbed {
+
+/// HAWatcher-style semantics-aware anomaly detector (Fu et al., USENIX
+/// Security'21) — the strongest Fig. 11 baseline. It mines *binary
+/// correlations* "event A is followed by event B within δ" from benign
+/// training logs, then reports anomalies at runtime when a correlation's
+/// antecedent occurs without its consequent (or a consequent appears with
+/// no cause). Long-horizon and user-driven interactions are out of its
+/// model — the paper's stated weakness that Glint addresses.
+class HaWatcher {
+ public:
+  struct Params {
+    double window_hours = 0.2;       ///< δ for correlation matching
+    double min_confidence = 0.9;     ///< P(B follows A) to accept
+    int min_support = 5;             ///< occurrences of A required
+    /// Anomalies required before a window is flagged (single stragglers —
+    /// e.g. a consequent delayed past δ — are tolerated).
+    int flag_threshold = 2;
+  };
+
+  HaWatcher() : HaWatcher(Params()) {}
+  explicit HaWatcher(Params p) : params_(p) {}
+
+  /// Mines correlations from a benign training log (the "21 days of
+  /// training" phase; ours is the simulated benign week).
+  void Train(const graph::EventLog& benign);
+
+  /// Number of mined correlations.
+  size_t num_correlations() const { return correlations_.size(); }
+
+  /// Anomaly count in a test window: violated correlations plus
+  /// uncaused actuator events.
+  int CountAnomalies(const std::vector<graph::Event>& window) const;
+
+  /// Binary verdict for a test window.
+  bool Flag(const std::vector<graph::Event>& window) const {
+    return CountAnomalies(window) >= params_.flag_threshold;
+  }
+
+ private:
+  /// Event signature "device:state".
+  static std::string Sig(const graph::Event& e);
+
+  struct Correlation {
+    std::string antecedent;
+    std::string consequent;
+    double confidence = 0;
+  };
+
+  Params params_;
+  std::vector<Correlation> correlations_;
+  /// Signatures seen in benign data (events outside this set are suspect).
+  std::map<std::string, int> known_;
+};
+
+}  // namespace glint::testbed

@@ -1,0 +1,284 @@
+#include "testbed/home.h"
+
+#include <cmath>
+
+namespace glint::testbed {
+
+using rules::Channel;
+using rules::Command;
+using rules::DeviceType;
+using rules::Location;
+
+std::vector<DeviceInstance> SmartHome::DefaultLayout() {
+  // Fig. 10: light bulbs, motion sensors, contact sensors, a temperature
+  // sensor, a presence sensor, a camera, a smart button — plus the
+  // actuators the deployed automations command.
+  return {
+      {DeviceType::kLight, Location::kLivingRoom, "off"},
+      {DeviceType::kLight, Location::kBedroom, "off"},
+      {DeviceType::kLight, Location::kKitchen, "off"},
+      {DeviceType::kMotionSensor, Location::kLivingRoom, "inactive"},
+      {DeviceType::kMotionSensor, Location::kHallway, "inactive"},
+      {DeviceType::kContactSensor, Location::kLivingRoom, "closed"},
+      {DeviceType::kTemperatureSensor, Location::kLivingRoom, "normal"},
+      {DeviceType::kPresenceSensor, Location::kAny, "present"},
+      {DeviceType::kCamera, Location::kHallway, "idle"},
+      {DeviceType::kButton, Location::kBedroom, "idle"},
+      {DeviceType::kWindow, Location::kLivingRoom, "closed"},
+      {DeviceType::kDoor, Location::kHallway, "closed"},
+      {DeviceType::kLock, Location::kHallway, "unlocked"},
+      {DeviceType::kAc, Location::kLivingRoom, "off"},
+      {DeviceType::kHeater, Location::kLivingRoom, "off"},
+      {DeviceType::kTv, Location::kLivingRoom, "off"},
+      {DeviceType::kSpeaker, Location::kLivingRoom, "stopped"},
+      {DeviceType::kVacuum, Location::kLivingRoom, "off"},
+      {DeviceType::kHumidifier, Location::kBedroom, "off"},
+      {DeviceType::kSmokeAlarm, Location::kKitchen, "quiet"},
+      {DeviceType::kSecuritySystem, Location::kAny, "disarmed"},
+      {DeviceType::kPhone, Location::kAny, "idle"},
+  };
+}
+
+SmartHome::SmartHome(Config config, std::vector<rules::Rule> deployed)
+    : config_(config),
+      rng_(config.seed),
+      now_(config.start_hour),
+      deployed_(std::move(deployed)),
+      devices_(DefaultLayout()) {
+  for (int l = 0; l < rules::kNumLocations; ++l) {
+    env_.temperature[l] = 70;
+    env_.humidity[l] = 45;
+  }
+}
+
+DeviceInstance* SmartHome::FindDevice(DeviceType type, Location loc) {
+  DeviceInstance* any_match = nullptr;
+  for (auto& d : devices_) {
+    if (d.type != type) continue;
+    if (d.location == loc) return &d;
+    if (loc == Location::kAny || d.location == Location::kAny) {
+      any_match = &d;
+    }
+    if (any_match == nullptr) any_match = &d;  // same type, other room
+  }
+  return any_match;
+}
+
+std::string SmartHome::DeviceState(DeviceType type) const {
+  for (const auto& d : devices_) {
+    if (d.type == type) return d.state;
+  }
+  return "";
+}
+
+bool SmartHome::ConditionsHold(const rules::Rule& r) const {
+  for (const auto& c : r.conditions) {
+    if (c.has_time) {
+      const double hour = std::fmod(now_, 24.0);
+      if (hour < c.hour_lo || hour > c.hour_hi) return false;
+      continue;
+    }
+    if (!c.state.empty()) {
+      bool matched = false;
+      for (const auto& d : devices_) {
+        if (d.type == c.device && d.state == c.state) matched = true;
+      }
+      if (!matched) return false;
+      continue;
+    }
+    if (c.cmp == rules::Comparator::kAbove || c.cmp == rules::Comparator::kBelow) {
+      const int loc = static_cast<int>(
+          r.location == Location::kAny ? Location::kLivingRoom : r.location);
+      double value = 0;
+      if (c.channel == Channel::kTemperature) value = env_.temperature[loc];
+      if (c.channel == Channel::kHumidity) value = env_.humidity[loc];
+      if (c.cmp == rules::Comparator::kAbove && !(value > c.lo)) return false;
+      if (c.cmp == rules::Comparator::kBelow && !(value < c.lo)) return false;
+    }
+  }
+  return true;
+}
+
+void SmartHome::ExecuteAction(const rules::ActionSpec& action, Location loc,
+                              int source_rule_id, int depth) {
+  if (rng_.Chance(config_.command_failure_rate)) return;  // silent failure
+  DeviceInstance* dev = FindDevice(action.device, loc);
+  const std::string new_state = rules::CommandResultState(action.command);
+  Location event_loc = loc;
+  if (dev != nullptr) {
+    dev->state = new_state;
+    event_loc = dev->location;
+  }
+  graph::Event e;
+  e.time_hours = now_;
+  e.device = action.device;
+  e.location = event_loc;
+  e.state = new_state;
+  e.source_rule_id = source_rule_id;
+  log_.Append(e);
+
+  // Environmental side effects (fast ones manifest immediately; slow ones
+  // nudge the continuous state so thresholds can be crossed next steps).
+  for (const auto& eff : rules::EffectsOf(action.device, action.command)) {
+    const int l = static_cast<int>(
+        event_loc == Location::kAny ? Location::kLivingRoom : event_loc);
+    if (eff.channel == Channel::kTemperature) {
+      env_.temperature[l] += eff.direction * (eff.slow ? 2.5 : 5.0);
+    } else if (eff.channel == Channel::kHumidity) {
+      env_.humidity[l] += eff.direction * (eff.slow ? 3.0 : 6.0);
+    } else if (eff.channel == Channel::kMotion && eff.direction > 0) {
+      // e.g. a vacuum spuriously firing the motion sensor (trigger intake).
+      graph::Event m;
+      m.time_hours = now_ + 0.003;
+      m.device = DeviceType::kMotionSensor;
+      m.location = event_loc;
+      m.state = "active";
+      m.source_rule_id = source_rule_id;
+      log_.Append(m);
+      if (auto* ms = FindDevice(DeviceType::kMotionSensor, event_loc)) {
+        ms->state = "active";
+      }
+      RunCascade(m, depth + 1);
+    }
+  }
+
+  RunCascade(e, depth + 1);
+}
+
+bool SmartHome::NumericTriggerSatisfied(const rules::Rule& r) const {
+  const auto& t = r.trigger;
+  if (t.cmp != rules::Comparator::kAbove &&
+      t.cmp != rules::Comparator::kBelow &&
+      t.cmp != rules::Comparator::kBetween) {
+    return true;  // state/time triggers are matched by the event itself
+  }
+  const int loc = static_cast<int>(
+      r.location == Location::kAny ? Location::kLivingRoom : r.location);
+  double value = 0;
+  if (t.channel == Channel::kTemperature) {
+    value = env_.temperature[loc];
+  } else if (t.channel == Channel::kHumidity) {
+    value = env_.humidity[loc];
+  } else {
+    return true;
+  }
+  switch (t.cmp) {
+    case rules::Comparator::kAbove: return value > t.lo;
+    case rules::Comparator::kBelow: return value < t.lo;
+    case rules::Comparator::kBetween: return value >= t.lo && value <= t.hi;
+    default: return true;
+  }
+}
+
+void SmartHome::RunCascade(const graph::Event& cause, int depth) {
+  if (depth >= config_.max_cascade) return;
+  for (const auto& r : deployed_) {
+    if (!graph::EventFiresTrigger(cause, r)) continue;
+    // Numeric triggers additionally require the environment to actually be
+    // past the threshold (the event only says the channel changed).
+    if (!NumericTriggerSatisfied(r)) continue;
+    if (!ConditionsHold(r)) continue;
+    for (const auto& a : r.actions) {
+      ExecuteAction(a, r.location == Location::kAny ? cause.location
+                                                    : r.location,
+                    r.id, depth);
+    }
+  }
+}
+
+void SmartHome::InjectEvent(graph::Event e) {
+  e.time_hours = now_;
+  log_.Append(e);
+  // Reflect sensor state.
+  if (auto* dev = FindDevice(e.device, e.location)) dev->state = e.state;
+  RunCascade(e, 0);
+}
+
+void SmartHome::InjectCommand(DeviceType device, Location loc, Command cmd) {
+  rules::ActionSpec a;
+  a.device = device;
+  a.command = cmd;
+  ExecuteAction(a, loc, /*source_rule_id=*/0, 0);
+}
+
+void SmartHome::ResidentStep(double dt) {
+  const double hour = std::fmod(now_, 24.0);
+  const bool awake = hour > 6.5 && hour < 23.0;
+  // Motion: active when awake and present.
+  if (env_.present && awake && rng_.Chance(0.6 * dt * 60 / 10)) {
+    static const Location kRooms[] = {Location::kLivingRoom,
+                                      Location::kHallway};
+    graph::Event e;
+    e.device = DeviceType::kMotionSensor;
+    e.location = kRooms[rng_.Below(2)];
+    e.state = "active";
+    InjectEvent(e);
+  }
+  // Presence transitions around commute times.
+  if (env_.present && hour > 8.2 && hour < 9.2 && rng_.Chance(0.3)) {
+    env_.present = false;
+    graph::Event e;
+    e.device = DeviceType::kPresenceSensor;
+    e.state = "away";
+    InjectEvent(e);
+  }
+  if (!env_.present && hour > 17.2 && hour < 19.0 && rng_.Chance(0.35)) {
+    env_.present = true;
+    graph::Event e;
+    e.device = DeviceType::kPresenceSensor;
+    e.state = "present";
+    InjectEvent(e);
+  }
+  // Door usage.
+  if (env_.present && awake && rng_.Chance(0.12 * dt * 60 / 10)) {
+    graph::Event e;
+    e.device = DeviceType::kContactSensor;
+    e.location = Location::kLivingRoom;
+    e.state = rng_.Chance(0.5) ? "open" : "closed";
+    InjectEvent(e);
+  }
+  // Occasional button press.
+  if (env_.present && awake && rng_.Chance(0.03 * dt * 60 / 10)) {
+    graph::Event e;
+    e.device = DeviceType::kButton;
+    e.location = Location::kBedroom;
+    e.state = "pressed";
+    InjectEvent(e);
+  }
+}
+
+void SmartHome::EnvironmentStep(double dt) {
+  // Diurnal outdoor forcing + relaxation toward it.
+  const double hour = std::fmod(now_, 24.0);
+  const double outdoor = 65 + 15 * std::sin((hour - 9) / 24.0 * 2 * 3.14159);
+  for (int l = 0; l < rules::kNumLocations; ++l) {
+    env_.temperature[l] += (outdoor - env_.temperature[l]) * 0.05 * dt;
+    env_.humidity[l] += (45 - env_.humidity[l]) * 0.05 * dt;
+    env_.humidity[l] = std::min(95.0, std::max(5.0, env_.humidity[l]));
+  }
+  // Threshold crossings emit sensor events.
+  const int l = static_cast<int>(Location::kLivingRoom);
+  if (rng_.Chance(0.25 * dt * 60 / 10)) {
+    graph::Event e;
+    e.device = DeviceType::kTemperatureSensor;
+    e.location = Location::kLivingRoom;
+    e.state = env_.temperature[l] > 78   ? "high"
+              : env_.temperature[l] < 62 ? "low"
+                                         : "normal";
+    InjectEvent(e);
+  }
+}
+
+void SmartHome::Simulate(double hours) {
+  const double dt = 10.0 / 60.0;  // 10-minute ticks
+  double remaining = hours;
+  while (remaining > 1e-9) {
+    const double step = std::min(dt, remaining);
+    now_ += step;
+    remaining -= step;
+    ResidentStep(step);
+    EnvironmentStep(step);
+  }
+}
+
+}  // namespace glint::testbed

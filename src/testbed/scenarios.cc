@@ -1,0 +1,274 @@
+#include "testbed/scenarios.h"
+
+namespace glint::testbed {
+
+using rules::ActionSpec;
+using rules::Channel;
+using rules::Command;
+using rules::Comparator;
+using rules::ConditionSpec;
+using rules::DeviceType;
+using rules::Location;
+using rules::Platform;
+using rules::Rule;
+using rules::TriggerSpec;
+
+namespace {
+
+TriggerSpec StateTrig(DeviceType d, const char* state) {
+  TriggerSpec t;
+  t.device = d;
+  t.channel = rules::StateChannelOf(d);
+  if (rules::IsSensor(d)) t.channel = rules::SensedChannelOf(d);
+  t.cmp = Comparator::kEquals;
+  t.state = state;
+  t.direction = +1;
+  return t;
+}
+
+TriggerSpec NumTrig(Channel ch, DeviceType d, Comparator cmp, double lo) {
+  TriggerSpec t;
+  t.channel = ch;
+  t.device = d;
+  t.cmp = cmp;
+  t.lo = lo;
+  t.direction = cmp == Comparator::kAbove ? +1 : -1;
+  return t;
+}
+
+TriggerSpec TimeTrig(int hour) {
+  TriggerSpec t;
+  t.channel = Channel::kTime;
+  t.cmp = Comparator::kEquals;
+  t.has_time = true;
+  t.hour_lo = hour;
+  t.hour_hi = hour;
+  return t;
+}
+
+Rule Make(int id, Platform p, TriggerSpec t, std::vector<ActionSpec> as,
+          const char* text, Location loc = Location::kAny) {
+  Rule r;
+  r.id = id;
+  r.platform = p;
+  r.location = loc;
+  r.trigger = t;
+  r.actions = std::move(as);
+  r.text = text;
+  return r;
+}
+
+}  // namespace
+
+std::vector<Rule> ScenarioGenerator::BenignDeployment() {
+  std::vector<Rule> rules;
+  rules.push_back(Make(1, Platform::kSmartThings,
+                       StateTrig(DeviceType::kMotionSensor, "active"),
+                       {{DeviceType::kLight, Command::kOn, 0}},
+                       "If motion is detected, turn on the light.",
+                       Location::kLivingRoom));
+  rules.push_back(Make(2, Platform::kSmartThings,
+                       StateTrig(DeviceType::kPresenceSensor, "away"),
+                       {{DeviceType::kLock, Command::kLock, 0},
+                        {DeviceType::kSecuritySystem, Command::kArm, 0}},
+                       "When everyone leaves home, lock the door and arm the "
+                       "alarm."));
+  rules.push_back(Make(3, Platform::kSmartThings,
+                       StateTrig(DeviceType::kPresenceSensor, "present"),
+                       {{DeviceType::kSecuritySystem, Command::kDisarm, 0}},
+                       "When someone arrives home, disarm the alarm."));
+  rules.push_back(Make(4, Platform::kAlexa,
+                       NumTrig(Channel::kTemperature,
+                               DeviceType::kTemperatureSensor,
+                               Comparator::kAbove, 78),
+                       {{DeviceType::kAc, Command::kOn, 0}},
+                       "Turn on the air conditioner when the temperature is "
+                       "above 78 degrees.",
+                       Location::kLivingRoom));
+  rules.push_back(Make(5, Platform::kAlexa,
+                       NumTrig(Channel::kTemperature,
+                               DeviceType::kTemperatureSensor,
+                               Comparator::kBelow, 62),
+                       {{DeviceType::kHeater, Command::kOn, 0}},
+                       "Turn on the heater when the temperature is below 62 "
+                       "degrees.",
+                       Location::kLivingRoom));
+  rules.push_back(Make(6, Platform::kIFTTT, TimeTrig(7),
+                       {{DeviceType::kBlind, Command::kOpen, 0}},
+                       "If the time is 7 am, then open the blinds."));
+  return rules;
+}
+
+graph::EventLog ScenarioGenerator::BenignWeek(double hours) {
+  SmartHome::Config cfg;
+  cfg.seed = rng_.NextU64();
+  SmartHome home(cfg, BenignDeployment());
+  home.Simulate(hours);
+  return home.log();
+}
+
+Scenario ScenarioGenerator::Run(std::vector<Rule> deployed, AttackType attack,
+                                bool threat, bool complex) {
+  SmartHome::Config cfg;
+  cfg.seed = rng_.NextU64();
+  cfg.start_hour = static_cast<double>(rng_.Int(0, 23));
+  if (attack == AttackType::kCommandFailure) cfg.command_failure_rate = 0.5;
+  SmartHome home(cfg, deployed);
+  home.Simulate(1.5 + rng_.Uniform() * 1.0);
+  if (attack != AttackType::kNone) {
+    ApplyAttack(attack, &home, &rng_);
+  }
+  home.Simulate(0.8 + rng_.Uniform() * 0.5);
+
+  Scenario s;
+  s.deployed = std::move(deployed);
+  s.log = home.log();
+  s.now_hours = home.now();
+  s.threat = threat;
+  s.complex = complex;
+  s.attack = attack;
+  return s;
+}
+
+Scenario ScenarioGenerator::MakeBenign() {
+  return Run(BenignDeployment(), AttackType::kNone, /*threat=*/false,
+             /*complex=*/false);
+}
+
+Scenario ScenarioGenerator::MakeBct() {
+  std::vector<Rule> deployed = BenignDeployment();
+  const int combo = static_cast<int>(rng_.Below(3));
+  AttackType attack = AttackType::kFakeEvent;
+  switch (combo) {
+    case 0: {
+      // Action conflict: smoke unlock vs nightly lock (settings 8/9).
+      deployed.push_back(Make(next_rule_id_++, Platform::kSmartThings,
+                              StateTrig(DeviceType::kSmokeAlarm, "beeping"),
+                              {{DeviceType::kLock, Command::kUnlock, 0}},
+                              "If smoke is detected, unlock the door."));
+      deployed.push_back(Make(next_rule_id_++, Platform::kAlexa, TimeTrig(22),
+                              {{DeviceType::kLock, Command::kLock, 0}},
+                              "Lock the door at 10 pm every day."));
+      attack = AttackType::kFakeEvent;  // forged smoke/motion report
+      break;
+    }
+    case 1: {
+      // Action revert on the AC via the humidity side channel.
+      deployed.push_back(
+          Make(next_rule_id_++, Platform::kIFTTT,
+               NumTrig(Channel::kHumidity, DeviceType::kHumiditySensor,
+                       Comparator::kBelow, 40),
+               {{DeviceType::kHumidifier, Command::kOn, 0},
+                {DeviceType::kAc, Command::kOff, 0}},
+               "When humidity is below 40 percent, turn on the humidifier "
+               "and turn off the air conditioner.",
+               Location::kLivingRoom));
+      attack = AttackType::kFakeCommand;
+      break;
+    }
+    default: {
+      // Condition block: light-on disarms home; armed-only notification
+      // becomes dead (settings 3/4).
+      deployed.push_back(Make(next_rule_id_++, Platform::kIFTTT,
+                              StateTrig(DeviceType::kLight, "on"),
+                              {{DeviceType::kSecuritySystem,
+                                Command::kDisarm, 0}},
+                              "When light is on, disarm home state."));
+      {
+        Rule r = Make(next_rule_id_++, Platform::kIFTTT,
+                      StateTrig(DeviceType::kMotionSensor, "active"),
+                      {{DeviceType::kPhone, Command::kNotify, 0}},
+                      "If motion is detected at the door and home is in "
+                      "armed state, then send a notification.");
+        ConditionSpec c;
+        c.channel = Channel::kSecurity;
+        c.device = DeviceType::kSecuritySystem;
+        c.cmp = Comparator::kEquals;
+        c.state = "armed";
+        r.conditions.push_back(c);
+        deployed.push_back(r);
+      }
+      attack = AttackType::kCommandFailure;
+      break;
+    }
+  }
+  return Run(std::move(deployed), attack, /*threat=*/true, /*complex=*/false);
+}
+
+Scenario ScenarioGenerator::MakeCct() {
+  std::vector<Rule> deployed = BenignDeployment();
+  const int combo = static_cast<int>(rng_.Below(3));
+  AttackType attack = AttackType::kStealthyCommand;
+  switch (combo) {
+    case 0: {
+      // Trigger-intake chain: 9 pm vacuum -> motion sensor -> snapshot
+      // notification spam (3 rules involved with rule 1's lighting).
+      deployed.push_back(Make(next_rule_id_++, Platform::kHomeAssistant,
+                              TimeTrig(21),
+                              {{DeviceType::kVacuum, Command::kStartClean, 0}},
+                              "Blueprint: at 9 pm, run the vacuum cleaner.",
+                              Location::kLivingRoom));
+      deployed.push_back(
+          Make(next_rule_id_++, Platform::kHomeAssistant,
+               StateTrig(DeviceType::kMotionSensor, "active"),
+               {{DeviceType::kCamera, Command::kSnapshot, 0},
+                {DeviceType::kPhone, Command::kNotify, 0}},
+               "Blueprint: when motion is detected, capture a snapshot with "
+               "the camera and notify my phone.",
+               Location::kLivingRoom));
+      attack = AttackType::kStealthyCommand;
+      break;
+    }
+    case 1: {
+      // Action loop chain: tv playing -> lights off -> lock -> ... with the
+      // away-state re-light rule (settings 10/11 style, 3 rules).
+      deployed.push_back(Make(next_rule_id_++, Platform::kSmartThings,
+                              StateTrig(DeviceType::kTv, "playing"),
+                              {{DeviceType::kLight, Command::kOff, 0}},
+                              "Turn off lights if playing movies."));
+      deployed.push_back(Make(next_rule_id_++, Platform::kAlexa,
+                              StateTrig(DeviceType::kLight, "off"),
+                              {{DeviceType::kLock, Command::kLock, 0},
+                               {DeviceType::kTv, Command::kPlay, 0}},
+                              "Lock the door and play a movie if all lights "
+                              "are turned off."));
+      attack = AttackType::kFakeCommand;
+      break;
+    }
+    default: {
+      // Condition-duplicate chain: play music -> occupancy reported ->
+      // heating starts (3 rules).
+      {
+        TriggerSpec occ;
+        occ.device = DeviceType::kSpeaker;
+        occ.channel = Channel::kSound;
+        occ.cmp = Comparator::kEquals;
+        occ.state = "playing";
+        deployed.push_back(Make(next_rule_id_++, Platform::kHomeAssistant,
+                                occ, {{DeviceType::kPhone, Command::kNotify, 0}},
+                                "Blueprint: report the room is occupied when "
+                                "media is playing in the room."));
+      }
+      deployed.push_back(Make(next_rule_id_++, Platform::kIFTTT, TimeTrig(15),
+                              {{DeviceType::kSpeaker, Command::kPlay, 0}},
+                              "If the time is 3 pm, then play music in the "
+                              "room."));
+      {
+        TriggerSpec t;
+        t.device = DeviceType::kPresenceSensor;
+        t.channel = Channel::kOccupancy;
+        t.cmp = Comparator::kEquals;
+        t.state = "occupied";
+        deployed.push_back(Make(next_rule_id_++, Platform::kHomeAssistant, t,
+                                {{DeviceType::kHeater, Command::kOn, 0}},
+                                "Blueprint: start the heating when the room "
+                                "is occupied."));
+      }
+      attack = AttackType::kEventLoss;
+      break;
+    }
+  }
+  return Run(std::move(deployed), attack, /*threat=*/true, /*complex=*/true);
+}
+
+}  // namespace glint::testbed

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "testbed/attacks.h"
+#include "testbed/home.h"
+
+namespace glint::testbed {
+
+/// One evaluation case for the Fig. 11 comparison: a deployment, an event
+/// trace, and ground truth.
+struct Scenario {
+  std::vector<rules::Rule> deployed;
+  graph::EventLog log;
+  double now_hours = 0;
+  bool threat = false;
+  /// True = complex-correlation threat (CCT, >2 culprit rules);
+  /// false = binary-correlation threat (BCT) or benign.
+  bool complex = false;
+  AttackType attack = AttackType::kNone;
+};
+
+/// Builds the benign automation deployment used by the testbed (verified
+/// threat-free by the analyzer) and generates benign/BCT/CCT scenarios by
+/// running the simulator with injected vulnerable rule combos and attacks
+/// (Sec. 4.8.1: 600 graphs, 150 BCT + 150 CCT).
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(uint64_t seed = 31337) : rng_(seed) {}
+
+  /// The benign base deployment (motion lighting, presence security,
+  /// climate control) — no classic threats among these rules.
+  static std::vector<rules::Rule> BenignDeployment();
+
+  /// A long benign trace for training the anomaly-detection baselines
+  /// (the paper's one-week collection, 1,813 events).
+  graph::EventLog BenignWeek(double hours = 168);
+
+  /// A benign test scenario (a few hours of normal operation).
+  Scenario MakeBenign();
+
+  /// A binary-correlation threat scenario: two conflicting rules deployed
+  /// and driven to interact (plus a triggering attack).
+  Scenario MakeBct();
+
+  /// A complex-correlation threat scenario: a >2-rule chain (loop,
+  /// trigger-intake chain, condition-duplicate chain).
+  Scenario MakeCct();
+
+ private:
+  Scenario Run(std::vector<rules::Rule> deployed, AttackType attack,
+               bool threat, bool complex);
+
+  Rng rng_;
+  int next_rule_id_ = 1000;
+};
+
+}  // namespace glint::testbed

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace glint {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// SplitMix64). Every source of randomness in Glint flows through an Rng so
+/// that datasets, model initialisation, and experiments are reproducible
+/// bit-for-bit across runs and platforms.
+class Rng {
+ public:
+  /// Creates a generator whose stream is fully determined by `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator; the subsequent stream matches a freshly
+  /// constructed Rng with the same seed.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the single seed word into the 4-word state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Below(uint64_t n) { return NextU64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Int(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller (one sample per call; the pair's second
+  /// half is discarded to keep the stream position predictable).
+  double Gaussian() {
+    double u1 = Uniform();
+    double u2 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(6.283185307179586 * u2);
+  }
+
+  /// Gaussian with explicit mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return Uniform() < p; }
+
+  /// Uniformly selects an element index weighted by `weights` (need not be
+  /// normalised; all weights must be >= 0 and sum > 0).
+  size_t Weighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = Uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Below(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks one element uniformly. Requires non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Below(v.size())];
+  }
+
+  /// Derives an independent child generator; used to give each dataset /
+  /// model / trial its own stream while staying reproducible.
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// Stable 64-bit hash of a string (FNV-1a); used to derive deterministic
+/// embeddings and identifiers from vocabulary words.
+inline uint64_t HashString(const char* s, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(s[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace glint

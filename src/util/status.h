@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace glint {
+
+/// Error codes for fallible Glint operations (I/O, parsing, shape checks).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Lightweight status object (Arrow/RocksDB style). Functions whose failure
+/// is an expected runtime condition return Status (or Result<T>) instead of
+/// throwing; programming errors use GLINT_CHECK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "IOError: cannot open file".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+      case StatusCode::kNotFound: name = "NotFound"; break;
+      case StatusCode::kIOError: name = "IOError"; break;
+      case StatusCode::kFailedPrecondition: name = "FailedPrecondition"; break;
+      case StatusCode::kInternal: name = "Internal"; break;
+      default: break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T>: a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : ok_(true), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : ok_(false), status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return ok_; }
+  const Status& status() const { return status_; }
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  /// Returns the value, aborting with the status message if not ok.
+  /// Intended for examples/benches where failure is a bug.
+  T ValueOrDie() && {
+    if (!ok_) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+    return std::move(value_);
+  }
+
+ private:
+  bool ok_;
+  T value_{};
+  Status status_;
+};
+
+}  // namespace glint
+
+/// Aborts with a diagnostic when `cond` is false. Used for invariants and
+/// programmer errors, never for expected runtime failures.
+#define GLINT_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "GLINT_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Propagates a non-OK Status from the current function.
+#define GLINT_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::glint::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)

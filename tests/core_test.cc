@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/explain.h"
+#include "core/glint.h"
+#include "graph/threat_analyzer.h"
+
+namespace glint::core {
+namespace {
+
+// One small trained Glint shared by all tests in this file (training is the
+// expensive part).
+class GlintTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Glint::Options opts;
+    opts.corpus.ifttt = 500;
+    opts.corpus.smartthings = 80;
+    opts.corpus.alexa = 150;
+    opts.corpus.google_assistant = 80;
+    opts.corpus.home_assistant = 80;
+    opts.num_training_graphs = 600;
+    opts.builder.max_nodes = 10;
+    opts.builder.size_skew = 2.0;
+    opts.model.num_scales = 2;
+    opts.model.embed_dim = 64;
+    opts.train.epochs = 14;
+    opts.train.oversample_factor = 2.5;
+    opts.pairs.num_positive = 200;
+    opts.pairs.num_negative = 300;
+    glint_ = new Glint(opts);
+    glint_->TrainOffline();
+  }
+
+  static Glint* glint_;
+};
+
+Glint* GlintTest::glint_ = nullptr;
+
+TEST_F(GlintTest, ReadyAfterTraining) { EXPECT_TRUE(glint_->ready()); }
+
+TEST_F(GlintTest, Table1IsFlaggedAsThreat) {
+  auto table1 = rules::CorpusGenerator::Table1Rules();
+  auto g = glint_->builder()->BuildFromRules(table1);
+  auto warning = glint_->InspectGraph(g);
+  EXPECT_TRUE(warning.threat);
+  EXPECT_GT(warning.confidence, 0.5);
+  EXPECT_FALSE(warning.culprits.empty());
+}
+
+TEST_F(GlintTest, BenignDeploymentPasses) {
+  using rules::Command;
+  using rules::DeviceType;
+  std::vector<rules::Rule> benign(2);
+  benign[0].id = 1;
+  benign[0].trigger.device = DeviceType::kMotionSensor;
+  benign[0].trigger.channel = rules::Channel::kMotion;
+  benign[0].trigger.cmp = rules::Comparator::kEquals;
+  benign[0].trigger.state = "active";
+  benign[0].actions.push_back({DeviceType::kLight, Command::kOn, 0});
+  benign[0].text = "If motion is detected, turn on the light.";
+  benign[1].id = 2;
+  benign[1].trigger.device = DeviceType::kPresenceSensor;
+  benign[1].trigger.channel = rules::Channel::kPresence;
+  benign[1].trigger.cmp = rules::Comparator::kEquals;
+  benign[1].trigger.state = "away";
+  benign[1].actions.push_back({DeviceType::kLock, Command::kLock, 0});
+  benign[1].text = "When everyone leaves, lock the door.";
+
+  auto g = glint_->builder()->BuildFromRules(benign);
+  ASSERT_FALSE(g.vulnerable());  // analyzer agrees it is benign
+  auto warning = glint_->InspectGraph(g);
+  EXPECT_FALSE(warning.threat);
+}
+
+TEST_F(GlintTest, LearnedCorrelationGraphApproximatesOracle) {
+  auto table1 = rules::CorpusGenerator::Table1Rules();
+  auto learned = glint_->BuildGraph(table1);
+  auto oracle = glint_->builder()->BuildFromRules(table1);
+  // The learned classifier rebuilds most oracle edges.
+  int shared = 0;
+  for (const auto& e : oracle.edges()) {
+    shared += learned.HasEdge(e.src, e.dst) ? 1 : 0;
+  }
+  EXPECT_GT(shared * 2, oracle.num_edges());
+}
+
+TEST_F(GlintTest, InspectRealTimeRunsEndToEnd) {
+  auto table1 = rules::CorpusGenerator::Table1Rules();
+  graph::EventLog log;
+  graph::Event tv;
+  tv.time_hours = 20.1;
+  tv.device = rules::DeviceType::kTv;
+  tv.state = "playing";
+  log.Append(tv);
+  graph::Event lights;
+  lights.time_hours = 20.15;
+  lights.device = rules::DeviceType::kLight;
+  lights.state = "off";
+  log.Append(lights);
+  auto warning = glint_->Inspect(table1, log, 20.5);
+  // End-to-end smoke: produces a decision and renderable output.
+  EXPECT_FALSE(warning.Render().empty());
+}
+
+TEST_F(GlintTest, SaveLoadRoundTrip) {
+  ASSERT_TRUE(glint_->SaveModels("/tmp").ok());
+  // A fresh Glint with the same architecture can load and classify.
+  Glint::Options opts;
+  opts.model.num_scales = 2;
+  opts.model.embed_dim = 64;
+  Glint fresh(opts);
+  ASSERT_TRUE(fresh.LoadModels("/tmp").ok());
+  EXPECT_TRUE(fresh.ready());
+  std::remove("/tmp/itgnn_s.bin");
+  std::remove("/tmp/itgnn_c.bin");
+}
+
+TEST_F(GlintTest, WarningRenderContainsCulprits) {
+  auto table1 = rules::CorpusGenerator::Table1Rules();
+  auto g = glint_->builder()->BuildFromRules(table1);
+  auto warning = glint_->InspectGraph(g);
+  const std::string text = warning.Render();
+  EXPECT_NE(text.find("GLINT NOTIFICATION"), std::string::npos);
+  if (warning.threat) {
+    EXPECT_NE(text.find("JUMP TO"), std::string::npos);
+  }
+}
+
+TEST_F(GlintTest, ExplainScoresNormalized) {
+  auto table1 = rules::CorpusGenerator::Table1Rules();
+  auto g = glint_->builder()->BuildFromRules(table1);
+  auto gg = gnn::ToGnnGraph(g);
+  auto importance = ExplainNodes(glint_->classifier(), gg);
+  ASSERT_EQ(importance.size(), static_cast<size_t>(gg.num_nodes));
+  for (double v : importance) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(TopCulpritsTest, OrdersByImportance) {
+  auto top = TopCulprits({0.1, 0.9, 0.5}, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1);
+  EXPECT_EQ(top[1], 2);
+}
+
+TEST(WarningTest, NoThreatRender) {
+  ThreatWarning w;
+  w.threat = false;
+  EXPECT_NE(w.Render().find("No interactive threats"), std::string::npos);
+}
+
+TEST(WarningTest, DriftingRender) {
+  ThreatWarning w;
+  w.drifting = true;
+  EXPECT_NE(w.Render().find("drifting"), std::string::npos);
+}
+
+TEST_F(GlintTest, FineTuneAdaptsToUserFeedback) {
+  // Take a vulnerable graph the user declares a false alarm; after
+  // fine-tuning the confidence for that exact graph should not increase.
+  auto table1 = rules::CorpusGenerator::Table1Rules();
+  auto g = glint_->builder()->BuildFromRules(table1);
+  auto before = glint_->InspectGraph(g);
+  glint_->FineTune({g}, {false});
+  auto after = glint_->InspectGraph(g);
+  EXPECT_LE(after.confidence, before.confidence + 1e-6);
+}
+
+}  // namespace
+}  // namespace glint::core

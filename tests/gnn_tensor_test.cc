@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "gnn/tensor.h"
+
+namespace glint::gnn {
+namespace {
+
+Matrix RandMatrix(int r, int c, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (auto& v : m.data) v = static_cast<float>(rng.Gaussian(0, 1));
+  return m;
+}
+
+// Numerical gradient check: `forward` maps parameter values to a scalar
+// loss built on a fresh tape. We compare the autograd gradient against
+// central finite differences for every parameter entry.
+void CheckGradients(
+    std::vector<Parameter*> params,
+    const std::function<Tensor*(Tape*)>& forward, double tol = 2e-2) {
+  // Analytic gradients.
+  for (auto* p : params) p->ZeroGrad();
+  {
+    Tape tape;
+    Tensor* loss = forward(&tape);
+    tape.Backward(loss);
+  }
+  const double eps = 1e-3;
+  for (auto* p : params) {
+    for (size_t i = 0; i < p->value.data.size(); ++i) {
+      const float orig = p->value.data[i];
+      p->value.data[i] = orig + static_cast<float>(eps);
+      double up, down;
+      {
+        Tape tape;
+        up = forward(&tape)->value.data[0];
+      }
+      p->value.data[i] = orig - static_cast<float>(eps);
+      {
+        Tape tape;
+        down = forward(&tape)->value.data[0];
+      }
+      p->value.data[i] = orig;
+      const double numeric = (up - down) / (2 * eps);
+      const double analytic = p->grad.data[i];
+      EXPECT_NEAR(analytic, numeric, tol + 0.05 * std::fabs(numeric))
+          << "entry " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forward correctness
+// ---------------------------------------------------------------------------
+
+TEST(TensorOps, MatMulForward) {
+  Tape t;
+  Matrix a(2, 3);
+  a.data = {1, 2, 3, 4, 5, 6};
+  Matrix b(3, 2);
+  b.data = {7, 8, 9, 10, 11, 12};
+  Tensor* c = MatMul(&t, t.Constant(a), t.Constant(b));
+  EXPECT_FLOAT_EQ(c->value.At(0, 0), 58);
+  EXPECT_FLOAT_EQ(c->value.At(0, 1), 64);
+  EXPECT_FLOAT_EQ(c->value.At(1, 0), 139);
+  EXPECT_FLOAT_EQ(c->value.At(1, 1), 154);
+}
+
+TEST(TensorOps, AddBroadcastsRow) {
+  Tape t;
+  Matrix a(2, 2);
+  a.data = {1, 2, 3, 4};
+  Matrix b(1, 2);
+  b.data = {10, 20};
+  Tensor* c = Add(&t, t.Constant(a), t.Constant(b));
+  EXPECT_FLOAT_EQ(c->value.At(0, 0), 11);
+  EXPECT_FLOAT_EQ(c->value.At(1, 1), 24);
+}
+
+TEST(TensorOps, ReluClamps) {
+  Tape t;
+  Matrix a(1, 3);
+  a.data = {-1, 0, 2};
+  Tensor* c = Relu(&t, t.Constant(a));
+  EXPECT_FLOAT_EQ(c->value.At(0, 0), 0);
+  EXPECT_FLOAT_EQ(c->value.At(0, 2), 2);
+}
+
+TEST(TensorOps, SigmoidRange) {
+  Tape t;
+  Matrix a(1, 2);
+  a.data = {-100, 100};
+  Tensor* c = Sigmoid(&t, t.Constant(a));
+  EXPECT_NEAR(c->value.At(0, 0), 0, 1e-6);
+  EXPECT_NEAR(c->value.At(0, 1), 1, 1e-6);
+}
+
+TEST(TensorOps, MeanMaxRows) {
+  Tape t;
+  Matrix a(2, 2);
+  a.data = {1, 5, 3, 2};
+  Tensor* mean = MeanRows(&t, t.Constant(a));
+  Tensor* mx = MaxRows(&t, t.Constant(a));
+  EXPECT_FLOAT_EQ(mean->value.At(0, 0), 2);
+  EXPECT_FLOAT_EQ(mean->value.At(0, 1), 3.5);
+  EXPECT_FLOAT_EQ(mx->value.At(0, 0), 3);
+  EXPECT_FLOAT_EQ(mx->value.At(0, 1), 5);
+}
+
+TEST(TensorOps, ConcatShapes) {
+  Tape t;
+  Tensor* a = t.Constant(Matrix(2, 3, 1.f));
+  Tensor* b = t.Constant(Matrix(2, 4, 2.f));
+  Tensor* c = ConcatCols(&t, a, b);
+  EXPECT_EQ(c->rows(), 2);
+  EXPECT_EQ(c->cols(), 7);
+  EXPECT_FLOAT_EQ(c->value.At(0, 0), 1.f);
+  EXPECT_FLOAT_EQ(c->value.At(0, 6), 2.f);
+
+  Tensor* d = ConcatRows(&t, t.Constant(Matrix(1, 3, 1.f)),
+                         t.Constant(Matrix(2, 3, 2.f)));
+  EXPECT_EQ(d->rows(), 3);
+  EXPECT_FLOAT_EQ(d->value.At(2, 0), 2.f);
+}
+
+TEST(TensorOps, GatherRows) {
+  Tape t;
+  Matrix a(3, 2);
+  a.data = {1, 2, 3, 4, 5, 6};
+  Tensor* g = GatherRows(&t, t.Constant(a), {2, 0});
+  EXPECT_FLOAT_EQ(g->value.At(0, 0), 5);
+  EXPECT_FLOAT_EQ(g->value.At(1, 1), 2);
+}
+
+TEST(TensorOps, SpMMForward) {
+  Tape t;
+  SparseMatrix s;
+  s.rows = 2;
+  s.cols = 2;
+  s.entries = {{0, 1, 2.f}, {1, 0, 3.f}};
+  Matrix a(2, 1);
+  a.data = {5, 7};
+  Tensor* c = SpMM(&t, s, t.Constant(a));
+  EXPECT_FLOAT_EQ(c->value.At(0, 0), 14);
+  EXPECT_FLOAT_EQ(c->value.At(1, 0), 15);
+}
+
+TEST(TensorOps, SoftmaxRowSumsToOne) {
+  Tape t;
+  Matrix a(1, 4);
+  a.data = {1, 2, 3, 4};
+  auto p = SoftmaxRow(t.Constant(a));
+  double sum = 0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(p[3], p[0]);
+}
+
+TEST(TensorOps, CrossEntropyOfConfidentCorrectIsSmall) {
+  Tape t;
+  Matrix logits(1, 2);
+  logits.data = {-10, 10};
+  Tensor* loss =
+      SoftmaxCrossEntropy(&t, t.Constant(logits), /*label=*/1, 1.f);
+  EXPECT_LT(loss->value.data[0], 1e-4);
+}
+
+TEST(TensorOps, BceWithLogitKnownValue) {
+  Tape t;
+  Matrix z(1, 1);
+  z.data = {0};
+  Tensor* loss = BceWithLogit(&t, t.Constant(z), 1, 1.f);
+  EXPECT_NEAR(loss->value.data[0], std::log(2.0), 1e-6);
+}
+
+TEST(TensorOps, ContrastiveSamePullsTogether) {
+  Tape t;
+  Matrix a(1, 2), b(1, 2);
+  a.data = {1, 0};
+  b.data = {0, 1};
+  Tensor* same = ContrastiveLoss(&t, t.Constant(a), t.Constant(b), true, 2.f);
+  EXPECT_NEAR(same->value.data[0], 2.0, 1e-6);  // squared distance
+}
+
+TEST(TensorOps, ContrastiveDifferentUsesMargin) {
+  Tape t;
+  Matrix a(1, 1), b(1, 1);
+  a.data = {0};
+  b.data = {1};  // distance 1, margin 3 -> (3-1)^2 = 4
+  Tensor* diff =
+      ContrastiveLoss(&t, t.Constant(a), t.Constant(b), false, 3.f);
+  EXPECT_NEAR(diff->value.data[0], 4.0, 1e-5);
+  // Beyond the margin the loss vanishes.
+  Matrix c(1, 1);
+  c.data = {10};
+  Tensor* far = ContrastiveLoss(&t, t.Constant(a), t.Constant(c), false, 3.f);
+  EXPECT_NEAR(far->value.data[0], 0.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Gradient checks (numerical)
+// ---------------------------------------------------------------------------
+
+TEST(GradCheck, MatMulChain) {
+  Parameter w(RandMatrix(3, 2, 1));
+  Matrix x = RandMatrix(2, 3, 2);
+  CheckGradients({&w}, [&](Tape* t) {
+    return SumAll(t, MatMul(t, t->Constant(x), t->Leaf(&w)));
+  });
+}
+
+TEST(GradCheck, AddBroadcastBias) {
+  Parameter b(RandMatrix(1, 3, 3));
+  Matrix x = RandMatrix(4, 3, 4);
+  CheckGradients({&b}, [&](Tape* t) {
+    return SumAll(t, Add(t, t->Constant(x), t->Leaf(&b)));
+  });
+}
+
+TEST(GradCheck, ReluSigmoidTanhChain) {
+  Parameter w(RandMatrix(3, 3, 5));
+  Matrix x = RandMatrix(2, 3, 6);
+  CheckGradients({&w}, [&](Tape* t) {
+    Tensor* h = MatMul(t, t->Constant(x), t->Leaf(&w));
+    return SumAll(t, Tanh(t, Sigmoid(t, Relu(t, h))));
+  });
+}
+
+TEST(GradCheck, MulAndScale) {
+  Parameter a(RandMatrix(2, 2, 7));
+  Parameter b(RandMatrix(2, 2, 8));
+  CheckGradients({&a, &b}, [&](Tape* t) {
+    return SumAll(t, Scale(t, Mul(t, t->Leaf(&a), t->Leaf(&b)), 0.5f));
+  });
+}
+
+TEST(GradCheck, ConcatAndReadouts) {
+  Parameter w(RandMatrix(3, 4, 9));
+  Matrix x = RandMatrix(3, 3, 10);
+  CheckGradients({&w}, [&](Tape* t) {
+    Tensor* h = MatMul(t, t->Constant(x), t->Leaf(&w));
+    Tensor* ro = ConcatCols(t, MeanRows(t, h), MaxRows(t, h));
+    return SumAll(t, ro);
+  });
+}
+
+TEST(GradCheck, GatherAndRowScale) {
+  Parameter w(RandMatrix(2, 3, 11));
+  Parameter gate(RandMatrix(2, 1, 12));
+  CheckGradients({&w, &gate}, [&](Tape* t) {
+    Tensor* scaled = RowScale(t, t->Leaf(&w), Sigmoid(t, t->Leaf(&gate)));
+    return SumAll(t, GatherRows(t, scaled, {1, 0, 1}));
+  });
+}
+
+TEST(GradCheck, SpMMGraphConv) {
+  SparseMatrix adj;
+  adj.rows = 3;
+  adj.cols = 3;
+  adj.entries = {{0, 0, 0.5f}, {0, 1, 0.5f}, {1, 1, 1.f}, {2, 0, 0.7f},
+                 {2, 2, 0.3f}};
+  Parameter w(RandMatrix(2, 2, 13));
+  Matrix x = RandMatrix(3, 2, 14);
+  CheckGradients({&w}, [&](Tape* t) {
+    Tensor* h = MatMul(t, t->Constant(x), t->Leaf(&w));
+    return SumAll(t, Relu(t, SpMM(t, adj, h)));
+  });
+}
+
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  Parameter w(RandMatrix(4, 2, 15));
+  Matrix x = RandMatrix(1, 4, 16);
+  CheckGradients({&w}, [&](Tape* t) {
+    Tensor* logits = MatMul(t, t->Constant(x), t->Leaf(&w));
+    return SoftmaxCrossEntropy(t, logits, 1, 1.3f);
+  });
+}
+
+TEST(GradCheck, BceWithLogit) {
+  Parameter w(RandMatrix(3, 1, 17));
+  Matrix x = RandMatrix(1, 3, 18);
+  CheckGradients({&w}, [&](Tape* t) {
+    Tensor* z = MatMul(t, t->Constant(x), t->Leaf(&w));
+    return BceWithLogit(t, z, 0, 0.7f);
+  });
+}
+
+TEST(GradCheck, ContrastiveBothBranches) {
+  Parameter wa(RandMatrix(1, 4, 19));
+  Parameter wb(RandMatrix(1, 4, 20));
+  CheckGradients({&wa, &wb}, [&](Tape* t) {
+    return ContrastiveLoss(t, t->Leaf(&wa), t->Leaf(&wb), true, 2.f);
+  });
+  CheckGradients({&wa, &wb}, [&](Tape* t) {
+    return ContrastiveLoss(t, t->Leaf(&wa), t->Leaf(&wb), false, 5.f);
+  });
+}
+
+TEST(GradCheck, SoftmaxRowOpAttention) {
+  Parameter scores(RandMatrix(1, 3, 21));
+  Matrix h0 = RandMatrix(2, 2, 22);
+  Matrix h1 = RandMatrix(2, 2, 23);
+  Matrix h2 = RandMatrix(2, 2, 24);
+  CheckGradients({&scores}, [&](Tape* t) {
+    Tensor* beta = SoftmaxRowOp(t, t->Leaf(&scores));
+    Tensor* out = ScaleByEntry(t, t->Constant(h0), beta, 0);
+    out = Add(t, out, ScaleByEntry(t, t->Constant(h1), beta, 1));
+    out = Add(t, out, ScaleByEntry(t, t->Constant(h2), beta, 2));
+    return SumAll(t, out);
+  });
+}
+
+TEST(GradCheck, ConcatRowsPath) {
+  Parameter a(RandMatrix(2, 3, 25));
+  Parameter b(RandMatrix(1, 3, 26));
+  CheckGradients({&a, &b}, [&](Tape* t) {
+    return SumAll(t, ConcatRows(t, t->Leaf(&a), t->Leaf(&b)));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Adam
+// ---------------------------------------------------------------------------
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 elementwise.
+  Parameter w(Matrix(1, 1, 0.f));
+  Adam adam({0.1, 0.9, 0.999, 1e-8, 0});
+  for (int i = 0; i < 300; ++i) {
+    w.grad.data[0] = 2 * (w.value.data[0] - 3.f);
+    adam.Step({&w});
+  }
+  EXPECT_NEAR(w.value.data[0], 3.0, 0.05);
+}
+
+TEST(AdamTest, SkipsFrozenParameters) {
+  Parameter w(Matrix(1, 1, 1.f));
+  w.frozen = true;
+  Adam adam;
+  w.grad.data[0] = 100.f;
+  adam.Step({&w});
+  EXPECT_FLOAT_EQ(w.value.data[0], 1.f);
+  EXPECT_FLOAT_EQ(w.grad.data[0], 0.f);  // gradient still cleared
+}
+
+TEST(TapeTest, LeafAccumulatesIntoParameter) {
+  Parameter w(Matrix(1, 2, 1.f));
+  w.ZeroGrad();
+  Tape tape;
+  Tensor* loss = SumAll(&tape, tape.Leaf(&w));
+  tape.Backward(loss);
+  EXPECT_FLOAT_EQ(w.grad.data[0], 1.f);
+  EXPECT_FLOAT_EQ(w.grad.data[1], 1.f);
+}
+
+TEST(TapeTest, ConstantsHaveNoGradient) {
+  Tape tape;
+  Tensor* c = tape.Constant(Matrix(2, 2, 1.f));
+  EXPECT_FALSE(c->requires_grad);
+  Tensor* d = Relu(&tape, c);
+  EXPECT_FALSE(d->requires_grad);
+}
+
+}  // namespace
+}  // namespace glint::gnn

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "nlp/tokenizer.h"
+
+namespace glint::nlp {
+namespace {
+
+TEST(Tokenizer, LowercasesAndSplits) {
+  auto words = Tokenizer::Words("Close the Window");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "close");
+  EXPECT_EQ(words[1], "the");
+  EXPECT_EQ(words[2], "window");
+}
+
+TEST(Tokenizer, StripsPunctuation) {
+  auto words = Tokenizer::Words("If smoke, then open!");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words.back(), "open");
+}
+
+TEST(Tokenizer, MergesTurnOnBigram) {
+  auto words = Tokenizer::Words("turn on the light");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "turn_on");
+}
+
+TEST(Tokenizer, MergesDeviceBigrams) {
+  EXPECT_EQ(Tokenizer::Words("the motion sensor fired")[1], "motion_sensor");
+  EXPECT_EQ(Tokenizer::Words("air conditioner is on")[0], "ac");
+  EXPECT_EQ(Tokenizer::Words("smoke detector beeps")[0], "smoke_alarm");
+  EXPECT_EQ(Tokenizer::Words("robot vacuum starts")[0], "vacuum");
+  EXPECT_EQ(Tokenizer::Words("living room light")[0], "living_room");
+}
+
+TEST(Tokenizer, DegreeSignNormalized) {
+  auto words = Tokenizer::Words("above 85 °F today");
+  ASSERT_GE(words.size(), 3u);
+  EXPECT_EQ(words[0], "above");
+  EXPECT_EQ(words[1], "85");
+  EXPECT_EQ(words[2], "degrees");
+}
+
+TEST(Tokenizer, KeepsNumbers) {
+  auto words = Tokenizer::Words("between 65 and 80");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[1], "65");
+  EXPECT_EQ(words[3], "80");
+}
+
+TEST(Tokenizer, OffsetsPointIntoSentence) {
+  const std::string s = "open the door";
+  auto tokens = Tokenizer::Tokenize(s);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(s.substr(tokens[2].offset, 4), "door");
+}
+
+TEST(Tokenizer, EmptyInput) {
+  EXPECT_TRUE(Tokenizer::Words("").empty());
+  EXPECT_TRUE(Tokenizer::Words("  ,,! ").empty());
+}
+
+TEST(Tokenizer, HyphenSplits) {
+  auto words = Tokenizer::Words("living-room light");
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], "living_room");
+  EXPECT_EQ(words[1], "light");
+}
+
+TEST(Tokenizer, ConsecutiveBigramsBothMerge) {
+  auto words = Tokenizer::Words("turn on living room lamp");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "turn_on");
+  EXPECT_EQ(words[1], "living_room");
+  EXPECT_EQ(words[2], "lamp");
+}
+
+}  // namespace
+}  // namespace glint::nlp

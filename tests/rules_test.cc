@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nlp/tokenizer.h"
+#include "rules/corpus.h"
+#include "rules/rule.h"
+
+namespace glint::rules {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Device taxonomy
+// ---------------------------------------------------------------------------
+
+TEST(Device, NamesResolve) {
+  EXPECT_STREQ(DeviceWord(DeviceType::kAc), "ac");
+  EXPECT_STREQ(DeviceWord(DeviceType::kSmokeAlarm), "smoke_alarm");
+  EXPECT_STREQ(PlatformName(Platform::kIFTTT), "IFTTT");
+  EXPECT_STREQ(ChannelName(Channel::kTemperature), "temperature");
+}
+
+TEST(Device, SensorsSenseTheirChannel) {
+  EXPECT_EQ(SensedChannelOf(DeviceType::kMotionSensor), Channel::kMotion);
+  EXPECT_EQ(SensedChannelOf(DeviceType::kSmokeAlarm), Channel::kSmoke);
+  EXPECT_EQ(SensedChannelOf(DeviceType::kLight), Channel::kNone);
+  EXPECT_TRUE(IsSensor(DeviceType::kLeakSensor));
+  EXPECT_FALSE(IsSensor(DeviceType::kHeater));
+}
+
+TEST(Device, StateChannels) {
+  EXPECT_EQ(StateChannelOf(DeviceType::kWindow), Channel::kContact);
+  EXPECT_EQ(StateChannelOf(DeviceType::kLock), Channel::kLockState);
+  EXPECT_EQ(StateChannelOf(DeviceType::kEmailService), Channel::kDigital);
+}
+
+class CommandOpposition
+    : public ::testing::TestWithParam<std::pair<Command, Command>> {};
+
+TEST_P(CommandOpposition, OpposesSymmetrically) {
+  auto [a, b] = GetParam();
+  EXPECT_TRUE(CommandsOppose(a, b));
+  EXPECT_TRUE(CommandsOppose(b, a));
+  EXPECT_FALSE(CommandsOppose(a, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, CommandOpposition,
+    ::testing::Values(std::make_pair(Command::kOn, Command::kOff),
+                      std::make_pair(Command::kOpen, Command::kClose),
+                      std::make_pair(Command::kLock, Command::kUnlock),
+                      std::make_pair(Command::kDim, Command::kBrighten),
+                      std::make_pair(Command::kPlay, Command::kStopPlay),
+                      std::make_pair(Command::kArm, Command::kDisarm)));
+
+TEST(Device, NonOpposingCommands) {
+  EXPECT_FALSE(CommandsOppose(Command::kOn, Command::kOpen));
+  EXPECT_FALSE(CommandsOppose(Command::kNotify, Command::kSnapshot));
+}
+
+TEST(Device, EffectsOfHeater) {
+  auto effects = EffectsOf(DeviceType::kHeater, Command::kOn);
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].channel, Channel::kTemperature);
+  EXPECT_EQ(effects[0].direction, +1);
+  EXPECT_TRUE(effects[0].slow);
+}
+
+TEST(Device, AcCoolsAndDries) {
+  auto effects = EffectsOf(DeviceType::kAc, Command::kOn);
+  ASSERT_EQ(effects.size(), 2u);
+  EXPECT_EQ(effects[0].channel, Channel::kTemperature);
+  EXPECT_EQ(effects[0].direction, -1);
+  EXPECT_EQ(effects[1].channel, Channel::kHumidity);
+  EXPECT_EQ(effects[1].direction, -1);
+}
+
+TEST(Device, VacuumEmitsMotion) {
+  auto effects = EffectsOf(DeviceType::kVacuum, Command::kStartClean);
+  bool motion = false;
+  for (const auto& e : effects) {
+    motion |= e.channel == Channel::kMotion && e.direction > 0 && !e.slow;
+  }
+  EXPECT_TRUE(motion);
+}
+
+TEST(Device, PhoneHasNoPhysicalEffects) {
+  EXPECT_TRUE(EffectsOf(DeviceType::kPhone, Command::kNotify).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Command-state semantics
+// ---------------------------------------------------------------------------
+
+TEST(CommandState, ResultStates) {
+  EXPECT_EQ(CommandResultState(Command::kOpen), "open");
+  EXPECT_EQ(CommandResultState(Command::kLock), "locked");
+  EXPECT_EQ(CommandResultState(Command::kStartClean), "cleaning");
+}
+
+TEST(CommandState, AssertsOwnResult) {
+  EXPECT_TRUE(CommandAssertsState(Command::kOpen, "open"));
+  EXPECT_TRUE(CommandAssertsState(Command::kOn, "on"));
+  EXPECT_FALSE(CommandAssertsState(Command::kOpen, "closed"));
+  EXPECT_TRUE(CommandAssertsState(Command::kOpen, ""));  // wildcard
+}
+
+TEST(CommandState, MediaEquivalences) {
+  EXPECT_TRUE(CommandAssertsState(Command::kPlay, "on"));
+  EXPECT_TRUE(CommandAssertsState(Command::kOn, "playing"));
+}
+
+TEST(CommandState, Negations) {
+  EXPECT_TRUE(CommandNegatesState(Command::kClose, "open"));
+  EXPECT_TRUE(CommandNegatesState(Command::kDisarm, "armed"));
+  EXPECT_TRUE(CommandNegatesState(Command::kLock, "unlocked"));
+  EXPECT_FALSE(CommandNegatesState(Command::kOpen, "open"));
+}
+
+// ---------------------------------------------------------------------------
+// Location scoping
+// ---------------------------------------------------------------------------
+
+TEST(Location, HouseWideChannels) {
+  EXPECT_TRUE(IsHouseWideChannel(Channel::kSmoke));
+  EXPECT_TRUE(IsHouseWideChannel(Channel::kDigital));
+  EXPECT_FALSE(IsHouseWideChannel(Channel::kTemperature));
+  EXPECT_FALSE(IsHouseWideChannel(Channel::kIlluminance));
+}
+
+TEST(Location, SameScopeRules) {
+  // Room channels couple same room or kAny.
+  EXPECT_TRUE(SameScope(Location::kKitchen, Location::kKitchen,
+                        Channel::kTemperature));
+  EXPECT_TRUE(SameScope(Location::kAny, Location::kKitchen,
+                        Channel::kTemperature));
+  EXPECT_FALSE(SameScope(Location::kKitchen, Location::kBedroom,
+                         Channel::kTemperature));
+  // House channels couple everything.
+  EXPECT_TRUE(SameScope(Location::kKitchen, Location::kBedroom,
+                        Channel::kSmoke));
+}
+
+// ---------------------------------------------------------------------------
+// ActionTriggers semantics (the correlation oracle)
+// ---------------------------------------------------------------------------
+
+TriggerSpec MakeStateTrigger(DeviceType d, const char* state) {
+  TriggerSpec t;
+  t.device = d;
+  t.channel = StateChannelOf(d);
+  t.cmp = Comparator::kEquals;
+  t.state = state;
+  return t;
+}
+
+TEST(ActionTriggers, DirectStateMatch) {
+  ActionSpec open_window{DeviceType::kWindow, Command::kOpen, 0};
+  EXPECT_TRUE(ActionTriggers(open_window,
+                             MakeStateTrigger(DeviceType::kWindow, "open")));
+  EXPECT_FALSE(ActionTriggers(open_window,
+                              MakeStateTrigger(DeviceType::kWindow, "closed")));
+}
+
+TEST(ActionTriggers, ContactSensorIndirection) {
+  ActionSpec open_door{DeviceType::kDoor, Command::kOpen, 0};
+  TriggerSpec t;
+  t.device = DeviceType::kContactSensor;
+  t.channel = Channel::kContact;
+  t.cmp = Comparator::kEquals;
+  t.state = "open";
+  EXPECT_TRUE(ActionTriggers(open_door, t));
+}
+
+TEST(ActionTriggers, EnvThresholdCoupling) {
+  ActionSpec heater_on{DeviceType::kHeater, Command::kOn, 0};
+  TriggerSpec above;
+  above.channel = Channel::kTemperature;
+  above.device = DeviceType::kTemperatureSensor;
+  above.cmp = Comparator::kAbove;
+  above.lo = 80;
+  EXPECT_TRUE(ActionTriggers(heater_on, above));
+  TriggerSpec below = above;
+  below.cmp = Comparator::kBelow;
+  EXPECT_FALSE(ActionTriggers(heater_on, below));  // heating cannot cool
+}
+
+TEST(ActionTriggers, SensorIntake) {
+  ActionSpec vacuum{DeviceType::kVacuum, Command::kStartClean, 0};
+  TriggerSpec motion;
+  motion.channel = Channel::kMotion;
+  motion.device = DeviceType::kMotionSensor;
+  motion.cmp = Comparator::kEquals;
+  motion.state = "active";
+  EXPECT_TRUE(ActionTriggers(vacuum, motion));
+}
+
+TEST(ActionTriggers, LocationBlocksRoomChannels) {
+  ActionSpec heater_on{DeviceType::kHeater, Command::kOn, 0};
+  TriggerSpec above;
+  above.channel = Channel::kTemperature;
+  above.cmp = Comparator::kAbove;
+  above.lo = 80;
+  EXPECT_FALSE(ActionTriggers(heater_on, above, Location::kKitchen,
+                              Location::kBedroom));
+  EXPECT_TRUE(ActionTriggers(heater_on, above, Location::kKitchen,
+                             Location::kKitchen));
+}
+
+TEST(ActionTriggers, InstantExcludesSlowChannels) {
+  Rule heater;
+  heater.actions.push_back({DeviceType::kHeater, Command::kOn, 0});
+  Rule temp_rule;
+  temp_rule.trigger.channel = Channel::kTemperature;
+  temp_rule.trigger.cmp = Comparator::kAbove;
+  temp_rule.trigger.lo = 80;
+  EXPECT_TRUE(RuleTriggersRule(heater, temp_rule));
+  EXPECT_FALSE(RuleTriggersRuleInstant(heater, temp_rule));
+
+  Rule light;
+  light.actions.push_back({DeviceType::kLight, Command::kOn, 0});
+  Rule light_watch;
+  light_watch.trigger = MakeStateTrigger(DeviceType::kLight, "on");
+  EXPECT_TRUE(RuleTriggersRuleInstant(light, light_watch));
+}
+
+// ---------------------------------------------------------------------------
+// Paper rule sets
+// ---------------------------------------------------------------------------
+
+TEST(PaperRules, Table1HasNineRules) {
+  auto rules = CorpusGenerator::Table1Rules();
+  ASSERT_EQ(rules.size(), 9u);
+  EXPECT_EQ(rules[0].platform, Platform::kSmartThings);
+  EXPECT_EQ(rules[4].platform, Platform::kIFTTT);
+  EXPECT_EQ(rules[8].platform, Platform::kAlexa);
+}
+
+TEST(PaperRules, Table1KnownCorrelations) {
+  auto rules = CorpusGenerator::Table1Rules();
+  // Rule 1 (lights off) triggers Rule 9 (lock when lights off).
+  EXPECT_TRUE(RuleTriggersRule(rules[0], rules[8]));
+  // Rule 4 (AC on) triggers Rule 5 (close windows when AC on).
+  EXPECT_TRUE(RuleTriggersRule(rules[3], rules[4]));
+  // Rule 5 (close windows) does not trigger Rule 6 (smoke).
+  EXPECT_FALSE(RuleTriggersRule(rules[4], rules[5]));
+}
+
+TEST(PaperRules, Table4HasThirteenSettings) {
+  EXPECT_EQ(CorpusGenerator::Table4Settings().size(), 13u);
+}
+
+TEST(PaperRules, NewThreatBlueprintsHaveFourGroups) {
+  auto groups = CorpusGenerator::NewThreatBlueprints();
+  ASSERT_EQ(groups.size(), 4u);
+  for (const auto& g : groups) EXPECT_GE(g.size(), 2u);
+  EXPECT_TRUE(groups[0][0].manual_mode_pin);
+}
+
+// ---------------------------------------------------------------------------
+// Corpus generation
+// ---------------------------------------------------------------------------
+
+TEST(Corpus, RespectsConfiguredCounts) {
+  CorpusConfig cfg;
+  cfg.ifttt = 50;
+  cfg.smartthings = 10;
+  cfg.alexa = 20;
+  cfg.google_assistant = 5;
+  cfg.home_assistant = 15;
+  CorpusGenerator gen(cfg);
+  auto corpus = gen.Generate();
+  EXPECT_EQ(corpus.size(), 100u);
+  int counts[kNumPlatforms] = {0};
+  for (const auto& r : corpus) counts[static_cast<int>(r.platform)]++;
+  EXPECT_EQ(counts[0], 50);
+  EXPECT_EQ(counts[1], 10);
+  EXPECT_EQ(counts[2], 20);
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  CorpusConfig cfg;
+  cfg.ifttt = 30;
+  cfg.smartthings = 0;
+  cfg.alexa = 0;
+  cfg.google_assistant = 0;
+  cfg.home_assistant = 0;
+  auto a = CorpusGenerator(cfg).Generate();
+  auto b = CorpusGenerator(cfg).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+}
+
+TEST(Corpus, UniqueIds) {
+  CorpusConfig cfg;
+  cfg.ifttt = 100;
+  CorpusGenerator gen(cfg);
+  auto corpus = gen.Generate();
+  std::set<int> ids;
+  for (const auto& r : corpus) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), corpus.size());
+}
+
+TEST(Corpus, EveryRuleHasTextAndAction) {
+  CorpusConfig cfg;
+  cfg.ifttt = 80;
+  cfg.alexa = 40;
+  CorpusGenerator gen(cfg);
+  for (const auto& r : gen.Generate()) {
+    EXPECT_FALSE(r.text.empty());
+    EXPECT_FALSE(r.actions.empty());
+  }
+}
+
+TEST(Corpus, PhrasingMentionsDeviceWord) {
+  // Rendered text must contain a token resolvable to the action device (so
+  // the NLP pipeline can recover semantics). Allow synonym surfaces by
+  // checking a small candidate set per device type.
+  CorpusConfig cfg;
+  cfg.ifttt = 60;
+  CorpusGenerator gen(cfg);
+  int mentions = 0, total = 0;
+  for (const auto& r : gen.Generate()) {
+    auto words = nlp::Tokenizer::Words(r.text);
+    const std::string dev = DeviceWord(r.actions[0].device);
+    ++total;
+    for (const auto& w : words) {
+      if (w == dev || w + "s" == dev || w == dev + "s") {
+        ++mentions;
+        break;
+      }
+    }
+  }
+  // Most rules mention the device noun (brands/plurals cause a few misses).
+  EXPECT_GT(mentions, total * 7 / 10);
+}
+
+TEST(Corpus, IftttHasWebRules) {
+  CorpusConfig cfg;
+  cfg.ifttt = 300;
+  CorpusGenerator gen(cfg);
+  int web = 0;
+  for (const auto& r : gen.Generate()) {
+    if (r.trigger.channel == Channel::kDigital) ++web;
+  }
+  EXPECT_GT(web, 50);  // ~45% web triggers, half of web rules
+}
+
+TEST(Corpus, AlexaRulesRarelyHaveConditions) {
+  CorpusConfig cfg;
+  cfg.ifttt = 0;
+  cfg.smartthings = 0;
+  cfg.google_assistant = 0;
+  cfg.home_assistant = 0;
+  cfg.alexa = 200;
+  CorpusGenerator gen(cfg);
+  int with_cond = 0;
+  for (const auto& r : gen.Generate()) with_cond += !r.conditions.empty();
+  EXPECT_LT(with_cond, 40);
+}
+
+}  // namespace
+}  // namespace glint::rules

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/threat_analyzer.h"
+#include "nlp/embedding.h"
+#include "testbed/frames.h"
+#include "testbed/hawatcher.h"
+#include "testbed/scenarios.h"
+
+namespace glint::testbed {
+namespace {
+
+using rules::Command;
+using rules::DeviceType;
+using rules::Location;
+
+TEST(SmartHome, SimulationProducesEvents) {
+  SmartHome home({}, ScenarioGenerator::BenignDeployment());
+  home.Simulate(24);
+  EXPECT_GT(home.log().size(), 20u);
+  EXPECT_NEAR(home.now(), 24.0, 1e-6);
+}
+
+TEST(SmartHome, WeekProducesPaperScaleTrace) {
+  // The paper collected 1,813 events in a week; ours lands in the same
+  // order of magnitude.
+  ScenarioGenerator gen(5);
+  auto log = gen.BenignWeek(168);
+  EXPECT_GT(log.size(), 400u);
+  EXPECT_LT(log.size(), 20000u);
+}
+
+TEST(SmartHome, DeterministicForSeed) {
+  SmartHome::Config cfg;
+  cfg.seed = 99;
+  SmartHome a(cfg, ScenarioGenerator::BenignDeployment());
+  SmartHome b(cfg, ScenarioGenerator::BenignDeployment());
+  a.Simulate(12);
+  b.Simulate(12);
+  ASSERT_EQ(a.log().size(), b.log().size());
+  for (size_t i = 0; i < a.log().size(); ++i) {
+    EXPECT_EQ(a.log().events()[i].state, b.log().events()[i].state);
+  }
+}
+
+TEST(SmartHome, AutomationCascadeFires) {
+  // Motion event must cascade into the light automation.
+  SmartHome home({}, ScenarioGenerator::BenignDeployment());
+  graph::Event motion;
+  motion.device = DeviceType::kMotionSensor;
+  motion.location = Location::kLivingRoom;
+  motion.state = "active";
+  home.InjectEvent(motion);
+  EXPECT_EQ(home.DeviceState(DeviceType::kLight), "on");
+  // The light event carries its source rule id (rule 1 of the deployment).
+  bool rule_event = false;
+  for (const auto& e : home.log().events()) {
+    rule_event |= e.device == DeviceType::kLight && e.source_rule_id == 1;
+  }
+  EXPECT_TRUE(rule_event);
+}
+
+TEST(SmartHome, ConditionsGateRules) {
+  // Rule with an "armed" condition must not fire while disarmed.
+  auto deployed = ScenarioGenerator::BenignDeployment();
+  rules::Rule guarded;
+  guarded.id = 50;
+  guarded.trigger.device = DeviceType::kButton;
+  guarded.trigger.channel = rules::SensedChannelOf(DeviceType::kButton);
+  guarded.trigger.cmp = rules::Comparator::kEquals;
+  guarded.trigger.state = "pressed";
+  rules::ConditionSpec armed;
+  armed.channel = rules::Channel::kSecurity;
+  armed.device = DeviceType::kSecuritySystem;
+  armed.cmp = rules::Comparator::kEquals;
+  armed.state = "armed";
+  guarded.conditions.push_back(armed);
+  guarded.actions.push_back({DeviceType::kCamera, Command::kSnapshot, 0});
+  deployed.push_back(guarded);
+
+  SmartHome home({}, deployed);
+  graph::Event press;
+  press.device = DeviceType::kButton;
+  press.location = Location::kBedroom;
+  press.state = "pressed";
+  home.InjectEvent(press);
+  EXPECT_NE(home.DeviceState(DeviceType::kCamera), "captured");
+}
+
+TEST(SmartHome, CommandFailureRateSuppressesEvents) {
+  SmartHome::Config ok_cfg;
+  ok_cfg.seed = 7;
+  SmartHome ok(ok_cfg, ScenarioGenerator::BenignDeployment());
+  SmartHome::Config fail_cfg;
+  fail_cfg.seed = 7;
+  fail_cfg.command_failure_rate = 1.0;
+  SmartHome failing(fail_cfg, ScenarioGenerator::BenignDeployment());
+  for (int i = 0; i < 5; ++i) {
+    ok.InjectCommand(DeviceType::kLight, Location::kLivingRoom, Command::kOn);
+    failing.InjectCommand(DeviceType::kLight, Location::kLivingRoom,
+                          Command::kOn);
+  }
+  EXPECT_GT(ok.log().size(), failing.log().size());
+}
+
+TEST(SmartHome, BenignDeploymentIsAnalyzerClean) {
+  nlp::EmbeddingModel wm(300, 17), sm(512, 18);
+  graph::GraphBuilder builder({}, &wm, &sm);
+  auto g = builder.BuildFromRules(ScenarioGenerator::BenignDeployment());
+  EXPECT_FALSE(g.vulnerable());
+}
+
+// ---------------------------------------------------------------------------
+// Attacks
+// ---------------------------------------------------------------------------
+
+TEST(Attacks, StealthyCommandTriggersMotion) {
+  SmartHome home({}, ScenarioGenerator::BenignDeployment());
+  Rng rng(3);
+  const size_t before = home.log().size();
+  ApplyAttack(AttackType::kStealthyCommand, &home, &rng);
+  // Vacuum start emits a motion event which cascades to the light rule.
+  bool motion = false, vacuum = false;
+  for (const auto& e : home.log().events()) {
+    motion |= e.device == DeviceType::kMotionSensor && e.state == "active";
+    vacuum |= e.device == DeviceType::kVacuum;
+  }
+  EXPECT_TRUE(motion);
+  EXPECT_TRUE(vacuum);
+  EXPECT_GT(home.log().size(), before);
+}
+
+TEST(Attacks, EventLossShrinksLog) {
+  SmartHome home({}, ScenarioGenerator::BenignDeployment());
+  home.Simulate(24);
+  Rng rng(5);
+  const size_t before = home.log().size();
+  ApplyAttack(AttackType::kEventLoss, &home, &rng);
+  EXPECT_LT(home.log().size(), before);
+}
+
+TEST(Attacks, FakeEventInjectsSensorReport) {
+  SmartHome home({}, ScenarioGenerator::BenignDeployment());
+  Rng rng(9);
+  ApplyAttack(AttackType::kFakeEvent, &home, &rng);
+  EXPECT_GE(home.log().size(), 1u);
+}
+
+TEST(Attacks, NamesResolve) {
+  EXPECT_STREQ(AttackName(AttackType::kFakeCommand), "fake_command");
+  EXPECT_STREQ(AttackName(AttackType::kEventLoss), "event_loss");
+}
+
+// ---------------------------------------------------------------------------
+// Frame encoder
+// ---------------------------------------------------------------------------
+
+TEST(FrameEncoderTest, FrameShape) {
+  FrameEncoder enc(SmartHome::DefaultLayout());
+  SmartHome home({}, ScenarioGenerator::BenignDeployment());
+  home.Simulate(12);
+  ASSERT_GT(home.log().size(), 4u);
+  const FloatVec frame = enc.FrameAt(home.log(), 0);
+  EXPECT_EQ(frame.size(), enc.frame_dim());
+  EXPECT_EQ(frame.size(), SmartHome::DefaultLayout().size() + 1);
+}
+
+TEST(FrameEncoderTest, WindowsConcatenateFourFrames) {
+  FrameEncoder enc(SmartHome::DefaultLayout());
+  SmartHome home({}, ScenarioGenerator::BenignDeployment());
+  home.Simulate(12);
+  auto windows = enc.Windows(home.log(), 4);
+  ASSERT_FALSE(windows.empty());
+  EXPECT_EQ(windows[0].size(), 4 * enc.frame_dim());
+  EXPECT_EQ(windows.size(), home.log().size() - 3);
+}
+
+TEST(FrameEncoderTest, ShortLogYieldsNoWindows) {
+  FrameEncoder enc(SmartHome::DefaultLayout());
+  graph::EventLog log;
+  graph::Event e;
+  e.device = DeviceType::kLight;
+  e.state = "on";
+  log.Append(e);
+  EXPECT_TRUE(enc.Windows(log, 4).empty());
+}
+
+// ---------------------------------------------------------------------------
+// HAWatcher
+// ---------------------------------------------------------------------------
+
+TEST(HaWatcherTest, MinesCorrelationsFromBenignTrace) {
+  ScenarioGenerator gen(11);
+  auto benign = gen.BenignWeek(168);
+  HaWatcher hw;
+  hw.Train(benign);
+  // The motion->light correlation must be found.
+  EXPECT_GT(hw.num_correlations(), 0u);
+}
+
+TEST(HaWatcherTest, BenignWindowMostlyClean) {
+  ScenarioGenerator gen(13);
+  auto benign = gen.BenignWeek(168);
+  HaWatcher hw;
+  hw.Train(benign);
+  // Score fresh benign windows: most must be clean.
+  ScenarioGenerator gen2(17);
+  int clean = 0;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    auto s = gen2.MakeBenign();
+    auto window = s.log.Window(s.now_hours, 3.0);
+    clean += hw.Flag(window) ? 0 : 1;
+  }
+  EXPECT_GT(clean, n / 2);
+}
+
+TEST(HaWatcherTest, DetectsUnknownEventSignatures) {
+  ScenarioGenerator gen(19);
+  auto benign = gen.BenignWeek(100);
+  HaWatcher hw;
+  hw.Train(benign);
+  // A smoke alarm beep never occurs in benign data -> anomaly.
+  graph::Event smoke;
+  smoke.device = DeviceType::kSmokeAlarm;
+  smoke.state = "beeping";
+  smoke.time_hours = 1.0;
+  EXPECT_GT(hw.CountAnomalies({smoke}), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario generator
+// ---------------------------------------------------------------------------
+
+TEST(Scenarios, LabelsAndShapes) {
+  ScenarioGenerator gen(23);
+  auto benign = gen.MakeBenign();
+  EXPECT_FALSE(benign.threat);
+  EXPECT_GT(benign.log.size(), 0u);
+
+  auto bct = gen.MakeBct();
+  EXPECT_TRUE(bct.threat);
+  EXPECT_FALSE(bct.complex);
+  EXPECT_GT(bct.deployed.size(), ScenarioGenerator::BenignDeployment().size());
+
+  auto cct = gen.MakeCct();
+  EXPECT_TRUE(cct.threat);
+  EXPECT_TRUE(cct.complex);
+}
+
+TEST(Scenarios, BctGraphsAreAnalyzerVulnerable) {
+  nlp::EmbeddingModel wm(300, 17), sm(512, 18);
+  graph::GraphBuilder builder({}, &wm, &sm);
+  ScenarioGenerator gen(29);
+  int vulnerable = 0;
+  const int n = 9;
+  for (int i = 0; i < n; ++i) {
+    auto s = gen.MakeBct();
+    auto g = builder.BuildFromRules(s.deployed);
+    vulnerable += g.vulnerable() ? 1 : 0;
+  }
+  EXPECT_EQ(vulnerable, n);  // every BCT combo is a classic threat
+}
+
+TEST(Scenarios, CctGraphsInvolveAtLeastThreeCulprits) {
+  nlp::EmbeddingModel wm(300, 17), sm(512, 18);
+  graph::GraphBuilder builder({}, &wm, &sm);
+  ScenarioGenerator gen(31);
+  // At least some CCT combos produce >2 culprit nodes (complex chains);
+  // all are either classic-vulnerable or carry a new-type chain.
+  int complex_found = 0;
+  for (int i = 0; i < 9; ++i) {
+    auto s = gen.MakeCct();
+    auto g = builder.BuildFromRules(s.deployed);
+    auto classic = graph::ThreatAnalyzer::DetectClassic(g);
+    auto fresh = graph::ThreatAnalyzer::DetectNewTypes(g);
+    EXPECT_TRUE(!classic.empty() || !fresh.empty());
+    for (const auto& f : fresh) {
+      if (f.nodes.size() >= 3) ++complex_found;
+    }
+    if (g.culprit_nodes().size() >= 3) ++complex_found;
+  }
+  EXPECT_GT(complex_found, 0);
+}
+
+}  // namespace
+}  // namespace glint::testbed

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+#include "util/vecmath.h"
+
+namespace glint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedingRestartsStream) {
+  Rng a(42);
+  const uint64_t first = a.NextU64();
+  a.NextU64();
+  a.Seed(42);
+  EXPECT_EQ(first, a.NextU64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, IntInclusiveBounds) {
+  Rng rng(17);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+  Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.Weighted({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+TEST(Rng, WeightedApproximatesProportions) {
+  Rng rng(29);
+  int counts[2] = {0, 0};
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) counts[rng.Weighted({1.0, 3.0})]++;
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.Fork();
+  // The child stream should not equal the parent continuation.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) same += a.NextU64() == child.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(HashStringTest, StableAndDistinct) {
+  const uint64_t h1 = HashString("window", 6);
+  EXPECT_EQ(h1, HashString("window", 6));
+  EXPECT_NE(h1, HashString("door", 4));
+  EXPECT_NE(HashString("ab", 2), HashString("ba", 2));
+}
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.ToString(), "IOError: disk full");
+}
+
+TEST(StatusTest, AllConstructorsSetCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// String utils
+// ---------------------------------------------------------------------------
+
+TEST(StringUtils, ToLower) {
+  EXPECT_EQ(ToLower("Turn ON the AC"), "turn on the ac");
+}
+
+TEST(StringUtils, SplitDropsEmptyPieces) {
+  auto parts = Split("a,,b,c", ",");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtils, SplitWhitespaceHandlesTabsNewlines) {
+  auto parts = SplitWhitespace(" a\tb\nc ");
+  ASSERT_EQ(parts.size(), 3u);
+}
+
+TEST(StringUtils, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringUtils, Strip) {
+  EXPECT_EQ(Strip("  hello \n"), "hello");
+  EXPECT_EQ(Strip("   "), "");
+}
+
+TEST(StringUtils, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("blueprint: x", "blueprint"));
+  EXPECT_FALSE(StartsWith("x", "blueprint"));
+  EXPECT_TRUE(EndsWith("running", "ing"));
+  EXPECT_FALSE(EndsWith("run", "ing"));
+}
+
+TEST(StringUtils, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s-%.1f", 3, "x", 2.25), "3-x-2.2");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+// ---------------------------------------------------------------------------
+// TablePrinter
+// ---------------------------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"model", "acc"});
+  t.AddRow({"GCN", "89.5"});
+  t.AddRow({"ITGNN-S", "95.7"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| model   |"), std::string::npos);
+  EXPECT_NE(s.find("| ITGNN-S |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericRow) {
+  TablePrinter t({"model", "a", "b"});
+  t.AddRow("x", {1.234, 5.0}, 2);
+  EXPECT_NE(t.ToString().find("1.23"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// vecmath
+// ---------------------------------------------------------------------------
+
+TEST(VecMath, DotAndNorm) {
+  FloatVec a{3, 4};
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(Norm(a), 5.0);
+}
+
+TEST(VecMath, CosineSimilarityBounds) {
+  FloatVec a{1, 0}, b{0, 1}, c{2, 0};
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity(a, c), 1.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity(a, FloatVec{-1, 0}), -1.0, 1e-9);
+}
+
+TEST(VecMath, CosineOfZeroVectorIsZero) {
+  EXPECT_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(VecMath, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(VecMath, MeanOfVectors) {
+  auto m = Mean({{1, 2}, {3, 4}});
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_FLOAT_EQ(m[0], 2.0f);
+  EXPECT_FLOAT_EQ(m[1], 3.0f);
+  EXPECT_TRUE(Mean({}).empty());
+}
+
+TEST(VecMath, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({7}), 7.0);
+}
+
+}  // namespace
+}  // namespace glint

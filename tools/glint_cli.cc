@@ -1,0 +1,327 @@
+// glint — command-line interface to the Glint interactive-threat detection
+// system.
+//
+// Subcommands:
+//   generate-corpus --out FILE [--scale N] [--seed S]
+//       Generate the 5-platform synthetic rule corpus as text (one rule per
+//       line, tab-separated platform/id/text).
+//   build-dataset --out FILE [--graphs N] [--platform P] [--seed S]
+//       Build a labeled interaction-graph dataset and save it in the binary
+//       store format.
+//   dataset-info FILE
+//       Print summary statistics of a stored dataset.
+//   train --model-dir DIR [--graphs N] [--epochs E]
+//       Run the offline stage and save the ITGNN-S / ITGNN-C models.
+//   inspect --model-dir DIR [--demo table1|table4|blueprints]
+//       Load trained models and inspect a rule deployment (demo rule sets).
+//   simulate [--hours H] [--attack NAME] [--seed S]
+//       Run the smart-home testbed simulator and print its event log.
+//   analyze [--demo table1|table4|blueprints]
+//       Run the rule-semantics threat analyzer (no ML) on a demo rule set.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/glint.h"
+#include "graph/dataset_store.h"
+#include "graph/threat_analyzer.h"
+#include "testbed/attacks.h"
+#include "testbed/scenarios.h"
+#include "util/string_utils.h"
+
+using namespace glint;  // NOLINT
+
+namespace {
+
+// Minimal flag parser: --key value pairs after the subcommand.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      flags[argv[i] + 2] = argv[i + 1];
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& def) {
+  auto it = flags.find(key);
+  return it == flags.end() ? def : it->second;
+}
+
+std::vector<rules::Rule> DemoRules(const std::string& name) {
+  if (name == "table4") return rules::CorpusGenerator::Table4Settings();
+  if (name == "blueprints") {
+    std::vector<rules::Rule> all;
+    for (const auto& g : rules::CorpusGenerator::NewThreatBlueprints()) {
+      all.insert(all.end(), g.begin(), g.end());
+    }
+    return all;
+  }
+  return rules::CorpusGenerator::Table1Rules();
+}
+
+core::Glint::Options DefaultOptions(int graphs, int epochs, uint64_t seed) {
+  core::Glint::Options opts;
+  opts.corpus.ifttt = 500;
+  opts.corpus.smartthings = 80;
+  opts.corpus.alexa = 150;
+  opts.corpus.google_assistant = 80;
+  opts.corpus.home_assistant = 80;
+  opts.num_training_graphs = graphs;
+  opts.builder.max_nodes = 10;
+  opts.builder.size_skew = 2.0;
+  opts.model.num_scales = 2;
+  opts.model.embed_dim = 64;
+  opts.train.epochs = epochs;
+  opts.train.oversample_factor = 2.5;
+  opts.pairs.num_positive = 200;
+  opts.pairs.num_negative = 300;
+  opts.seed = seed;
+  return opts;
+}
+
+int CmdGenerateCorpus(const std::map<std::string, std::string>& flags) {
+  const std::string out = FlagOr(flags, "out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate-corpus requires --out FILE\n");
+    return 2;
+  }
+  rules::CorpusConfig cc;
+  const double scale = std::atof(FlagOr(flags, "scale", "1").c_str());
+  cc.ifttt = static_cast<int>(cc.ifttt * scale);
+  cc.alexa = static_cast<int>(cc.alexa * scale);
+  cc.google_assistant = static_cast<int>(cc.google_assistant * scale);
+  cc.seed = std::strtoull(FlagOr(flags, "seed", "4242").c_str(), nullptr, 10);
+  auto corpus = rules::CorpusGenerator(cc).Generate();
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  for (const auto& r : corpus) {
+    std::fprintf(f, "%s\t%d\t%s\n", rules::PlatformName(r.platform), r.id,
+                 r.text.c_str());
+  }
+  std::fclose(f);
+  std::printf("wrote %zu rules to %s\n", corpus.size(), out.c_str());
+  return 0;
+}
+
+int CmdBuildDataset(const std::map<std::string, std::string>& flags) {
+  const std::string out = FlagOr(flags, "out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "build-dataset requires --out FILE\n");
+    return 2;
+  }
+  const int n = std::atoi(FlagOr(flags, "graphs", "500").c_str());
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "1234").c_str(), nullptr, 10);
+  const std::string platform = FlagOr(flags, "platform", "all");
+
+  rules::CorpusConfig cc;
+  auto corpus = rules::CorpusGenerator(cc).Generate();
+  std::vector<rules::Rule> pool;
+  if (platform == "all") {
+    pool = corpus;
+  } else {
+    for (const auto& r : corpus) {
+      if (platform == rules::PlatformName(r.platform)) pool.push_back(r);
+    }
+  }
+  if (pool.empty()) {
+    std::fprintf(stderr, "no rules for platform '%s'\n", platform.c_str());
+    return 2;
+  }
+  nlp::EmbeddingModel wm(300, 17), sm(512, 18);
+  graph::GraphBuilder::Config bc;
+  bc.seed = seed;
+  graph::GraphBuilder builder(bc, &wm, &sm);
+  auto ds = builder.BuildDataset(pool, n);
+  Status st = graph::DatasetStore::Save(ds, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu graphs (%d vulnerable) to %s\n", ds.size(),
+              ds.CountVulnerable(), out.c_str());
+  return 0;
+}
+
+int CmdDatasetInfo(const std::string& path) {
+  auto loaded = graph::DatasetStore::Load(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const auto& ds = loaded.value();
+  double nodes = 0, edges = 0;
+  int hetero = 0;
+  std::map<std::string, int> type_counts;
+  for (const auto& g : ds.graphs) {
+    nodes += g.num_nodes();
+    edges += g.num_edges();
+    hetero += g.IsHeterogeneous();
+    for (auto t : g.threat_types()) {
+      type_counts[graph::ThreatTypeName(t)] += 1;
+    }
+  }
+  std::printf("%s: %zu graphs, %d vulnerable (%.1f%%), %d heterogeneous\n",
+              path.c_str(), ds.size(), ds.CountVulnerable(),
+              100.0 * ds.CountVulnerable() / std::max<size_t>(1, ds.size()),
+              hetero);
+  std::printf("mean %.1f nodes, %.1f edges\n",
+              nodes / std::max<size_t>(1, ds.size()),
+              edges / std::max<size_t>(1, ds.size()));
+  for (const auto& [name, count] : type_counts) {
+    std::printf("  %-20s %d graphs\n", name.c_str(), count);
+  }
+  return 0;
+}
+
+int CmdTrain(const std::map<std::string, std::string>& flags) {
+  const std::string dir = FlagOr(flags, "model-dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "train requires --model-dir DIR\n");
+    return 2;
+  }
+  const int graphs = std::atoi(FlagOr(flags, "graphs", "600").c_str());
+  const int epochs = std::atoi(FlagOr(flags, "epochs", "14").c_str());
+  core::Glint detector(DefaultOptions(graphs, epochs, 97));
+  std::printf("training offline (%d graphs, %d epochs)...\n", graphs, epochs);
+  detector.TrainOffline();
+  Status st = detector.SaveModels(dir);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %s/itgnn_s.bin and %s/itgnn_c.bin\n", dir.c_str(),
+              dir.c_str());
+  return 0;
+}
+
+int CmdInspect(const std::map<std::string, std::string>& flags) {
+  const std::string dir = FlagOr(flags, "model-dir", "");
+  core::Glint detector(DefaultOptions(600, 14, 97));
+  if (!dir.empty()) {
+    Status st = detector.LoadModels(dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded models from %s\n", dir.c_str());
+    std::printf("note: the correlation model is retrained (it is cheap)\n");
+    // The loaded ITGNN needs the corpus-based builder for embeddings only;
+    // retrain the light parts.
+  } else {
+    std::printf("no --model-dir given; training a fresh detector...\n");
+  }
+  if (dir.empty()) detector.TrainOffline();
+
+  auto deployed = DemoRules(FlagOr(flags, "demo", "table1"));
+  std::printf("inspecting %zu deployed rules...\n", deployed.size());
+  nlp::EmbeddingModel wm(300, 97 ^ 0x17), sm(512, 97 ^ 0x18);
+  auto g = detector.ready() && !dir.empty()
+               ? graph::GraphBuilder({}, &wm, &sm).BuildFromRules(deployed)
+               : detector.BuildGraph(deployed);
+  auto warning = detector.InspectGraph(g);
+  std::printf("%s\n", warning.Render().c_str());
+  return 0;
+}
+
+int CmdSimulate(const std::map<std::string, std::string>& flags) {
+  const double hours = std::atof(FlagOr(flags, "hours", "24").c_str());
+  const std::string attack_name = FlagOr(flags, "attack", "none");
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "1337").c_str(), nullptr, 10);
+
+  testbed::SmartHome::Config cfg;
+  cfg.seed = seed;
+  testbed::SmartHome home(cfg, testbed::ScenarioGenerator::BenignDeployment());
+  home.Simulate(hours / 2);
+  for (int a = 0; a < testbed::kNumAttackTypes; ++a) {
+    const auto type = static_cast<testbed::AttackType>(a);
+    if (attack_name == testbed::AttackName(type) &&
+        type != testbed::AttackType::kNone) {
+      Rng rng(seed ^ 0xa77ac);
+      testbed::ApplyAttack(type, &home, &rng);
+      std::printf("** injected attack: %s **\n", attack_name.c_str());
+    }
+  }
+  home.Simulate(hours / 2);
+  for (const auto& line : home.log().Render()) {
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("-- %zu events over %.1f simulated hours --\n",
+              home.log().size(), hours);
+  return 0;
+}
+
+int CmdAnalyze(const std::map<std::string, std::string>& flags) {
+  auto deployed = DemoRules(FlagOr(flags, "demo", "table1"));
+  nlp::EmbeddingModel wm(300, 17), sm(512, 18);
+  graph::GraphBuilder builder({}, &wm, &sm);
+  auto g = builder.BuildFromRules(deployed);
+  std::printf("graph: %d nodes, %d edges, vulnerable=%s\n", g.num_nodes(),
+              g.num_edges(), g.vulnerable() ? "YES" : "no");
+  for (const auto& f : graph::ThreatAnalyzer::DetectClassic(g)) {
+    std::printf("  [classic] %-18s rules:", graph::ThreatTypeName(f.type));
+    for (int n : f.nodes) {
+      std::printf(" #%d", g.nodes()[static_cast<size_t>(n)].rule.id);
+    }
+    std::printf("\n");
+  }
+  for (const auto& f : graph::ThreatAnalyzer::DetectNewTypes(g)) {
+    std::printf("  [new]     %-18s rules:", graph::ThreatTypeName(f.type));
+    for (int n : f.nodes) {
+      std::printf(" #%d", g.nodes()[static_cast<size_t>(n)].rule.id);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+void Usage() {
+  std::printf(
+      "glint — interactive-threat detection for smart home rules\n\n"
+      "usage: glint <command> [flags]\n\n"
+      "commands:\n"
+      "  generate-corpus --out FILE [--scale N] [--seed S]\n"
+      "  build-dataset   --out FILE [--graphs N] [--platform P] [--seed S]\n"
+      "  dataset-info    FILE\n"
+      "  train           --model-dir DIR [--graphs N] [--epochs E]\n"
+      "  inspect         [--model-dir DIR] [--demo table1|table4|blueprints]\n"
+      "  simulate        [--hours H] [--attack NAME] [--seed S]\n"
+      "  analyze         [--demo table1|table4|blueprints]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (cmd == "generate-corpus") return CmdGenerateCorpus(flags);
+  if (cmd == "build-dataset") return CmdBuildDataset(flags);
+  if (cmd == "dataset-info") {
+    if (argc < 3) {
+      std::fprintf(stderr, "dataset-info requires a FILE\n");
+      return 2;
+    }
+    return CmdDatasetInfo(argv[2]);
+  }
+  if (cmd == "train") return CmdTrain(flags);
+  if (cmd == "inspect") return CmdInspect(flags);
+  if (cmd == "simulate") return CmdSimulate(flags);
+  if (cmd == "analyze") return CmdAnalyze(flags);
+  Usage();
+  return 2;
+}
