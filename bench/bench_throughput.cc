@@ -1,0 +1,150 @@
+// Throughput bench for the parallel compute layer: graphs/sec for dataset
+// build, ITGNN train-epoch, and inference at 1, 2, and hardware-concurrency
+// threads. Emits one machine-readable JSON line (prefix BENCH_JSON) with the
+// per-thread-count rates and speedups so the numbers can be tracked across
+// commits.
+//
+// Usage: bench_throughput [--smoke]
+//   --smoke  tiny sizes and a {1, current} thread sweep; used by
+//            tools/check.sh under GLINT_THREADS=2.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/thread_pool.h"
+
+namespace glint::bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Rates {
+  double build_gps = 0;   // graphs built per second
+  double train_gps = 0;   // graphs trained per second (one epoch)
+  double infer_gps = 0;   // graphs classified per second
+};
+
+Rates MeasureAt(int threads, const std::vector<rules::Rule>& pool,
+                int num_graphs, int epochs) {
+  ThreadPool::SetGlobalThreads(threads);
+  Rates rates;
+
+  auto t0 = std::chrono::steady_clock::now();
+  graph::GraphDataset ds = BuildGraphs(pool, num_graphs, /*seed=*/77);
+  rates.build_gps = num_graphs / Seconds(t0);
+
+  std::vector<gnn::GnnGraph> graphs = gnn::ToGnnGraphs(ds);
+
+  gnn::ItgnnModel::Config mc;
+  mc.seed = 7;
+  gnn::ItgnnModel model(mc);
+  gnn::TrainConfig tc;
+  tc.epochs = epochs;
+  gnn::Trainer trainer(tc);
+  t0 = std::chrono::steady_clock::now();
+  trainer.TrainSupervised(&model, graphs);
+  // TrainSupervised oversamples class 1 by tc.oversample_factor; report
+  // per-epoch throughput over the actual trained set size.
+  size_t minority = 0;
+  for (const auto& g : graphs) minority += static_cast<size_t>(g.label);
+  const double trained_per_epoch =
+      static_cast<double>(graphs.size()) +
+      (tc.oversample_factor - 1.0) * static_cast<double>(minority);
+  rates.train_gps = trained_per_epoch * epochs / Seconds(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  const int reps = 3;
+  for (int r = 0; r < reps; ++r) {
+    gnn::Trainer::Evaluate(&model, graphs);
+  }
+  rates.infer_gps = static_cast<double>(graphs.size()) * reps / Seconds(t0);
+  return rates;
+}
+
+int Run(bool smoke) {
+  const int num_graphs = smoke ? 32 : 160;
+  const int epochs = smoke ? 1 : 2;
+
+  rules::CorpusConfig cc;
+  cc.ifttt = smoke ? 400 : 1000;
+  cc.alexa = smoke ? 80 : 200;
+  cc.google_assistant = smoke ? 80 : 200;
+  cc.home_assistant = smoke ? 80 : 200;
+  cc.smartthings = smoke ? 40 : 100;
+  std::vector<rules::Rule> pool = rules::CorpusGenerator(cc).Generate();
+
+  const int initial = ThreadPool::Global().threads();
+  std::vector<int> sweep = {1};
+  if (smoke) {
+    if (initial > 1) sweep.push_back(initial);
+  } else {
+    if (initial >= 2) sweep.push_back(2);
+    if (ThreadPool::ConfiguredThreads() > 2) {
+      sweep.push_back(ThreadPool::ConfiguredThreads());
+    }
+  }
+
+  // Untimed warm-up: the first dataset build fills the shared embedding
+  // word-vector caches; without this the later sweep entries look faster
+  // for cache reasons, not thread-count reasons.
+  (void)BuildGraphs(pool, num_graphs, /*seed=*/77);
+
+  Banner("Throughput: build / train-epoch / inference vs. thread count",
+         "Sec. 6.6 efficiency claims");
+  std::printf("%8s %14s %14s %14s\n", "threads", "build g/s", "train g/s",
+              "infer g/s");
+  std::vector<Rates> results;
+  for (int t : sweep) {
+    results.push_back(MeasureAt(t, pool, num_graphs, epochs));
+    const Rates& r = results.back();
+    std::printf("%8d %14.1f %14.1f %14.1f\n", t, r.build_gps, r.train_gps,
+                r.infer_gps);
+  }
+  ThreadPool::SetGlobalThreads(initial);
+
+  // Machine-readable trajectory line.
+  std::string json = "BENCH_JSON {\"bench\":\"throughput\",\"threads\":[";
+  auto append_nums = [&json, &sweep, &results](const char* key,
+                                               double Rates::* field) {
+    json += std::string("],\"") + key + "\":[";
+    for (size_t i = 0; i < results.size(); ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%s%.1f", i ? "," : "",
+                    results[i].*field);
+      json += buf;
+    }
+    (void)sweep;
+  };
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    json += (i ? "," : "") + std::to_string(sweep[i]);
+  }
+  append_nums("build_gps", &Rates::build_gps);
+  append_nums("train_gps", &Rates::train_gps);
+  append_nums("infer_gps", &Rates::infer_gps);
+  json += "],\"train_speedup\":";
+  char buf[64];
+  const double train_speedup =
+      results.back().train_gps / results.front().train_gps;
+  const double infer_speedup =
+      results.back().infer_gps / results.front().infer_gps;
+  std::snprintf(buf, sizeof(buf), "%.2f,\"infer_speedup\":%.2f}",
+                train_speedup, infer_speedup);
+  json += buf;
+  std::printf("%s\n", json.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace glint::bench
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  return glint::bench::Run(smoke);
+}

@@ -21,16 +21,18 @@ SparseMatrix NormalizedAdjacency(
   SparseMatrix adj;
   adj.rows = n;
   adj.cols = n;
+  adj.Reserve(static_cast<size_t>(n) + 2 * edges.size());
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
       if (present[static_cast<size_t>(i)][static_cast<size_t>(j)]) {
         const float v = static_cast<float>(
             1.0 / std::sqrt(degree[static_cast<size_t>(i)] *
                             degree[static_cast<size_t>(j)]));
-        adj.entries.push_back({i, j, v});
+        adj.Add(i, j, v);
       }
     }
   }
+  adj.BuildCsrCache();
   return adj;
 }
 
@@ -71,10 +73,9 @@ GnnGraph ToGnnGraph(const graph::InteractionGraph& g) {
 
   out.adj_raw.rows = out.num_nodes;
   out.adj_raw.cols = out.num_nodes;
-  for (const auto& [s, d] : out.edges) {
-    out.adj_raw.entries.push_back({s, d, 1.f});
-    out.adj_raw.entries.push_back({d, s, 1.f});
-  }
+  out.adj_raw.Reserve(2 * out.edges.size());
+  for (const auto& [s, d] : out.edges) out.adj_raw.AddSymmetric(s, d, 1.f);
+  out.adj_raw.BuildCsrCache();
   return out;
 }
 

@@ -55,39 +55,45 @@ VIPool::Result VIPool::Forward(Tape* t, const SparseMatrix& adj_norm,
   result.features = GatherRows(t, gated, order);
 
   // Induced adjacency over kept nodes, connecting nodes whose original
-  // distance is <= 2 (so pooling does not disconnect chains).
-  std::vector<int> inv(static_cast<size_t>(n), -1);
-  for (size_t k = 0; k < order.size(); ++k) inv[static_cast<size_t>(order[k])] = static_cast<int>(k);
-  std::vector<std::vector<char>> adj1(
-      static_cast<size_t>(n), std::vector<char>(static_cast<size_t>(n), 0));
-  for (const auto& e : adj_raw.entries) adj1[static_cast<size_t>(e.r)][static_cast<size_t>(e.c)] = 1;
+  // distance is <= 2 (so pooling does not disconnect chains). Walks the
+  // cached CSR form of adj_raw: mark N(u) and N(N(u)) once per kept u, then
+  // membership-test the later kept nodes — no dense n x n rebuild.
+  const auto csr = adj_raw.CsrView();
+  std::vector<char> reach(static_cast<size_t>(n), 0);
+  std::vector<int> touched;
   std::vector<std::pair<int, int>> new_edges;
   for (size_t a = 0; a < order.size(); ++a) {
-    for (size_t b = 0; b < order.size(); ++b) {
-      if (a == b) continue;
-      const int u = order[a], v = order[b];
-      bool connected = adj1[static_cast<size_t>(u)][static_cast<size_t>(v)] != 0;
-      if (!connected) {
-        for (int w = 0; w < n && !connected; ++w) {
-          if (adj1[static_cast<size_t>(u)][static_cast<size_t>(w)] &&
-              adj1[static_cast<size_t>(w)][static_cast<size_t>(v)]) {
-            connected = true;
-          }
-        }
+    const int u = order[a];
+    touched.clear();
+    auto mark = [&](int w) {
+      if (!reach[static_cast<size_t>(w)]) {
+        reach[static_cast<size_t>(w)] = 1;
+        touched.push_back(w);
       }
-      if (connected && u < v) {
+    };
+    const int k0 = csr->row_ptr[static_cast<size_t>(u)];
+    const int k1 = csr->row_ptr[static_cast<size_t>(u) + 1];
+    for (int k = k0; k < k1; ++k) {
+      const int w = csr->col_idx[static_cast<size_t>(k)];
+      mark(w);
+      const int w0 = csr->row_ptr[static_cast<size_t>(w)];
+      const int w1 = csr->row_ptr[static_cast<size_t>(w) + 1];
+      for (int k2 = w0; k2 < w1; ++k2) mark(csr->col_idx[static_cast<size_t>(k2)]);
+    }
+    for (size_t b = a + 1; b < order.size(); ++b) {
+      if (reach[static_cast<size_t>(order[b])]) {
         new_edges.emplace_back(static_cast<int>(a), static_cast<int>(b));
       }
     }
+    for (int w : touched) reach[static_cast<size_t>(w)] = 0;
   }
   result.adj_norm =
       NormalizedAdjacency(static_cast<int>(order.size()), new_edges);
   result.adj_raw.rows = static_cast<int>(order.size());
   result.adj_raw.cols = result.adj_raw.rows;
-  for (const auto& [a, b] : new_edges) {
-    result.adj_raw.entries.push_back({a, b, 1.f});
-    result.adj_raw.entries.push_back({b, a, 1.f});
-  }
+  result.adj_raw.Reserve(2 * new_edges.size());
+  for (const auto& [a, b] : new_edges) result.adj_raw.AddSymmetric(a, b, 1.f);
+  result.adj_raw.BuildCsrCache();
 
   // Per-scale graph logit for the pooling loss.
   result.graph_logit = logit_.Forward(t, MeanRows(t, result.features));

@@ -61,6 +61,7 @@ Tensor* MetapathConverter::Forward(Tape* t, const GnnGraph& g) {
           }
         }
       }
+      mean_t.BuildCsrCache();
       Tensor* agg = SpMM(t, mean_t, h);
       // Concat self, neighbour mean, and (optionally) their Hadamard
       // product — the multiplicative term lets a linear detector express

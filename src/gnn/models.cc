@@ -115,14 +115,25 @@ Tensor* InfoGraphModel::AuxLoss(Tape* t, const GnnGraph& g,
   // Positive pairs: (graph embedding, node embedding) from the true graph.
   Tensor* nodes = nullptr;
   Encode(t, g, &nodes);
-  // Corrupted graph: node features shuffled within the graph.
+  // Corrupted graph: node features shuffled within the graph. The shuffle
+  // stream is derived from the graph itself (not a member RNG) so AuxLoss
+  // is stateless — the corruption is identical regardless of call order or
+  // thread count.
+  uint64_t h = 0xfeedULL;
+  auto mix = [&h](uint64_t x) { h = (h ^ x) * 0x9e3779b97f4a7c15ULL; };
+  mix(static_cast<uint64_t>(g.num_nodes));
+  mix(static_cast<uint64_t>(g.label) + 1);
+  for (const auto& [s, d] : g.edges) {
+    mix((static_cast<uint64_t>(s) << 32) | static_cast<uint64_t>(d));
+  }
+  Rng corrupt_rng(h);
   GnnGraph corrupted = g;
   for (int type = 0; type < kNumNodeTypes; ++type) {
     Matrix& m = corrupted.typed_features[type];
     if (m.rows <= 1) continue;
     for (int i = m.rows - 1; i > 0; --i) {
       const int j =
-          static_cast<int>(corrupt_rng_.Below(static_cast<uint64_t>(i + 1)));
+          static_cast<int>(corrupt_rng.Below(static_cast<uint64_t>(i + 1)));
       for (int c = 0; c < m.cols; ++c) std::swap(m.At(i, c), m.At(j, c));
     }
   }

@@ -94,7 +94,6 @@ class InfoGraphModel : public GinModel {
 
  private:
   Parameter disc_w_{Matrix(1, 1)};
-  Rng corrupt_rng_{0xfeedULL};
 };
 
 /// GXN: multi-scale graph network with VIPool (homogeneous).

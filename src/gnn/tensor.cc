@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace glint::gnn {
 
 Matrix Matrix::HeInit(int r, int c, Rng* rng) {
@@ -10,6 +12,38 @@ Matrix Matrix::HeInit(int r, int c, Rng* rng) {
   const double scale = std::sqrt(2.0 / std::max(1, r));
   for (auto& x : m.data) x = static_cast<float>(rng->Gaussian(0, scale));
   return m;
+}
+
+std::shared_ptr<const SparseMatrix::Csr> SparseMatrix::CsrView() const {
+  auto cached = csr_.load(std::memory_order_acquire);
+  if (cached) return cached;
+
+  // Counting sort by row; insertion order is preserved within each row so
+  // the summation order (and thus the float result) of a row-wise walk
+  // matches the entry list exactly.
+  auto csr = std::make_shared<Csr>();
+  csr->row_ptr.assign(static_cast<size_t>(rows) + 1, 0);
+  for (const auto& e : entries) {
+    ++csr->row_ptr[static_cast<size_t>(e.r) + 1];
+  }
+  for (int r = 0; r < rows; ++r) {
+    csr->row_ptr[static_cast<size_t>(r) + 1] +=
+        csr->row_ptr[static_cast<size_t>(r)];
+  }
+  csr->col_idx.resize(entries.size());
+  csr->vals.resize(entries.size());
+  std::vector<int> cursor(csr->row_ptr.begin(), csr->row_ptr.end() - 1);
+  for (const auto& e : entries) {
+    const int k = cursor[static_cast<size_t>(e.r)]++;
+    csr->col_idx[static_cast<size_t>(k)] = e.c;
+    csr->vals[static_cast<size_t>(k)] = e.v;
+  }
+
+  // First build wins; concurrent builders adopt it (identical contents).
+  std::shared_ptr<const Csr> expected;
+  std::shared_ptr<const Csr> built = std::move(csr);
+  if (csr_.compare_exchange_strong(expected, built)) return built;
+  return expected;
 }
 
 Tensor* Tape::Constant(Matrix value) {
@@ -26,9 +60,16 @@ Tensor* Tape::Leaf(Parameter* param) {
   t->grad = Matrix(param->value.rows, param->value.cols);
   t->requires_grad = true;
   Tensor* raw = t.get();
-  t->backward = [raw, param]() {
+  Tape* tape = this;
+  t->backward = [raw, param, tape]() {
+    Matrix* dst = &param->grad;
+    if (tape->grad_sink_ != nullptr) {
+      dst = &tape->grad_sink_
+                 ->try_emplace(param, param->value.rows, param->value.cols)
+                 .first->second;
+    }
     for (size_t i = 0; i < raw->grad.data.size(); ++i) {
-      param->grad.data[i] += raw->grad.data[i];
+      dst->data[i] += raw->grad.data[i];
     }
   };
   nodes_.push_back(std::move(t));
@@ -64,50 +105,96 @@ bool Track(std::initializer_list<Tensor*> inputs) {
   return false;
 }
 
+/// Rows are dispatched to the pool in chunks carrying roughly this many
+/// multiply-adds each; smaller products run serially (dispatch overhead
+/// would dominate).
+constexpr int64_t kParallelFlops = 1 << 15;
+
+/// j-tile width of the transposed-B kernel: one tile of B^T rows stays
+/// cache-hot while a chunk of A rows streams through it.
+constexpr int kMatMulTile = 64;
+
+int64_t RowGrain(int64_t per_row_flops) {
+  return std::max<int64_t>(1,
+                           kParallelFlops / std::max<int64_t>(1, per_row_flops));
+}
+
+Matrix Transposed(const Matrix& b) {
+  Matrix bt(b.cols, b.rows);
+  for (int l = 0; l < b.rows; ++l) {
+    for (int j = 0; j < b.cols; ++j) bt.At(j, l) = b.At(l, j);
+  }
+  return bt;
+}
+
 }  // namespace
 
 Tensor* MatMul(Tape* tape, Tensor* a, Tensor* b) {
   GLINT_CHECK(a->cols() == b->rows());
   Tensor* out = tape->New(a->rows(), b->cols(), Track({a, b}));
   const int n = a->rows(), k = a->cols(), m = b->cols();
-  // C[i][j] = sum_l A[i][l] * B[l][j] — l-j inner order for locality.
-  for (int i = 0; i < n; ++i) {
-    float* crow = &out->value.data[static_cast<size_t>(i) * m];
-    const float* arow = &a->value.data[static_cast<size_t>(i) * k];
-    for (int l = 0; l < k; ++l) {
-      const float av = arow[l];
-      if (av == 0.f) continue;
-      const float* brow = &b->value.data[static_cast<size_t>(l) * m];
-      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // Transposed-B kernel: C[i][j] = dot(A row i, B^T row j), both contiguous.
+  // Each output element is produced by exactly one thread with a fixed
+  // l-order, so the result is bit-identical for any thread count.
+  const Matrix bt = Transposed(b->value);
+  ParallelFor(0, n, RowGrain(static_cast<int64_t>(k) * m),
+              [&](int64_t lo, int64_t hi) {
+                for (int j0 = 0; j0 < m; j0 += kMatMulTile) {
+                  const int j1 = std::min(m, j0 + kMatMulTile);
+                  for (int64_t i = lo; i < hi; ++i) {
+                    const float* arow =
+                        &a->value.data[static_cast<size_t>(i) * k];
+                    float* crow = &out->value.data[static_cast<size_t>(i) * m];
+                    for (int j = j0; j < j1; ++j) {
+                      const float* btrow =
+                          &bt.data[static_cast<size_t>(j) * k];
+                      float s = 0.f;
+                      for (int l = 0; l < k; ++l) s += arow[l] * btrow[l];
+                      crow[j] = s;
+                    }
+                  }
+                }
+              });
   if (out->requires_grad) {
     out->backward = [a, b, out, n, k, m]() {
       if (a->requires_grad) {
-        // dA = dC * B^T
-        for (int i = 0; i < n; ++i) {
-          float* garow = &a->grad.data[static_cast<size_t>(i) * k];
-          const float* gcrow = &out->grad.data[static_cast<size_t>(i) * m];
-          for (int l = 0; l < k; ++l) {
-            const float* brow = &b->value.data[static_cast<size_t>(l) * m];
-            float s = 0;
-            for (int j = 0; j < m; ++j) s += gcrow[j] * brow[j];
-            garow[l] += s;
-          }
-        }
+        // dA = dC * B^T, row-parallel over i (B rows are contiguous).
+        ParallelFor(0, n, RowGrain(static_cast<int64_t>(k) * m),
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        float* garow =
+                            &a->grad.data[static_cast<size_t>(i) * k];
+                        const float* gcrow =
+                            &out->grad.data[static_cast<size_t>(i) * m];
+                        for (int l = 0; l < k; ++l) {
+                          const float* brow =
+                              &b->value.data[static_cast<size_t>(l) * m];
+                          float s = 0;
+                          for (int j = 0; j < m; ++j) s += gcrow[j] * brow[j];
+                          garow[l] += s;
+                        }
+                      }
+                    });
       }
       if (b->requires_grad) {
-        // dB = A^T * dC
-        for (int i = 0; i < n; ++i) {
-          const float* arow = &a->value.data[static_cast<size_t>(i) * k];
-          const float* gcrow = &out->grad.data[static_cast<size_t>(i) * m];
-          for (int l = 0; l < k; ++l) {
-            const float av = arow[l];
-            if (av == 0.f) continue;
-            float* gbrow = &b->grad.data[static_cast<size_t>(l) * m];
-            for (int j = 0; j < m; ++j) gbrow[j] += av * gcrow[j];
-          }
-        }
+        // dB = A^T * dC, parallel over B rows: each dB row is owned by one
+        // thread and accumulated in ascending-i order (the serial order).
+        ParallelFor(0, k, RowGrain(static_cast<int64_t>(n) * m),
+                    [&](int64_t lo, int64_t hi) {
+                      for (int64_t l = lo; l < hi; ++l) {
+                        float* gbrow =
+                            &b->grad.data[static_cast<size_t>(l) * m];
+                        for (int i = 0; i < n; ++i) {
+                          const float av =
+                              a->value.data[static_cast<size_t>(i) * k +
+                                            static_cast<size_t>(l)];
+                          if (av == 0.f) continue;
+                          const float* gcrow =
+                              &out->grad.data[static_cast<size_t>(i) * m];
+                          for (int j = 0; j < m; ++j) gbrow[j] += av * gcrow[j];
+                        }
+                      }
+                    });
       }
     };
   }
@@ -352,19 +439,39 @@ Tensor* GatherRows(Tape* tape, Tensor* a, std::vector<int> idx) {
 Tensor* SpMM(Tape* tape, const SparseMatrix& s, Tensor* a) {
   GLINT_CHECK(s.cols == a->rows());
   Tensor* out = tape->New(s.rows, a->cols(), a->requires_grad);
-  for (const auto& e : s.entries) {
-    const float* arow = &a->value.data[static_cast<size_t>(e.c) * a->cols()];
-    float* crow = &out->value.data[static_cast<size_t>(e.r) * a->cols()];
-    for (int j = 0; j < a->cols(); ++j) crow[j] += e.v * arow[j];
+  // Row-wise CSR walk instead of a COO scan: one pass per output row, no
+  // re-reading the whole entry list per multiply.
+  const auto csr = s.CsrView();
+  const int cols = a->cols();
+  for (int r = 0; r < s.rows; ++r) {
+    float* crow = &out->value.data[static_cast<size_t>(r) * cols];
+    const int k0 = csr->row_ptr[static_cast<size_t>(r)];
+    const int k1 = csr->row_ptr[static_cast<size_t>(r) + 1];
+    for (int k = k0; k < k1; ++k) {
+      const float v = csr->vals[static_cast<size_t>(k)];
+      const float* arow =
+          &a->value
+               .data[static_cast<size_t>(csr->col_idx[static_cast<size_t>(k)]) *
+                     cols];
+      for (int j = 0; j < cols; ++j) crow[j] += v * arow[j];
+    }
   }
   if (out->requires_grad) {
-    // Copy entries into the closure; SparseMatrix may not outlive the tape.
-    out->backward = [a, out, entries = s.entries]() {
-      for (const auto& e : entries) {
-        const float* gcrow =
-            &out->grad.data[static_cast<size_t>(e.r) * a->cols()];
-        float* garow = &a->grad.data[static_cast<size_t>(e.c) * a->cols()];
-        for (int j = 0; j < a->cols(); ++j) garow[j] += e.v * gcrow[j];
+    // Share the immutable CSR view with the closure; the SparseMatrix
+    // itself may not outlive the tape.
+    out->backward = [a, out, csr, rows = s.rows, cols]() {
+      for (int r = 0; r < rows; ++r) {
+        const float* gcrow = &out->grad.data[static_cast<size_t>(r) * cols];
+        const int k0 = csr->row_ptr[static_cast<size_t>(r)];
+        const int k1 = csr->row_ptr[static_cast<size_t>(r) + 1];
+        for (int k = k0; k < k1; ++k) {
+          float* garow =
+              &a->grad.data[static_cast<size_t>(
+                                csr->col_idx[static_cast<size_t>(k)]) *
+                            cols];
+          const float v = csr->vals[static_cast<size_t>(k)];
+          for (int j = 0; j < cols; ++j) garow[j] += v * gcrow[j];
+        }
       }
     };
   }

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "util/rng.h"
@@ -30,7 +32,13 @@ struct Matrix {
   static Matrix HeInit(int r, int c, Rng* rng);
 };
 
-/// Sparse matrix in coordinate form (used for normalized adjacencies).
+/// Sparse matrix in coordinate form (used for normalized adjacencies), with
+/// a build-once CSR mirror for fast row-wise multiplies.
+///
+/// Usage contract: entries are appended during construction, then the
+/// matrix is read-only. Construction sites that feed hot SpMM paths call
+/// BuildCsrCache() once at the end; SpMM builds (and caches) the CSR form
+/// on demand otherwise. Copies share the immutable cache.
 struct SparseMatrix {
   int rows = 0;
   int cols = 0;
@@ -39,6 +47,59 @@ struct SparseMatrix {
     float v;
   };
   std::vector<Entry> entries;
+
+  /// CSR mirror: entries grouped by row (insertion order kept within a
+  /// row), rows+1 offsets in row_ptr.
+  struct Csr {
+    std::vector<int> row_ptr;
+    std::vector<int> col_idx;
+    std::vector<float> vals;
+  };
+
+  SparseMatrix() = default;
+  SparseMatrix(const SparseMatrix& o)
+      : rows(o.rows), cols(o.cols), entries(o.entries), csr_(o.csr_.load()) {}
+  SparseMatrix& operator=(const SparseMatrix& o) {
+    rows = o.rows;
+    cols = o.cols;
+    entries = o.entries;
+    csr_.store(o.csr_.load());
+    return *this;
+  }
+  SparseMatrix(SparseMatrix&& o) noexcept
+      : rows(o.rows),
+        cols(o.cols),
+        entries(std::move(o.entries)),
+        csr_(o.csr_.load()) {}
+  SparseMatrix& operator=(SparseMatrix&& o) noexcept {
+    rows = o.rows;
+    cols = o.cols;
+    entries = std::move(o.entries);
+    csr_.store(o.csr_.load());
+    return *this;
+  }
+
+  void Reserve(size_t n) { entries.reserve(n); }
+  void Add(int r, int c, float v) { entries.push_back({r, c, v}); }
+  /// Appends both {a,b,v} and {b,a,v} (symmetric adjacency edge).
+  void AddSymmetric(int a, int b, float v) {
+    entries.push_back({a, b, v});
+    entries.push_back({b, a, v});
+  }
+
+  /// Returns the CSR mirror, building and caching it on first use. Safe to
+  /// call concurrently on a fully-constructed matrix: the first build wins
+  /// and is never replaced, so returned references stay valid.
+  std::shared_ptr<const Csr> CsrView() const;
+  /// Eagerly builds the CSR cache (call once after construction).
+  void BuildCsrCache() const { (void)CsrView(); }
+
+  const std::vector<int>& RowPtr() const { return CsrView()->row_ptr; }
+  const std::vector<int>& ColIdx() const { return CsrView()->col_idx; }
+  const std::vector<float>& Vals() const { return CsrView()->vals; }
+
+ private:
+  mutable std::atomic<std::shared_ptr<const Csr>> csr_;
 };
 
 /// A node in the autograd tape: value, gradient, and the closure that
@@ -77,6 +138,9 @@ struct Parameter {
 /// (creation order is already a topological order).
 class Tape {
  public:
+  /// Per-tape gradient buffer keyed by parameter (see set_grad_sink).
+  using GradSink = std::unordered_map<Parameter*, Matrix>;
+
   /// Creates a tensor from a value (no gradient tracking).
   Tensor* Constant(Matrix value);
 
@@ -90,10 +154,18 @@ class Tape {
   /// Runs backward from `loss` (must be 1x1).
   void Backward(Tensor* loss);
 
+  /// Redirects Leaf gradient accumulation from Parameter::grad into
+  /// `sink[param]` (zero-initialized on first touch). The parallel trainer
+  /// gives each per-graph tape a private sink and merges the sinks into the
+  /// parameters serially, in sample order, so gradients are bit-identical
+  /// for any thread count. Set before the first Leaf-touching Backward().
+  void set_grad_sink(GradSink* sink) { grad_sink_ = sink; }
+
   size_t size() const { return nodes_.size(); }
 
  private:
   std::vector<std::unique_ptr<Tensor>> nodes_;
+  GradSink* grad_sink_ = nullptr;
 };
 
 // ---- Ops (all append to the tape; gradients flow where inputs track) -----

@@ -1,8 +1,32 @@
 #include "gnn/trainer.h"
 
+#include <algorithm>
 #include <cstdio>
 
+#include "util/thread_pool.h"
+
 namespace glint::gnn {
+
+namespace {
+
+/// Merges per-sample gradient sinks into the parameters. Iterates samples
+/// in order and parameters in their registration order (never the
+/// unordered_map), so the reduction is deterministic for any thread count.
+void MergeGradSinks(const std::vector<Parameter*>& params,
+                    std::vector<Tape::GradSink>* sinks) {
+  for (auto& sink : *sinks) {
+    for (Parameter* p : params) {
+      auto it = sink.find(p);
+      if (it == sink.end()) continue;
+      for (size_t i = 0; i < p->grad.data.size(); ++i) {
+        p->grad.data[i] += it->second.data[i];
+      }
+    }
+    sink.clear();
+  }
+}
+
+}  // namespace
 
 void SplitGraphs(const std::vector<GnnGraph>& all, double train_frac,
                  Rng* rng, std::vector<GnnGraph>* train,
@@ -55,41 +79,53 @@ void Trainer::TrainSupervised(GraphModel* model,
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   const int kBatch = 8;  // gradient accumulation window
+  std::vector<Tape::GradSink> sinks(kBatch);
+  std::vector<double> losses(kBatch, 0.0);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     rng.Shuffle(&order);
     double total_loss = 0;
-    int in_batch = 0;
-    for (size_t oi = 0; oi < order.size(); ++oi) {
-      const GnnGraph& g = train[order[oi]];
-      Tape tape;
-      ForwardResult r = model->Forward(&tape, g);
-      Tensor* loss = SoftmaxCrossEntropy(&tape, r.logits, g.label,
-                                         w[g.label]);
-      // β·L_pool: per-scale BCE logits against the graph label (Eq. 2).
-      if (!r.pool_logits.empty() && config_.beta_pool > 0) {
-        Tensor* pool_loss = nullptr;
-        for (Tensor* logit : r.pool_logits) {
-          pool_loss =
-              AddLoss(&tape, pool_loss,
-                      BceWithLogit(&tape, logit, g.label, 1.0f));
-        }
-        loss = AddLoss(
-            &tape, loss,
-            Scale(&tape, pool_loss,
-                  static_cast<float>(config_.beta_pool /
-                                     static_cast<double>(
-                                         r.pool_logits.size()))));
-      }
-      Tensor* aux = model->AuxLoss(&tape, g, r);
-      if (aux != nullptr) {
-        loss = AddLoss(&tape, loss, Scale(&tape, aux, 0.5f));
-      }
-      total_loss += loss->value.data[0];
-      tape.Backward(loss);
-      if (++in_batch == kBatch || oi + 1 == order.size()) {
-        adam.Step(params);
-        in_batch = 0;
-      }
+    // Graphs within a batch are independent: each gets its own tape and a
+    // private gradient sink, so the batch runs in parallel; sinks are then
+    // merged in sample order and the merged result matches the serial run
+    // bit for bit.
+    for (size_t start = 0; start < order.size(); start += kBatch) {
+      const size_t stop = std::min(order.size(), start + kBatch);
+      ParallelFor(
+          static_cast<int64_t>(start), static_cast<int64_t>(stop), 1,
+          [&](int64_t lo, int64_t hi) {
+            for (int64_t oi = lo; oi < hi; ++oi) {
+              const GnnGraph& g = train[order[static_cast<size_t>(oi)]];
+              Tape tape;
+              tape.set_grad_sink(&sinks[static_cast<size_t>(oi) - start]);
+              ForwardResult r = model->Forward(&tape, g);
+              Tensor* loss = SoftmaxCrossEntropy(&tape, r.logits, g.label,
+                                                 w[g.label]);
+              // β·L_pool: per-scale BCE logits against the label (Eq. 2).
+              if (!r.pool_logits.empty() && config_.beta_pool > 0) {
+                Tensor* pool_loss = nullptr;
+                for (Tensor* logit : r.pool_logits) {
+                  pool_loss =
+                      AddLoss(&tape, pool_loss,
+                              BceWithLogit(&tape, logit, g.label, 1.0f));
+                }
+                loss = AddLoss(
+                    &tape, loss,
+                    Scale(&tape, pool_loss,
+                          static_cast<float>(config_.beta_pool /
+                                             static_cast<double>(
+                                                 r.pool_logits.size()))));
+              }
+              Tensor* aux = model->AuxLoss(&tape, g, r);
+              if (aux != nullptr) {
+                loss = AddLoss(&tape, loss, Scale(&tape, aux, 0.5f));
+              }
+              losses[static_cast<size_t>(oi) - start] = loss->value.data[0];
+              tape.Backward(loss);
+            }
+          });
+      for (size_t i = 0; i < stop - start; ++i) total_loss += losses[i];
+      MergeGradSinks(params, &sinks);
+      adam.Step(params);
     }
     if (config_.verbose) {
       std::fprintf(stderr, "[%s] epoch %d loss %.4f\n",
@@ -116,35 +152,56 @@ void Trainer::TrainContrastive(GraphModel* model,
       8, static_cast<size_t>(config_.pairs_per_sample *
                              static_cast<double>(train.size())));
   const int kBatch = 8;
+  struct Pair {
+    size_t ia, ib;
+    bool same;
+  };
+  std::vector<Pair> batch;
+  std::vector<Tape::GradSink> sinks(kBatch);
+  std::vector<double> losses(kBatch, 0.0);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     double total_loss = 0;
-    int in_batch = 0;
-    for (size_t k = 0; k < pairs_per_epoch; ++k) {
-      // 50% same-class pairs, 50% cross-class pairs.
-      size_t ia, ib;
-      bool same;
-      if (rng.Chance(0.5)) {
-        const auto& cls = by_class[rng.Chance(0.5) ? 1 : 0];
-        ia = cls[rng.Below(cls.size())];
-        ib = cls[rng.Below(cls.size())];
-        same = true;
-      } else {
-        ia = by_class[0][rng.Below(by_class[0].size())];
-        ib = by_class[1][rng.Below(by_class[1].size())];
-        same = false;
+    for (size_t start = 0; start < pairs_per_epoch; start += kBatch) {
+      const size_t stop = std::min(pairs_per_epoch, start + kBatch);
+      // Pair sampling stays on the caller thread (single RNG stream);
+      // embedding + backward of the sampled pairs fans out across the pool
+      // with per-pair gradient sinks.
+      batch.clear();
+      for (size_t k = start; k < stop; ++k) {
+        // 50% same-class pairs, 50% cross-class pairs.
+        Pair p;
+        if (rng.Chance(0.5)) {
+          const auto& cls = by_class[rng.Chance(0.5) ? 1 : 0];
+          p.ia = cls[rng.Below(cls.size())];
+          p.ib = cls[rng.Below(cls.size())];
+          p.same = true;
+        } else {
+          p.ia = by_class[0][rng.Below(by_class[0].size())];
+          p.ib = by_class[1][rng.Below(by_class[1].size())];
+          p.same = false;
+        }
+        batch.push_back(p);
       }
-      Tape tape;
-      Tensor* za = model->Forward(&tape, train[ia]).embedding;
-      Tensor* zb = model->Forward(&tape, train[ib]).embedding;
-      Tensor* loss = ContrastiveLoss(
-          &tape, za, zb, same,
-          static_cast<float>(config_.contrastive_margin));
-      total_loss += loss->value.data[0];
-      tape.Backward(loss);
-      if (++in_batch == kBatch || k + 1 == pairs_per_epoch) {
-        adam.Step(params);
-        in_batch = 0;
-      }
+      ParallelFor(0, static_cast<int64_t>(batch.size()), 1,
+                  [&](int64_t lo, int64_t hi) {
+                    for (int64_t k = lo; k < hi; ++k) {
+                      const Pair& p = batch[static_cast<size_t>(k)];
+                      Tape tape;
+                      tape.set_grad_sink(&sinks[static_cast<size_t>(k)]);
+                      Tensor* za =
+                          model->Forward(&tape, train[p.ia]).embedding;
+                      Tensor* zb =
+                          model->Forward(&tape, train[p.ib]).embedding;
+                      Tensor* loss = ContrastiveLoss(
+                          &tape, za, zb, p.same,
+                          static_cast<float>(config_.contrastive_margin));
+                      losses[static_cast<size_t>(k)] = loss->value.data[0];
+                      tape.Backward(loss);
+                    }
+                  });
+      for (size_t k = 0; k < batch.size(); ++k) total_loss += losses[k];
+      MergeGradSinks(params, &sinks);
+      adam.Step(params);
     }
     if (config_.verbose) {
       std::fprintf(stderr, "[%s-C] epoch %d loss %.4f\n",
@@ -163,12 +220,17 @@ int Trainer::Predict(GraphModel* model, const GnnGraph& g) {
 
 ml::Metrics Trainer::Evaluate(GraphModel* model,
                               const std::vector<GnnGraph>& test) {
-  std::vector<int> y_true, y_pred;
-  y_true.reserve(test.size());
-  for (const auto& g : test) {
-    y_true.push_back(g.label);
-    y_pred.push_back(Predict(model, g));
-  }
+  // Per-graph inference is independent; each slot is written by exactly one
+  // thread, so the metrics are identical for any thread count.
+  std::vector<int> y_true(test.size()), y_pred(test.size());
+  ParallelFor(0, static_cast<int64_t>(test.size()), 1,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  const auto& g = test[static_cast<size_t>(i)];
+                  y_true[static_cast<size_t>(i)] = g.label;
+                  y_pred[static_cast<size_t>(i)] = Predict(model, g);
+                }
+              });
   return ml::WeightedMetrics(y_true, y_pred, 2);
 }
 
@@ -181,9 +243,14 @@ FloatVec Trainer::Embed(GraphModel* model, const GnnGraph& g) {
 
 std::vector<FloatVec> Trainer::EmbedAll(GraphModel* model,
                                         const std::vector<GnnGraph>& set) {
-  std::vector<FloatVec> out;
-  out.reserve(set.size());
-  for (const auto& g : set) out.push_back(Embed(model, g));
+  std::vector<FloatVec> out(set.size());
+  ParallelFor(0, static_cast<int64_t>(set.size()), 1,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  out[static_cast<size_t>(i)] =
+                      Embed(model, set[static_cast<size_t>(i)]);
+                }
+              });
   return out;
 }
 

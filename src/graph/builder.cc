@@ -4,6 +4,7 @@
 
 #include "graph/threat_analyzer.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace glint::graph {
 
@@ -41,7 +42,7 @@ bool ShareDevice(const rules::Rule& a, const rules::Rule& b) {
 }  // namespace
 
 void GraphBuilder::AddEdges(const std::vector<rules::Rule>& rs,
-                            InteractionGraph* g) {
+                            InteractionGraph* g) const {
   for (int i = 0; i < g->num_nodes(); ++i) {
     for (int j = 0; j < g->num_nodes(); ++j) {
       if (i == j) continue;
@@ -67,22 +68,27 @@ Node GraphBuilder::MakeNode(const rules::Rule& rule) const {
 }
 
 InteractionGraph GraphBuilder::BuildGraph(const std::vector<rules::Rule>& pool) {
+  return BuildGraphWith(pool, &rng_);
+}
+
+InteractionGraph GraphBuilder::BuildGraphWith(
+    const std::vector<rules::Rule>& pool, Rng* rng) const {
   GLINT_CHECK(!pool.empty());
-  const double u = rng_.Uniform();
+  const double u = rng->Uniform();
   const int n = config_.min_nodes +
                 static_cast<int>(std::pow(u, config_.size_skew) *
                                  (config_.max_nodes - config_.min_nodes));
 
   std::vector<rules::Rule> chosen;
-  chosen.push_back(rng_.Pick(pool));
+  chosen.push_back(rng->Pick(pool));
   while (static_cast<int>(chosen.size()) < n) {
     bool chained = false;
-    if (rng_.Chance(config_.chain_prob)) {
+    if (rng->Chance(config_.chain_prob)) {
       // Grow from a random existing node: find a pool rule correlated with
       // it in either direction.
-      const rules::Rule& anchor = chosen[rng_.Below(chosen.size())];
+      const rules::Rule& anchor = chosen[rng->Below(chosen.size())];
       for (int t = 0; t < config_.chain_tries && !chained; ++t) {
-        const rules::Rule& cand = pool[rng_.Below(pool.size())];
+        const rules::Rule& cand = pool[rng->Below(pool.size())];
         if (cand.id == anchor.id) continue;
         if (edge_pred_(anchor, cand) || edge_pred_(cand, anchor)) {
           chosen.push_back(cand);
@@ -90,7 +96,7 @@ InteractionGraph GraphBuilder::BuildGraph(const std::vector<rules::Rule>& pool) 
         }
       }
     }
-    if (!chained) chosen.push_back(rng_.Pick(pool));
+    if (!chained) chosen.push_back(rng->Pick(pool));
   }
 
   InteractionGraph g;
@@ -103,8 +109,15 @@ InteractionGraph GraphBuilder::BuildGraph(const std::vector<rules::Rule>& pool) 
 GraphDataset GraphBuilder::BuildDataset(const std::vector<rules::Rule>& pool,
                                         int num_graphs) {
   GraphDataset ds;
-  ds.graphs.reserve(static_cast<size_t>(num_graphs));
-  for (int i = 0; i < num_graphs; ++i) ds.graphs.push_back(BuildGraph(pool));
+  ds.graphs.resize(static_cast<size_t>(num_graphs));
+  // One independent RNG stream per graph, seeded from the builder seed and
+  // the graph index: graph i is the same no matter which thread builds it.
+  ParallelFor(0, num_graphs, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      Rng rng(config_.seed ^ static_cast<uint64_t>(i));
+      ds.graphs[static_cast<size_t>(i)] = BuildGraphWith(pool, &rng);
+    }
+  });
   return ds;
 }
 

@@ -76,9 +76,15 @@ class GraphBuilder {
   Node MakeNode(const rules::Rule& rule) const;
 
  private:
+  /// BuildGraph with an explicit RNG stream. BuildDataset gives graph i the
+  /// stream seeded by `config_.seed ^ i`, so the dataset is identical for
+  /// any thread count; the public BuildGraph draws from the member stream.
+  InteractionGraph BuildGraphWith(const std::vector<rules::Rule>& pool,
+                                  Rng* rng) const;
+
   /// Adds all edges for the chosen rule set: action-trigger correlations
   /// via the edge predicate plus (optionally) shared-device links.
-  void AddEdges(const std::vector<rules::Rule>& rs, InteractionGraph* g);
+  void AddEdges(const std::vector<rules::Rule>& rs, InteractionGraph* g) const;
 
   Config config_;
   const nlp::EmbeddingModel* word_model_;

@@ -25,8 +25,11 @@ FloatVec EmbeddingModel::UnitGaussian(uint64_t seed) const {
 }
 
 const FloatVec& EmbeddingModel::WordVector(const std::string& word) const {
-  auto it = cache_.find(word);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    auto it = cache_.find(word);
+    if (it != cache_.end()) return it->second;
+  }
 
   const Lexicon& lex = Lexicon::Instance();
   // Pick the semantic anchor: synonym cluster > physical channel > the word.
@@ -43,7 +46,10 @@ const FloatVec& EmbeddingModel::WordVector(const std::string& word) const {
   const float wn = static_cast<float>(std::sqrt(noise_share_));
   FloatVec v(dim_);
   for (size_t i = 0; i < dim_; ++i) v[i] = wc * centroid[i] + wn * noise[i];
-  return cache_.emplace(word, std::move(v)).first->second;
+  // try_emplace keeps the first insertion if another thread raced us here;
+  // both candidates are identical (the vector is a pure function of `word`).
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return cache_.try_emplace(word, std::move(v)).first->second;
 }
 
 FloatVec EmbeddingModel::Average(const std::vector<std::string>& tokens) const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,6 +52,10 @@ class EmbeddingModel {
   size_t dim_;
   uint64_t seed_;
   double noise_share_;
+  /// Guards cache_ lookups/inserts; the graph builder embeds rule text from
+  /// pool workers. References returned by WordVector stay valid because
+  /// unordered_map nodes are stable and entries are never erased.
+  mutable std::mutex cache_mu_;
   mutable std::unordered_map<std::string, FloatVec> cache_;
 };
 

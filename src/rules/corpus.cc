@@ -1,5 +1,9 @@
 #include "rules/corpus.h"
 
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
 namespace glint::rules {
 namespace {
 
@@ -45,28 +49,28 @@ const std::vector<Actuator>& Actuators() {
 CorpusGenerator::CorpusGenerator(const CorpusConfig& config)
     : config_(config), rng_(config.seed), phrasing_(config.seed ^ 0xbeef) {}
 
-TriggerSpec CorpusGenerator::RandomTrigger() {
+TriggerSpec CorpusGenerator::RandomTrigger(Rng* rng) {
   TriggerSpec t;
-  const double kind = rng_.Uniform();
+  const double kind = rng->Uniform();
   if (kind < 0.22) {
     // Numeric environmental threshold.
-    const bool temp = rng_.Chance(0.7);
+    const bool temp = rng->Chance(0.7);
     t.channel = temp ? Channel::kTemperature : Channel::kHumidity;
     t.device = temp ? DeviceType::kTemperatureSensor
                     : DeviceType::kHumiditySensor;
-    const double r = rng_.Uniform();
+    const double r = rng->Uniform();
     if (r < 0.4) {
       t.cmp = Comparator::kAbove;
-      t.lo = temp ? rng_.Int(70, 100) : rng_.Int(50, 80);
+      t.lo = temp ? rng->Int(70, 100) : rng->Int(50, 80);
       t.direction = +1;
     } else if (r < 0.8) {
       t.cmp = Comparator::kBelow;
-      t.lo = temp ? rng_.Int(30, 68) : rng_.Int(20, 45);
+      t.lo = temp ? rng->Int(30, 68) : rng->Int(20, 45);
       t.direction = -1;
     } else {
       t.cmp = Comparator::kBetween;
-      t.lo = temp ? rng_.Int(55, 70) : rng_.Int(30, 50);
-      t.hi = t.lo + rng_.Int(10, 25);
+      t.lo = temp ? rng->Int(55, 70) : rng->Int(30, 50);
+      t.hi = t.lo + rng->Int(10, 25);
     }
   } else if (kind < 0.40) {
     // Sensor event.
@@ -78,7 +82,7 @@ TriggerSpec CorpusGenerator::RandomTrigger() {
         {DeviceType::kLeakSensor, "wet"},
         {DeviceType::kButton, "pressed"},
     };
-    auto [dev, state] = rng_.Pick(sensors);
+    auto [dev, state] = rng->Pick(sensors);
     t.device = dev;
     t.channel = SensedChannelOf(dev);
     t.cmp = Comparator::kEquals;
@@ -90,7 +94,7 @@ TriggerSpec CorpusGenerator::RandomTrigger() {
     t.device = DeviceType::kButton;  // placeholder; channel is what matters
     t.cmp = Comparator::kEquals;
     t.has_time = true;
-    t.hour_lo = static_cast<int>(rng_.Int(0, 23));
+    t.hour_lo = static_cast<int>(rng->Int(0, 23));
     t.hour_hi = t.hour_lo;
   } else {
     // Device-state trigger ("when the door opens", "when the light is off").
@@ -108,75 +112,75 @@ TriggerSpec CorpusGenerator::RandomTrigger() {
             {DeviceType::kSecuritySystem, {"armed", "disarmed"}},
             {DeviceType::kPlug, {"on", "off"}},
         };
-    const auto& [dev, opts] = rng_.Pick(states);
+    const auto& [dev, opts] = rng->Pick(states);
     t.device = dev;
     t.channel = StateChannelOf(dev);
     t.cmp = Comparator::kEquals;
-    t.state = rng_.Pick(opts);
+    t.state = rng->Pick(opts);
     t.direction = +1;
   }
   return t;
 }
 
-ConditionSpec CorpusGenerator::RandomCondition() {
+ConditionSpec CorpusGenerator::RandomCondition(Rng* rng) {
   ConditionSpec c;
-  const double kind = rng_.Uniform();
+  const double kind = rng->Uniform();
   if (kind < 0.35) {
     c.has_time = true;
-    c.hour_lo = static_cast<int>(rng_.Int(0, 20));
-    c.hour_hi = c.hour_lo + static_cast<int>(rng_.Int(1, 4));
+    c.hour_lo = static_cast<int>(rng->Int(0, 20));
+    c.hour_hi = c.hour_lo + static_cast<int>(rng->Int(1, 4));
     c.channel = Channel::kTime;
   } else if (kind < 0.6) {
     c.channel = Channel::kSecurity;
     c.device = DeviceType::kSecuritySystem;
     c.cmp = Comparator::kEquals;
-    c.state = rng_.Chance(0.5) ? "armed" : "disarmed";
+    c.state = rng->Chance(0.5) ? "armed" : "disarmed";
   } else if (kind < 0.8) {
     c.channel = Channel::kTemperature;
     c.device = DeviceType::kTemperatureSensor;
-    c.cmp = rng_.Chance(0.5) ? Comparator::kAbove : Comparator::kBelow;
-    c.lo = rng_.Int(40, 90);
+    c.cmp = rng->Chance(0.5) ? Comparator::kAbove : Comparator::kBelow;
+    c.lo = rng->Int(40, 90);
   } else {
     c.channel = Channel::kPresence;
     c.device = DeviceType::kPresenceSensor;
     c.cmp = Comparator::kEquals;
-    c.state = rng_.Chance(0.5) ? "present" : "away";
+    c.state = rng->Chance(0.5) ? "present" : "away";
   }
   return c;
 }
 
-ActionSpec CorpusGenerator::RandomAction() {
+ActionSpec CorpusGenerator::RandomAction(Rng* rng) {
   std::vector<double> weights;
   for (const auto& a : Actuators()) weights.push_back(a.weight);
-  const Actuator& act = Actuators()[rng_.Weighted(weights)];
+  const Actuator& act = Actuators()[rng->Weighted(weights)];
   ActionSpec a;
   a.device = act.device;
-  a.command = rng_.Pick(act.commands);
+  a.command = rng->Pick(act.commands);
   if (a.command == Command::kSetLevel) {
-    a.level = static_cast<double>(rng_.Int(1, 10) * 10);
+    a.level = static_cast<double>(rng->Int(1, 10) * 10);
   }
   return a;
 }
 
-TriggerSpec CorpusGenerator::RandomWebTrigger() {
+TriggerSpec CorpusGenerator::RandomWebTrigger(Rng* rng) {
   TriggerSpec t;
   static const std::vector<DeviceType> kWebSources = {
       DeviceType::kEmailService, DeviceType::kWeatherService,
       DeviceType::kCalendar, DeviceType::kSocialMedia};
-  t.device = rng_.Pick(kWebSources);
+  t.device = rng->Pick(kWebSources);
   t.channel = Channel::kDigital;
   t.cmp = Comparator::kAny;
   return t;
 }
 
-ActionSpec CorpusGenerator::RandomWebAction() {
+ActionSpec CorpusGenerator::RandomWebAction(Rng* rng) {
   static const std::vector<std::pair<DeviceType, Command>> kWebSinks = {
       {DeviceType::kEmailService, Command::kNotify},
       {DeviceType::kSocialMedia, Command::kNotify},
       {DeviceType::kSpreadsheet, Command::kSetLevel},
       {DeviceType::kPhone, Command::kNotify},
   };
-  auto [dev, cmd] = rng_.Pick(kWebSinks);
+  auto [dev, cmd] = rng->Pick(kWebSinks);
   ActionSpec a;
   a.device = dev;
   a.command = cmd;
@@ -184,12 +188,17 @@ ActionSpec CorpusGenerator::RandomWebAction() {
 }
 
 Rule CorpusGenerator::GenerateRule(Platform p) {
+  return GenerateRuleImpl(p, next_id_++, &rng_, &phrasing_);
+}
+
+Rule CorpusGenerator::GenerateRuleImpl(Platform p, int id, Rng* rng,
+                                       PhrasingEngine* phrasing) {
   Rule r;
-  r.id = next_id_++;
+  r.id = id;
   r.platform = p;
   // ~55% of rules are room-scoped; the rest apply anywhere.
-  if (rng_.Chance(0.55)) {
-    r.location = static_cast<Location>(rng_.Int(1, kNumLocations - 1));
+  if (rng->Chance(0.55)) {
+    r.location = static_cast<Location>(rng->Int(1, kNumLocations - 1));
   }
 
   // Real IFTTT corpora are dominated by non-IoT web applets (email,
@@ -202,38 +211,60 @@ Rule CorpusGenerator::GenerateRule(Platform p) {
     case Platform::kHomeAssistant: web_p = 0.12; break;
     case Platform::kSmartThings: web_p = 0.05; break;
   }
-  if (rng_.Chance(web_p)) {
-    const double mix = rng_.Uniform();
+  if (rng->Chance(web_p)) {
+    const double mix = rng->Uniform();
     if (mix < 0.5) {  // web trigger -> web action
-      r.trigger = RandomWebTrigger();
-      r.actions.push_back(RandomWebAction());
+      r.trigger = RandomWebTrigger(rng);
+      r.actions.push_back(RandomWebAction(rng));
     } else if (mix < 0.75) {  // web trigger -> device action
-      r.trigger = RandomWebTrigger();
-      r.actions.push_back(RandomAction());
+      r.trigger = RandomWebTrigger(rng);
+      r.actions.push_back(RandomAction(rng));
     } else {  // device trigger -> web action
-      r.trigger = RandomTrigger();
-      r.actions.push_back(RandomWebAction());
+      r.trigger = RandomTrigger(rng);
+      r.actions.push_back(RandomWebAction(rng));
     }
-    phrasing_.Render(&r);
+    phrasing->Render(&r);
     return r;
   }
 
-  r.trigger = RandomTrigger();
+  r.trigger = RandomTrigger(rng);
   // Alexa voice skills are mostly single-clause; others carry conditions.
   const double cond_p = (p == Platform::kAlexa) ? 0.08 : 0.3;
-  if (rng_.Chance(cond_p)) r.conditions.push_back(RandomCondition());
-  r.actions.push_back(RandomAction());
-  if (rng_.Chance(p == Platform::kIFTTT ? 0.25 : 0.12)) {
-    r.actions.push_back(RandomAction());
+  if (rng->Chance(cond_p)) r.conditions.push_back(RandomCondition(rng));
+  r.actions.push_back(RandomAction(rng));
+  if (rng->Chance(p == Platform::kIFTTT ? 0.25 : 0.12)) {
+    r.actions.push_back(RandomAction(rng));
   }
-  phrasing_.Render(&r);
+  phrasing->Render(&r);
   return r;
 }
 
 std::vector<Rule> CorpusGenerator::GeneratePlatform(Platform p, int n) {
-  std::vector<Rule> out;
-  out.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) out.push_back(GenerateRule(p));
+  std::vector<Rule> out(static_cast<size_t>(n));
+  const int base_id = next_id_;
+  next_id_ += n;
+  // Fixed-size shards with per-shard RNG and phrasing streams seeded from
+  // the corpus seed, the platform, and the shard index: rule i is produced
+  // by the same shard stream regardless of thread count, so the corpus is
+  // bit-identical for any GLINT_THREADS.
+  constexpr int kShardSize = 128;
+  const int64_t num_shards = (n + kShardSize - 1) / kShardSize;
+  ParallelFor(0, num_shards, 1, [&](int64_t s_lo, int64_t s_hi) {
+    for (int64_t shard = s_lo; shard < s_hi; ++shard) {
+      const int lo = static_cast<int>(shard) * kShardSize;
+      const int hi = std::min(n, lo + kShardSize);
+      const uint64_t shard_seed =
+          config_.seed ^
+          (static_cast<uint64_t>(p) * 0x100000001b3ULL) ^
+          (static_cast<uint64_t>(shard) * 0x9e3779b97f4a7c15ULL);
+      Rng rng(shard_seed);
+      PhrasingEngine phrasing(shard_seed ^ 0xbeef);
+      for (int i = lo; i < hi; ++i) {
+        out[static_cast<size_t>(i)] =
+            GenerateRuleImpl(p, base_id + i, &rng, &phrasing);
+      }
+    }
+  });
   return out;
 }
 

@@ -60,11 +60,16 @@ class CorpusGenerator {
   static std::vector<std::vector<Rule>> NewThreatBlueprints();
 
  private:
-  TriggerSpec RandomTrigger();
-  TriggerSpec RandomWebTrigger();
-  ConditionSpec RandomCondition();
-  ActionSpec RandomAction();
-  ActionSpec RandomWebAction();
+  TriggerSpec RandomTrigger(Rng* rng);
+  TriggerSpec RandomWebTrigger(Rng* rng);
+  ConditionSpec RandomCondition(Rng* rng);
+  ActionSpec RandomAction(Rng* rng);
+  ActionSpec RandomWebAction(Rng* rng);
+  /// Generates one rule with explicit id and RNG/phrasing streams; the
+  /// sharded generator gives each shard its own streams so the corpus is
+  /// identical for any thread count.
+  Rule GenerateRuleImpl(Platform p, int id, Rng* rng,
+                        PhrasingEngine* phrasing);
 
   CorpusConfig config_;
   Rng rng_;

@@ -1,0 +1,180 @@
+// Serial-vs-parallel determinism contract: corpus generation, dataset
+// construction, training, evaluation, and embedding must produce
+// bit-identical results at 1 thread and at N threads (DESIGN.md,
+// "Concurrency model").
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gnn/ggraph.h"
+#include "gnn/models.h"
+#include "gnn/trainer.h"
+#include "graph/builder.h"
+#include "nlp/embedding.h"
+#include "rules/corpus.h"
+#include "util/thread_pool.h"
+
+namespace glint {
+namespace {
+
+/// Restores the global pool to its env-configured size when a test ends.
+struct ThreadRestore {
+  ~ThreadRestore() {
+    ThreadPool::SetGlobalThreads(ThreadPool::ConfiguredThreads());
+  }
+};
+
+constexpr int kParallelThreads = 4;
+
+std::vector<rules::Rule> SmallCorpus() {
+  rules::CorpusConfig cc;
+  cc.ifttt = 300;
+  cc.smartthings = 50;
+  cc.alexa = 60;
+  cc.google_assistant = 60;
+  cc.home_assistant = 60;
+  return rules::CorpusGenerator(cc).Generate();
+}
+
+const nlp::EmbeddingModel& WordModel() {
+  static const nlp::EmbeddingModel* m = new nlp::EmbeddingModel(300, 17);
+  return *m;
+}
+const nlp::EmbeddingModel& SentenceModel() {
+  static const nlp::EmbeddingModel* m = new nlp::EmbeddingModel(512, 18);
+  return *m;
+}
+
+std::vector<gnn::GnnGraph> BuildGraphs(const std::vector<rules::Rule>& pool,
+                                       int num_graphs) {
+  graph::GraphBuilder::Config bc;
+  bc.seed = 99;
+  bc.max_nodes = 12;
+  graph::GraphBuilder builder(bc, &WordModel(), &SentenceModel());
+  return gnn::ToGnnGraphs(builder.BuildDataset(pool, num_graphs));
+}
+
+void ExpectSameGraphs(const std::vector<gnn::GnnGraph>& a,
+                      const std::vector<gnn::GnnGraph>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].num_nodes, b[i].num_nodes) << "graph " << i;
+    ASSERT_EQ(a[i].label, b[i].label) << "graph " << i;
+    ASSERT_EQ(a[i].node_types, b[i].node_types) << "graph " << i;
+    ASSERT_EQ(a[i].edges, b[i].edges) << "graph " << i;
+    for (int t = 0; t < gnn::kNumNodeTypes; ++t) {
+      ASSERT_EQ(a[i].typed_features[t].data, b[i].typed_features[t].data)
+          << "graph " << i << " type " << t;
+    }
+    ASSERT_EQ(a[i].adj_norm.entries.size(), b[i].adj_norm.entries.size());
+    for (size_t k = 0; k < a[i].adj_norm.entries.size(); ++k) {
+      const auto& ea = a[i].adj_norm.entries[k];
+      const auto& eb = b[i].adj_norm.entries[k];
+      ASSERT_EQ(ea.r, eb.r);
+      ASSERT_EQ(ea.c, eb.c);
+      ASSERT_EQ(ea.v, eb.v);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, CorpusIdenticalAcrossThreadCounts) {
+  ThreadRestore restore;
+  ThreadPool::SetGlobalThreads(1);
+  const auto serial = SmallCorpus();
+  ThreadPool::SetGlobalThreads(kParallelThreads);
+  const auto parallel = SmallCorpus();
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].id, parallel[i].id) << "rule " << i;
+    ASSERT_EQ(serial[i].platform, parallel[i].platform) << "rule " << i;
+    ASSERT_EQ(serial[i].text, parallel[i].text) << "rule " << i;
+    ASSERT_EQ(serial[i].trigger.device, parallel[i].trigger.device);
+    ASSERT_EQ(serial[i].conditions.size(), parallel[i].conditions.size());
+    ASSERT_EQ(serial[i].actions.size(), parallel[i].actions.size());
+  }
+}
+
+TEST(ParallelDeterminismTest, DatasetIdenticalAcrossThreadCounts) {
+  ThreadRestore restore;
+  const auto pool = SmallCorpus();
+  ThreadPool::SetGlobalThreads(1);
+  const auto serial = BuildGraphs(pool, 10);
+  ThreadPool::SetGlobalThreads(kParallelThreads);
+  const auto parallel = BuildGraphs(pool, 10);
+  ExpectSameGraphs(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, EvaluateAndEmbedAllIdenticalAcrossThreadCounts) {
+  ThreadRestore restore;
+  ThreadPool::SetGlobalThreads(1);
+  const auto graphs = BuildGraphs(SmallCorpus(), 16);
+
+  gnn::ItgnnModel::Config mc;
+  mc.seed = 5;
+  gnn::ItgnnModel model(mc);
+
+  const auto serial_metrics = gnn::Trainer::Evaluate(&model, graphs);
+  const auto serial_embeds = gnn::Trainer::EmbedAll(&model, graphs);
+  ThreadPool::SetGlobalThreads(kParallelThreads);
+  const auto parallel_metrics = gnn::Trainer::Evaluate(&model, graphs);
+  const auto parallel_embeds = gnn::Trainer::EmbedAll(&model, graphs);
+
+  EXPECT_EQ(serial_metrics.accuracy, parallel_metrics.accuracy);
+  EXPECT_EQ(serial_metrics.precision, parallel_metrics.precision);
+  EXPECT_EQ(serial_metrics.recall, parallel_metrics.recall);
+  EXPECT_EQ(serial_metrics.f1, parallel_metrics.f1);
+  ASSERT_EQ(serial_embeds.size(), parallel_embeds.size());
+  for (size_t i = 0; i < serial_embeds.size(); ++i) {
+    ASSERT_EQ(serial_embeds[i], parallel_embeds[i]) << "embedding " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, SupervisedTrainingIdenticalAcrossThreadCounts) {
+  ThreadRestore restore;
+  ThreadPool::SetGlobalThreads(1);
+  const auto graphs = BuildGraphs(SmallCorpus(), 16);
+
+  auto train_and_embed = [&graphs](int threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    gnn::ItgnnModel::Config mc;
+    mc.seed = 3;
+    gnn::ItgnnModel model(mc);
+    gnn::TrainConfig tc;
+    tc.epochs = 2;
+    gnn::Trainer(tc).TrainSupervised(&model, graphs);
+    return gnn::Trainer::EmbedAll(&model, graphs);
+  };
+  const auto serial = train_and_embed(1);
+  const auto parallel = train_and_embed(kParallelThreads);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "embedding " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, ContrastiveTrainingIdenticalAcrossThreadCounts) {
+  ThreadRestore restore;
+  ThreadPool::SetGlobalThreads(1);
+  const auto graphs = BuildGraphs(SmallCorpus(), 16);
+
+  auto train_and_embed = [&graphs](int threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    gnn::ItgnnModel::Config mc;
+    mc.seed = 11;
+    gnn::ItgnnModel model(mc);
+    gnn::TrainConfig tc;
+    tc.epochs = 2;
+    gnn::Trainer(tc).TrainContrastive(&model, graphs);
+    return gnn::Trainer::EmbedAll(&model, graphs);
+  };
+  const auto serial = train_and_embed(1);
+  const auto parallel = train_and_embed(kParallelThreads);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "embedding " << i;
+  }
+}
+
+}  // namespace
+}  // namespace glint

@@ -1,0 +1,46 @@
+// Standalone ThreadPool stress driver for the ThreadSanitizer build
+// (tools/check.sh configures -DGLINT_TSAN=ON and runs this binary). Kept
+// gtest-free so the sanitizer build only needs glint_util.
+
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+int main() {
+  constexpr int kRounds = 50;
+  constexpr int64_t kN = 2048;
+  glint::ThreadPool pool(4);
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(0, kN, 7, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(i)]++;
+    });
+    for (int64_t i = 0; i < kN; ++i) {
+      if (hits[static_cast<size_t>(i)].load() != 1) {
+        std::fprintf(stderr, "round %d: index %lld hit %d times\n", round,
+                     static_cast<long long>(i),
+                     hits[static_cast<size_t>(i)].load());
+        return 1;
+      }
+    }
+
+    // Nested calls run the inner range inline on pool workers.
+    std::atomic<int64_t> total{0};
+    pool.ParallelFor(0, 16, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        pool.ParallelFor(0, 32, 4,
+                         [&](int64_t l2, int64_t h2) { total += h2 - l2; });
+      }
+    });
+    if (total.load() != 16 * 32) {
+      std::fprintf(stderr, "round %d: nested total %lld != 512\n", round,
+                   static_cast<long long>(total.load()));
+      return 1;
+    }
+  }
+  std::printf("threadpool_stress: OK (%d rounds)\n", kRounds);
+  return 0;
+}

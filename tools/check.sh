@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 check: Release build, full test suite, throughput smoke bench, and
+# a ThreadSanitizer pass over the thread pool.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+# Smoke the throughput bench with a 2-thread pool (exercises the parallel
+# build/train/inference paths end to end).
+GLINT_THREADS=2 ./build/bench/bench_throughput --smoke
+
+# Data-race check: build only the thread-pool targets under TSAN and run
+# the stress driver.
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGLINT_TSAN=ON
+cmake --build build-tsan -j"${JOBS}" --target threadpool_stress
+./build-tsan/tests/threadpool_stress
+
+echo "check.sh: all stages passed"
