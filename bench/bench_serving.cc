@@ -1,0 +1,235 @@
+// Serving-path bench: cold full-rebuild Inspect vs warm incremental Inspect
+// through a DeploymentSession (1-rule delta on an N-rule home, learned
+// correlation pipeline), plus ServingEngine whole-fleet throughput
+// (rules/sec) at 1, 2, and hardware-concurrency threads. Emits one
+// machine-readable JSON line (prefix BENCH_JSON) with the p50/p95
+// latencies, the cold/warm speedup, and the per-thread-count rates.
+//
+// Usage: bench_serving [--smoke]
+//   --smoke  tiny home / fewer reps and a {1, current} thread sweep; used
+//            by tools/check.sh under GLINT_THREADS=2.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/glint.h"
+#include "core/serving.h"
+#include "core/session.h"
+#include "util/thread_pool.h"
+
+namespace glint::bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const size_t idx = static_cast<size_t>(p * (xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+graph::Event EventFor(const rules::Rule& r, bool trigger, double t) {
+  graph::Event e;
+  e.time_hours = t;
+  e.location = r.location;
+  if (trigger || r.actions.empty()) {
+    e.device = r.trigger.device;
+    e.state = r.trigger.state;
+  } else {
+    e.device = r.actions[0].device;
+    e.state = rules::CommandResultState(r.actions[0].command);
+  }
+  return e;
+}
+
+int Run(bool smoke) {
+  const int home_rules = smoke ? 16 : 50;
+  const int reps = smoke ? 6 : 20;
+  const int homes = smoke ? 4 : 8;
+
+  // A small trained detector: the learned correlation classifier is what
+  // makes the cold O(n^2) pair scan expensive, so train it for real; the
+  // GNN quality is irrelevant to the timing shape.
+  core::Glint::Options opts;
+  opts.corpus.ifttt = smoke ? 200 : 300;
+  opts.corpus.smartthings = 40;
+  opts.corpus.alexa = 60;
+  opts.corpus.google_assistant = 40;
+  opts.corpus.home_assistant = 40;
+  opts.num_training_graphs = smoke ? 40 : 80;
+  opts.builder.max_nodes = 8;
+  opts.model.num_scales = 2;
+  opts.model.embed_dim = 32;
+  opts.train.epochs = 2;
+  opts.pairs.num_positive = 60;
+  opts.pairs.num_negative = 90;
+  core::Glint glint(opts);
+  std::printf("training the detector (offline stage)...\n");
+  glint.TrainOffline();
+
+  // The deployed home: home_rules corpus rules re-id'd, plus an event
+  // stream so real-time edges are actually live.
+  std::vector<rules::Rule> deployed(
+      glint.corpus().begin(),
+      glint.corpus().begin() + std::min<size_t>(
+                                   static_cast<size_t>(home_rules),
+                                   glint.corpus().size()));
+  for (size_t i = 0; i < deployed.size(); ++i) {
+    deployed[i].id = 9000 + static_cast<int>(i);
+  }
+  graph::EventLog log;
+  double now = 10.0;
+  for (size_t i = 0; i < deployed.size(); ++i) {
+    now += 0.01;
+    log.Append(EventFor(deployed[i], /*trigger=*/false, now));
+    now += 0.01;
+    log.Append(EventFor(deployed[(i + 1) % deployed.size()],
+                        /*trigger=*/true, now));
+  }
+
+  Banner("Serving: cold full rebuild vs warm incremental Inspect",
+         "the Sec. 5 deployment regime");
+
+  // Cold: the pre-split pipeline — every Inspect re-runs the O(n^2)
+  // learned-correlation scan and rebuilds the graph from scratch. (The
+  // façade's predicate is deliberately unmemoized.)
+  std::vector<double> cold_ms;
+  core::ThreatWarning cold_w;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    cold_w = glint.Inspect(deployed, log, now);
+    cold_ms.push_back(Seconds(t0) * 1e3);
+  }
+
+  // Warm: a DeploymentSession over the same rules and events. Each
+  // measured op is a 1-rule delta (retire one rule, redeploy it) plus the
+  // incremental Inspect — the caches never see an unchanged graph key, so
+  // this times real incremental work, not verdict-cache hits.
+  core::DeploymentSession session(&glint.detector());
+  for (const auto& r : deployed) session.AddRule(r);
+  for (const auto& e : log.events()) session.OnEvent(e);
+  core::ThreatWarning warm_w = session.Inspect(now);
+
+  std::vector<double> warm_ms;
+  for (int r = 0; r < reps; ++r) {
+    const auto cur = session.CurrentRules();
+    const rules::Rule rotated = cur[static_cast<size_t>(r) % cur.size()];
+    auto t0 = std::chrono::steady_clock::now();
+    session.RemoveRule(rotated.id);
+    session.AddRule(rotated);
+    warm_w = session.Inspect(now);
+    warm_ms.push_back(Seconds(t0) * 1e3);
+  }
+  // No-change Inspect: the graph key matches, so the verdict cache answers.
+  std::vector<double> hit_ms;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    warm_w = session.Inspect(now);
+    hit_ms.push_back(Seconds(t0) * 1e3);
+  }
+
+  // Sanity: warm and cold must agree bit-for-bit on the same deployment.
+  const bool equivalent =
+      session.Inspect(now).Render() ==
+      glint.Inspect(session.CurrentRules(), log, now).Render();
+
+  const double cold_p50 = Percentile(cold_ms, 0.50);
+  const double cold_p95 = Percentile(cold_ms, 0.95);
+  const double warm_p50 = Percentile(warm_ms, 0.50);
+  const double warm_p95 = Percentile(warm_ms, 0.95);
+  const double hit_p50 = Percentile(hit_ms, 0.50);
+  const double speedup = warm_p50 > 0 ? cold_p50 / warm_p50 : 0;
+
+  std::printf("%-34s %10s %10s\n", "inspect path", "p50 ms", "p95 ms");
+  std::printf("%-34s %10.2f %10.2f\n", "cold full rebuild", cold_p50,
+              cold_p95);
+  std::printf("%-34s %10.2f %10.2f\n", "warm incremental (1-rule delta)",
+              warm_p50, warm_p95);
+  std::printf("%-34s %10.3f %10.3f\n", "warm no-change (verdict cache)",
+              hit_p50, Percentile(hit_ms, 0.95));
+  std::printf("cold/warm p50 speedup: %.1fx   warm==cold: %s\n", speedup,
+              equivalent ? "yes" : "NO — DETERMINISM BUG");
+
+  // Fleet throughput: ServingEngine with `homes` sessions, one 1-rule
+  // delta per home per round, InspectAll across the thread sweep.
+  const int initial = ThreadPool::Global().threads();
+  std::vector<int> sweep = {1};
+  if (smoke) {
+    if (initial > 1) sweep.push_back(initial);
+  } else {
+    if (initial >= 2) sweep.push_back(2);
+    if (ThreadPool::ConfiguredThreads() > 2) {
+      sweep.push_back(ThreadPool::ConfiguredThreads());
+    }
+  }
+
+  core::ServingEngine engine(&glint.detector());
+  for (int h = 0; h < homes; ++h) engine.AddHome(deployed);
+  for (int h = 0; h < homes; ++h) {
+    for (const auto& e : log.events()) engine.OnEvent(h, e);
+  }
+
+  std::printf("\n%8s %16s\n", "threads", "rules/sec");
+  std::vector<double> rates;
+  int round = 0;
+  for (int t : sweep) {
+    ThreadPool::SetGlobalThreads(t);
+    const int rounds = smoke ? 2 : 4;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int k = 0; k < rounds; ++k, ++round) {
+      for (int h = 0; h < homes; ++h) {
+        const auto cur = engine.home(h).CurrentRules();
+        const rules::Rule rotated =
+            cur[static_cast<size_t>(round) % cur.size()];
+        engine.home(h).RemoveRule(rotated.id);
+        engine.home(h).AddRule(rotated);
+      }
+      engine.InspectAll(now);
+    }
+    const double rate =
+        static_cast<double>(engine.total_rules()) * rounds / Seconds(t0);
+    rates.push_back(rate);
+    std::printf("%8d %16.1f\n", t, rate);
+  }
+  ThreadPool::SetGlobalThreads(initial);
+
+  std::string json = "BENCH_JSON {\"bench\":\"serving\"";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                ",\"home_rules\":%d,\"cold_p50_ms\":%.3f,\"cold_p95_ms\":"
+                "%.3f,\"warm_p50_ms\":%.3f,\"warm_p95_ms\":%.3f,"
+                "\"nochange_p50_ms\":%.4f,\"speedup_p50\":%.2f,"
+                "\"equivalent\":%s",
+                home_rules, cold_p50, cold_p95, warm_p50, warm_p95, hit_p50,
+                speedup, equivalent ? "true" : "false");
+  json += buf;
+  json += ",\"threads\":[";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    json += (i ? "," : "") + std::to_string(sweep[i]);
+  }
+  json += "],\"rules_per_sec\":[";
+  for (size_t i = 0; i < rates.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%.1f", i ? "," : "", rates[i]);
+    json += buf;
+  }
+  json += "]}";
+  std::printf("%s\n", json.c_str());
+  return equivalent ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace glint::bench
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  return glint::bench::Run(smoke);
+}

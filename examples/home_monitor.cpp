@@ -1,11 +1,15 @@
 // Online-stage demo (the paper's Fig. 3 experience in a terminal): a
-// simulated smart home streams event logs; Glint builds real-time
-// interaction graphs, checks for drift, and raises threat warnings with the
-// culprit rules highlighted, including when an attacker strikes.
+// simulated smart home streams event logs into a DeploymentSession, which
+// maintains the interaction graph incrementally — each rule embedded once,
+// pairwise correlations evaluated once, edge liveness updated in place —
+// checks for drift, and raises threat warnings with the culprit rules
+// highlighted, including when an attacker strikes. At the end the user
+// retires a culprit rule (an O(n) delta, not a rebuild) and re-inspects.
 
 #include <cstdio>
 
 #include "core/glint.h"
+#include "core/session.h"
 #include "testbed/attacks.h"
 #include "testbed/scenarios.h"
 
@@ -63,10 +67,17 @@ int main() {
     deployed.push_back(night_lock);
   }
 
+  // The deployment session: the home's live half of the split. Rules are
+  // embedded and pairwise-classified once here, not on every inspection.
+  core::DeploymentSession session(&glint.detector());
+  for (const auto& r : deployed) session.AddRule(r);
+  std::printf("deployed %d rules into the session\n\n", session.num_rules());
+
   testbed::SmartHome::Config home_cfg;
   home_cfg.seed = 2026;
   home_cfg.start_hour = 18.0;
   testbed::SmartHome home(home_cfg, deployed);
+  size_t cursor = 0;  // events already streamed into the session
 
   Rng rng(7);
   const struct {
@@ -95,9 +106,24 @@ int main() {
       std::printf("  %s\n", lines[i].c_str());
     }
 
-    // Real-time inspection (Fig. 3a/3c).
-    auto warning = glint.Inspect(deployed, home.log(), home.now());
+    // Stream the new events, then inspect incrementally (Fig. 3a/3c).
+    const auto& events = home.log().events();
+    for (; cursor < events.size(); ++cursor) session.OnEvent(events[cursor]);
+    auto warning = session.Inspect(home.now());
     std::printf("%s\n", warning.Render().c_str());
   }
+
+  // Steps 7-8 of Fig. 2, the remediation: the user retires the smoke-unlock
+  // rule. One O(n) delta on the live graph — no rebuild — and the threat
+  // chain is gone at the next inspection.
+  std::printf("---- user retires rule #100 (smoke -> unlock) ----\n");
+  session.RemoveRule(100);
+  auto after = session.Inspect(home.now());
+  std::printf("%s\n", after.Render().c_str());
+
+  std::printf(
+      "session stats: %zu inspections, %zu verdict-cache hits, "
+      "%zu tensor-cache hits\n",
+      session.inspect_count(), session.verdict_hits(), session.tensor_hits());
   return 0;
 }

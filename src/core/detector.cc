@@ -1,0 +1,153 @@
+#include "core/detector.h"
+
+#include "core/explain.h"
+#include "gnn/model_io.h"
+#include "graph/threat_analyzer.h"
+
+namespace glint::core {
+
+TrainedDetector::TrainedDetector(Options options)
+    : options_(std::move(options)),
+      word_model_(300, options_.seed ^ 0x17),
+      sentence_model_(512, options_.seed ^ 0x18) {
+  builder_ = std::make_unique<graph::GraphBuilder>(options_.builder,
+                                                   &word_model_,
+                                                   &sentence_model_);
+}
+
+void TrainedDetector::TrainOffline() {
+  // 1. Corpus (the crawl substitute).
+  rules::CorpusGenerator gen(options_.corpus);
+  corpus_rules_ = gen.Generate();
+
+  // 2. Rule correlation discovery (Sec. 3.2.1).
+  discovery_ =
+      std::make_unique<correlation::CorrelationDiscovery>(&word_model_);
+  ml::Dataset pairs = correlation::BuildPairDataset(
+      corpus_rules_, discovery_->extractor(), options_.pairs);
+  discovery_->Train(pairs);
+
+  // 3. Interaction graph dataset, labeled by the analyzer (Sec. 3.2.2).
+  graph::GraphDataset ds =
+      builder_->BuildDataset(corpus_rules_, options_.num_training_graphs);
+  train_graphs_ = gnn::ToGnnGraphs(ds);
+
+  // 4. ITGNN-S (classification) and ITGNN-C (contrastive) training.
+  gnn::ItgnnModel::Config s_cfg = options_.model;
+  classifier_ = std::make_unique<gnn::ItgnnModel>(s_cfg);
+  gnn::Trainer trainer(options_.train);
+  trainer.TrainSupervised(classifier_.get(), train_graphs_);
+
+  gnn::ItgnnModel::Config c_cfg = options_.model;
+  c_cfg.seed ^= 0xc0;
+  contrastive_ = std::make_unique<gnn::ItgnnModel>(c_cfg);
+  trainer.TrainContrastive(contrastive_.get(), train_graphs_);
+
+  // 5. Drift detector over the contrastive latent space (Alg. 3).
+  drift_ = gnn::DriftDetector({options_.t_mad});
+  drift_.FitFromModel(contrastive_.get(), train_graphs_);
+
+  ready_ = true;
+}
+
+bool TrainedDetector::Correlated(const rules::Rule& src,
+                                 const rules::Rule& dst) const {
+  if (options_.use_learned_correlation && discovery_ != nullptr &&
+      discovery_->trained()) {
+    return discovery_->Correlated(src, dst, &corr_cache_);
+  }
+  return rules::RuleTriggersRule(src, dst);
+}
+
+graph::Node TrainedDetector::MakeNode(const rules::Rule& rule) const {
+  return builder_->MakeNode(rule);
+}
+
+ThreatWarning TrainedDetector::Analyze(const gnn::GnnGraph& gg,
+                                       const graph::InteractionGraph& g) const {
+  GLINT_CHECK(ready_);
+  ThreatWarning warning;
+
+  // Drift check first (Fig. 2 step 5): unfamiliar patterns go to the user
+  // rather than the classifier.
+  FloatVec z = gnn::Trainer::Embed(contrastive_.get(), gg);
+  warning.drifting = drift_.IsDrifting(z);
+
+  gnn::Tape tape;
+  tape.set_freeze_leaves(true);  // inference only: skip grad bookkeeping
+  auto r = classifier_->Forward(&tape, gg);
+  auto p = gnn::SoftmaxRow(r.logits);
+  warning.confidence = p[1];
+  warning.threat = p[1] > 0.5;
+
+  if (warning.threat) {
+    // Explanation: top culprit rules, PGExplainer-style (Sec. 3.1).
+    auto importance = ExplainNodes(classifier_.get(), gg);
+    for (int v : TopCulprits(importance, 3)) {
+      const auto& node = g.nodes()[static_cast<size_t>(v)];
+      warning.culprits.push_back(
+          {v, rules::PlatformName(node.rule.platform), node.rule.text,
+           importance[static_cast<size_t>(v)]});
+    }
+    // Report the analyzer's threat taxonomy when available (it is attached
+    // to graphs built by our own builder).
+    warning.types = g.threat_types();
+  }
+  return warning;
+}
+
+ThreatWarning TrainedDetector::AnalyzeGraph(
+    const graph::InteractionGraph& g) const {
+  return Analyze(gnn::ToGnnGraph(g), g);
+}
+
+void TrainedDetector::FineTune(
+    const std::vector<graph::InteractionGraph>& feedback,
+    const std::vector<bool>& is_threat) {
+  GLINT_CHECK(ready_);
+  GLINT_CHECK(feedback.size() == is_threat.size());
+  std::vector<gnn::GnnGraph> extra = train_graphs_;
+  for (size_t i = 0; i < feedback.size(); ++i) {
+    gnn::GnnGraph g = gnn::ToGnnGraph(feedback[i]);
+    g.label = is_threat[i] ? 1 : 0;
+    // User-confirmed cases are weighted by replication so a handful of
+    // feedback graphs can move the decision against hundreds of training
+    // graphs.
+    const int copies = std::max<int>(
+        12, static_cast<int>(train_graphs_.size() / 40));
+    for (int k = 0; k < copies; ++k) extra.push_back(g);
+  }
+  gnn::TransferConfig tc;
+  tc.freeze_groups = -1;  // adapt only the head to the user's preferences
+  tc.fine_tune = options_.train;
+  tc.fine_tune.epochs = std::max(3, options_.train.epochs / 3);
+  gnn::TransferFineTune(classifier_.get(), extra, tc);
+}
+
+Status TrainedDetector::SaveModels(const std::string& dir) const {
+  GLINT_CHECK(ready_);
+  GLINT_RETURN_IF_ERROR(
+      gnn::SaveModel(classifier_.get(), dir + "/itgnn_s.bin"));
+  GLINT_RETURN_IF_ERROR(
+      gnn::SaveModel(contrastive_.get(), dir + "/itgnn_c.bin"));
+  return Status::OK();
+}
+
+Status TrainedDetector::LoadModels(const std::string& dir) {
+  if (classifier_ == nullptr) {
+    classifier_ = std::make_unique<gnn::ItgnnModel>(options_.model);
+  }
+  if (contrastive_ == nullptr) {
+    gnn::ItgnnModel::Config c_cfg = options_.model;
+    c_cfg.seed ^= 0xc0;
+    contrastive_ = std::make_unique<gnn::ItgnnModel>(c_cfg);
+  }
+  GLINT_RETURN_IF_ERROR(
+      gnn::LoadModel(classifier_.get(), dir + "/itgnn_s.bin"));
+  GLINT_RETURN_IF_ERROR(
+      gnn::LoadModel(contrastive_.get(), dir + "/itgnn_c.bin"));
+  ready_ = true;
+  return Status::OK();
+}
+
+}  // namespace glint::core

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/warning.h"
+#include "correlation/discovery.h"
+#include "gnn/drift.h"
+#include "gnn/models.h"
+#include "gnn/trainer.h"
+#include "gnn/transfer.h"
+#include "graph/builder.h"
+#include "rules/corpus.h"
+
+namespace glint::core {
+
+/// The trained half of the Glint split: embedding models, the correlation
+/// discoverer, ITGNN-S / ITGNN-C, and the drift detector — everything the
+/// offline stage (TrainOffline) or LoadModels produces.
+///
+/// Lifecycle contract: after TrainOffline() / LoadModels() completes, the
+/// detector is *immutable through its const serving API* and may be shared
+/// by any number of DeploymentSessions across threads. The memo caches
+/// (node features, pairwise correlation verdicts) are internally locked and
+/// store pure-function results only, so concurrent sessions always observe
+/// the same verdicts as serial execution. The non-const offline methods
+/// (TrainOffline, LoadModels, FineTune) must not run concurrently with live
+/// sessions; they belong to the maintenance window, not the serving path.
+class TrainedDetector {
+ public:
+  struct Options {
+    rules::CorpusConfig corpus;
+    graph::GraphBuilder::Config builder;
+    gnn::ItgnnModel::Config model;
+    gnn::TrainConfig train;
+    /// Graphs to build for offline training.
+    int num_training_graphs = 800;
+    /// Labeled action-trigger pairs for the correlation discoverer.
+    correlation::PairDatasetConfig pairs;
+    /// Use the *learned* correlation classifier (vs the semantic oracle)
+    /// when building graphs online, mirroring the paper's pipeline.
+    bool use_learned_correlation = true;
+    /// Drift threshold T_MAD.
+    double t_mad = 3.0;
+    uint64_t seed = 97;
+  };
+
+  TrainedDetector() : TrainedDetector(Options()) {}
+  explicit TrainedDetector(Options options);
+
+  // ---- Offline stage (maintenance window only) --------------------------
+
+  /// Runs the full offline stage. Expensive (trains three models).
+  void TrainOffline();
+
+  /// Serialization of the trained models.
+  Status SaveModels(const std::string& dir) const;
+  Status LoadModels(const std::string& dir);
+
+  /// Step 7-8 of Fig. 2: fine-tunes the classifier head on user-marked
+  /// feedback graphs. Offline only — must not overlap live sessions.
+  void FineTune(const std::vector<graph::InteractionGraph>& feedback,
+                const std::vector<bool>& is_threat);
+
+  /// True once TrainOffline (or LoadModels) has completed.
+  bool ready() const { return ready_; }
+
+  // ---- Const serving API (thread-shareable) -----------------------------
+
+  /// The online edge predicate: the learned correlation classifier when
+  /// trained and enabled (memoized by rule content hash in the shared
+  /// CorrelationCache), else the semantic oracle.
+  bool Correlated(const rules::Rule& src, const rules::Rule& dst) const;
+
+  /// Embeds one rule into a graph node (memoized by rule text).
+  graph::Node MakeNode(const rules::Rule& rule) const;
+
+  /// Drift check + classification + culprit explanation over a tensorized
+  /// graph; `g` supplies rule text/platform for the warning rendering.
+  ThreatWarning Analyze(const gnn::GnnGraph& gg,
+                        const graph::InteractionGraph& g) const;
+
+  /// Tensorizes then analyzes (initial-setup checks, cold inspections).
+  ThreatWarning AnalyzeGraph(const graph::InteractionGraph& g) const;
+
+  // ---- Accessors (benches, examples, the Glint façade) ------------------
+
+  const Options& options() const { return options_; }
+  gnn::ItgnnModel* classifier() const { return classifier_.get(); }
+  gnn::ItgnnModel* contrastive() const { return contrastive_.get(); }
+  const gnn::DriftDetector& drift_detector() const { return drift_; }
+  bool has_discovery() const { return discovery_ != nullptr; }
+  const correlation::CorrelationDiscovery& discovery() const {
+    return *discovery_;
+  }
+  graph::GraphBuilder* builder() const { return builder_.get(); }
+  const std::vector<rules::Rule>& corpus() const { return corpus_rules_; }
+  const nlp::EmbeddingModel& word_model() const { return word_model_; }
+  const nlp::EmbeddingModel& sentence_model() const { return sentence_model_; }
+  const correlation::CorrelationCache& correlation_cache() const {
+    return corr_cache_;
+  }
+  const std::vector<gnn::GnnGraph>& train_graphs() const {
+    return train_graphs_;
+  }
+
+ private:
+  Options options_;
+  nlp::EmbeddingModel word_model_;
+  nlp::EmbeddingModel sentence_model_;
+  std::vector<rules::Rule> corpus_rules_;
+  std::unique_ptr<correlation::CorrelationDiscovery> discovery_;
+  std::unique_ptr<graph::GraphBuilder> builder_;
+  std::unique_ptr<gnn::ItgnnModel> classifier_;   ///< ITGNN-S
+  std::unique_ptr<gnn::ItgnnModel> contrastive_;  ///< ITGNN-C
+  gnn::DriftDetector drift_;
+  std::vector<gnn::GnnGraph> train_graphs_;
+  /// Shared pairwise-correlation memo (one entry per rule pair across every
+  /// session served by this detector).
+  mutable correlation::CorrelationCache corr_cache_;
+  bool ready_ = false;
+};
+
+}  // namespace glint::core

@@ -10,7 +10,12 @@ namespace glint::core {
 /// Occlusion-based GNN explanation (the PGExplainer/SubgraphX stand-in used
 /// to highlight culprit rules in warnings, Sec. 3.1): each node's
 /// importance is the drop in the threat logit-margin when the node's
-/// features are zeroed out. Scores are normalized to [0, 1].
+/// features are zeroed out. Small graphs get the exact per-node occlusion
+/// scan; larger ones use a two-stage scheme — an input-gradient screen
+/// (one forward/backward, first-order occlusion estimate for every node)
+/// followed by exact occlusion on the screened top candidates — so the
+/// serving-path cost stays O(1) forwards instead of O(n). Scores are
+/// normalized to [0, 1].
 std::vector<double> ExplainNodes(gnn::GraphModel* model,
                                  const gnn::GnnGraph& g);
 

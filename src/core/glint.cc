@@ -1,162 +1,40 @@
 #include "core/glint.h"
 
-#include "core/explain.h"
-#include "gnn/model_io.h"
-#include "graph/threat_analyzer.h"
-
 namespace glint::core {
 
 Glint::Glint(Options options)
-    : options_(std::move(options)),
-      word_model_(300, options_.seed ^ 0x17),
-      sentence_model_(512, options_.seed ^ 0x18) {
-  builder_ = std::make_unique<graph::GraphBuilder>(options_.builder,
-                                                   &word_model_,
-                                                   &sentence_model_);
-}
+    : detector_(std::make_unique<TrainedDetector>(std::move(options))) {}
 
-void Glint::TrainOffline() {
-  // 1. Corpus (the crawl substitute).
-  rules::CorpusGenerator gen(options_.corpus);
-  corpus_rules_ = gen.Generate();
-
-  // 2. Rule correlation discovery (Sec. 3.2.1).
-  discovery_ =
-      std::make_unique<correlation::CorrelationDiscovery>(&word_model_);
-  ml::Dataset pairs = correlation::BuildPairDataset(
-      corpus_rules_, discovery_->extractor(), options_.pairs);
-  discovery_->Train(pairs);
-
-  // 3. Interaction graph dataset, labeled by the analyzer (Sec. 3.2.2).
-  graph::GraphDataset ds =
-      builder_->BuildDataset(corpus_rules_, options_.num_training_graphs);
-  train_graphs_ = gnn::ToGnnGraphs(ds);
-
-  // 4. ITGNN-S (classification) and ITGNN-C (contrastive) training.
-  gnn::ItgnnModel::Config s_cfg = options_.model;
-  classifier_ = std::make_unique<gnn::ItgnnModel>(s_cfg);
-  gnn::Trainer trainer(options_.train);
-  trainer.TrainSupervised(classifier_.get(), train_graphs_);
-
-  gnn::ItgnnModel::Config c_cfg = options_.model;
-  c_cfg.seed ^= 0xc0;
-  contrastive_ = std::make_unique<gnn::ItgnnModel>(c_cfg);
-  trainer.TrainContrastive(contrastive_.get(), train_graphs_);
-
-  // 5. Drift detector over the contrastive latent space (Alg. 3).
-  drift_ = gnn::DriftDetector({options_.t_mad});
-  drift_.FitFromModel(contrastive_.get(), train_graphs_);
-
-  ready_ = true;
+void Glint::PrepareBuilder() {
+  const auto& opts = detector_->options();
+  if (opts.use_learned_correlation && detector_->has_discovery() &&
+      detector_->discovery().trained()) {
+    // Deliberately uncached: the façade measures/exercises the cold
+    // pipeline; memoized serving lives in DeploymentSession.
+    const TrainedDetector* d = detector_.get();
+    detector_->builder()->set_edge_predicate(
+        [d](const rules::Rule& a, const rules::Rule& b) {
+          return d->discovery().Correlated(a, b);
+        });
+  }
 }
 
 graph::InteractionGraph Glint::BuildGraph(
     const std::vector<rules::Rule>& deployed) {
-  if (options_.use_learned_correlation && discovery_ != nullptr &&
-      discovery_->trained()) {
-    builder_->set_edge_predicate(
-        [this](const rules::Rule& a, const rules::Rule& b) {
-          return discovery_->Correlated(a, b);
-        });
-  }
-  return builder_->BuildFromRules(deployed);
-}
-
-ThreatWarning Glint::Analyze(const graph::InteractionGraph& g) {
-  GLINT_CHECK(ready_);
-  ThreatWarning warning;
-  gnn::GnnGraph gg = gnn::ToGnnGraph(g);
-
-  // Drift check first (Fig. 2 step 5): unfamiliar patterns go to the user
-  // rather than the classifier.
-  FloatVec z = gnn::Trainer::Embed(contrastive_.get(), gg);
-  warning.drifting = drift_.IsDrifting(z);
-
-  gnn::Tape tape;
-  auto r = classifier_->Forward(&tape, gg);
-  auto p = gnn::SoftmaxRow(r.logits);
-  warning.confidence = p[1];
-  warning.threat = p[1] > 0.5;
-
-  if (warning.threat) {
-    // Explanation: top culprit rules, PGExplainer-style (Sec. 3.1).
-    auto importance = ExplainNodes(classifier_.get(), gg);
-    for (int v : TopCulprits(importance, 3)) {
-      const auto& node = g.nodes()[static_cast<size_t>(v)];
-      warning.culprits.push_back(
-          {v, rules::PlatformName(node.rule.platform), node.rule.text,
-           importance[static_cast<size_t>(v)]});
-    }
-    // Report the analyzer's threat taxonomy when available (it is attached
-    // to graphs built by our own builder).
-    warning.types = g.threat_types();
-  }
-  return warning;
+  PrepareBuilder();
+  return detector_->builder()->BuildFromRules(deployed);
 }
 
 ThreatWarning Glint::Inspect(const std::vector<rules::Rule>& deployed,
                              const graph::EventLog& log, double now_hours) {
-  if (options_.use_learned_correlation && discovery_ != nullptr &&
-      discovery_->trained()) {
-    builder_->set_edge_predicate(
-        [this](const rules::Rule& a, const rules::Rule& b) {
-          return discovery_->Correlated(a, b);
-        });
-  }
-  graph::InteractionGraph g = builder_->BuildRealTime(deployed, log, now_hours);
-  return Analyze(g);
+  PrepareBuilder();
+  graph::InteractionGraph g =
+      detector_->builder()->BuildRealTime(deployed, log, now_hours);
+  return detector_->AnalyzeGraph(g);
 }
 
 ThreatWarning Glint::InspectGraph(const graph::InteractionGraph& g) {
-  return Analyze(g);
-}
-
-void Glint::FineTune(const std::vector<graph::InteractionGraph>& feedback,
-                     const std::vector<bool>& is_threat) {
-  GLINT_CHECK(ready_);
-  GLINT_CHECK(feedback.size() == is_threat.size());
-  std::vector<gnn::GnnGraph> extra = train_graphs_;
-  for (size_t i = 0; i < feedback.size(); ++i) {
-    gnn::GnnGraph g = gnn::ToGnnGraph(feedback[i]);
-    g.label = is_threat[i] ? 1 : 0;
-    // User-confirmed cases are weighted by replication so a handful of
-    // feedback graphs can move the decision against hundreds of training
-    // graphs.
-    const int copies = std::max<int>(
-        12, static_cast<int>(train_graphs_.size() / 40));
-    for (int k = 0; k < copies; ++k) extra.push_back(g);
-  }
-  gnn::TransferConfig tc;
-  tc.freeze_groups = -1;  // adapt only the head to the user's preferences
-  tc.fine_tune = options_.train;
-  tc.fine_tune.epochs = std::max(3, options_.train.epochs / 3);
-  gnn::TransferFineTune(classifier_.get(), extra, tc);
-}
-
-Status Glint::SaveModels(const std::string& dir) const {
-  GLINT_CHECK(ready_);
-  GLINT_RETURN_IF_ERROR(
-      gnn::SaveModel(classifier_.get(), dir + "/itgnn_s.bin"));
-  GLINT_RETURN_IF_ERROR(
-      gnn::SaveModel(contrastive_.get(), dir + "/itgnn_c.bin"));
-  return Status::OK();
-}
-
-Status Glint::LoadModels(const std::string& dir) {
-  if (classifier_ == nullptr) {
-    classifier_ = std::make_unique<gnn::ItgnnModel>(options_.model);
-  }
-  if (contrastive_ == nullptr) {
-    gnn::ItgnnModel::Config c_cfg = options_.model;
-    c_cfg.seed ^= 0xc0;
-    contrastive_ = std::make_unique<gnn::ItgnnModel>(c_cfg);
-  }
-  GLINT_RETURN_IF_ERROR(
-      gnn::LoadModel(classifier_.get(), dir + "/itgnn_s.bin"));
-  GLINT_RETURN_IF_ERROR(
-      gnn::LoadModel(contrastive_.get(), dir + "/itgnn_c.bin"));
-  ready_ = true;
-  return Status::OK();
+  return detector_->AnalyzeGraph(g);
 }
 
 }  // namespace glint::core

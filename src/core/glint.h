@@ -2,19 +2,21 @@
 
 #include <memory>
 
+#include "core/detector.h"
 #include "core/warning.h"
-#include "correlation/discovery.h"
-#include "gnn/drift.h"
-#include "gnn/models.h"
-#include "gnn/trainer.h"
-#include "gnn/transfer.h"
-#include "graph/builder.h"
 #include "graph/event_log.h"
-#include "rules/corpus.h"
 
 namespace glint::core {
 
 /// Glint — the end-to-end interactive-threat detection system (Fig. 2).
+///
+/// Since the serving split, Glint is a thin façade over TrainedDetector
+/// (the immutable trained half: embeddings, correlation discoverer,
+/// ITGNN-S / ITGNN-C, drift detector) so existing benches, examples, and
+/// the CLI keep their one-object view of the system. Long-lived serving
+/// should instead share `detector()` across DeploymentSessions (one per
+/// home) or a ServingEngine; this façade's Inspect/BuildGraph run the
+/// *cold* full-rebuild pipeline on every call.
 ///
 /// Offline (back end): crawl/generate the rule corpus, train the rule
 /// correlation discoverer (Sec. 3.2.1), build labeled interaction-graph
@@ -27,33 +29,19 @@ namespace glint::core {
 /// fine-tune the model (steps 4-8 in Fig. 2).
 class Glint {
  public:
-  struct Options {
-    rules::CorpusConfig corpus;
-    graph::GraphBuilder::Config builder;
-    gnn::ItgnnModel::Config model;
-    gnn::TrainConfig train;
-    /// Graphs to build for offline training.
-    int num_training_graphs = 800;
-    /// Labeled action-trigger pairs for the correlation discoverer.
-    correlation::PairDatasetConfig pairs;
-    /// Use the *learned* correlation classifier (vs the semantic oracle)
-    /// when building graphs online, mirroring the paper's pipeline.
-    bool use_learned_correlation = true;
-    /// Drift threshold T_MAD.
-    double t_mad = 3.0;
-    uint64_t seed = 97;
-  };
+  using Options = TrainedDetector::Options;
 
   Glint() : Glint(Options()) {}
   explicit Glint(Options options);
 
   /// Runs the full offline stage. Expensive (trains three models).
-  void TrainOffline();
+  void TrainOffline() { detector_->TrainOffline(); }
 
   /// True once TrainOffline (or LoadModels) has completed.
-  bool ready() const { return ready_; }
+  bool ready() const { return detector_->ready(); }
 
   /// Online stage: inspects a deployment given its event log at time `now`.
+  /// Cold path — rebuilds the graph from scratch (uncached predicate).
   ThreatWarning Inspect(const std::vector<rules::Rule>& deployed,
                         const graph::EventLog& log, double now_hours);
 
@@ -63,42 +51,53 @@ class Glint {
   /// Step 7-8 of Fig. 2: the user marks graphs (e.g. false alarms or
   /// confirmed drifting threats); the model is fine-tuned on them.
   void FineTune(const std::vector<graph::InteractionGraph>& feedback,
-                const std::vector<bool>& is_threat);
+                const std::vector<bool>& is_threat) {
+    detector_->FineTune(feedback, is_threat);
+  }
 
   /// Builds the static interaction graph of a rule set using the learned
-  /// (or oracle) correlation predicate.
+  /// (or oracle) correlation predicate. Cold path (uncached predicate).
   graph::InteractionGraph BuildGraph(const std::vector<rules::Rule>& deployed);
 
   /// Serialization of the trained detector.
-  Status SaveModels(const std::string& dir) const;
-  Status LoadModels(const std::string& dir);
+  Status SaveModels(const std::string& dir) const {
+    return detector_->SaveModels(dir);
+  }
+  Status LoadModels(const std::string& dir) {
+    return detector_->LoadModels(dir);
+  }
+
+  /// The shared trained half — hand this to DeploymentSession /
+  /// ServingEngine for warm incremental serving.
+  const TrainedDetector& detector() const { return *detector_; }
+  TrainedDetector* mutable_detector() { return detector_.get(); }
 
   // Accessors for benches and examples.
-  gnn::ItgnnModel* classifier() { return classifier_.get(); }
-  gnn::ItgnnModel* contrastive() { return contrastive_.get(); }
-  const gnn::DriftDetector& drift_detector() const { return drift_; }
-  const correlation::CorrelationDiscovery& discovery() const {
-    return *discovery_;
+  gnn::ItgnnModel* classifier() { return detector_->classifier(); }
+  gnn::ItgnnModel* contrastive() { return detector_->contrastive(); }
+  const gnn::DriftDetector& drift_detector() const {
+    return detector_->drift_detector();
   }
-  graph::GraphBuilder* builder() { return builder_.get(); }
-  const std::vector<rules::Rule>& corpus() const { return corpus_rules_; }
-  const nlp::EmbeddingModel& word_model() const { return word_model_; }
-  const nlp::EmbeddingModel& sentence_model() const { return sentence_model_; }
+  const correlation::CorrelationDiscovery& discovery() const {
+    return detector_->discovery();
+  }
+  graph::GraphBuilder* builder() { return detector_->builder(); }
+  const std::vector<rules::Rule>& corpus() const {
+    return detector_->corpus();
+  }
+  const nlp::EmbeddingModel& word_model() const {
+    return detector_->word_model();
+  }
+  const nlp::EmbeddingModel& sentence_model() const {
+    return detector_->sentence_model();
+  }
 
  private:
-  ThreatWarning Analyze(const graph::InteractionGraph& g);
+  /// Installs the learned (uncached) edge predicate on the builder when
+  /// trained and enabled, preserving the pre-split cold-path behavior.
+  void PrepareBuilder();
 
-  Options options_;
-  nlp::EmbeddingModel word_model_;
-  nlp::EmbeddingModel sentence_model_;
-  std::vector<rules::Rule> corpus_rules_;
-  std::unique_ptr<correlation::CorrelationDiscovery> discovery_;
-  std::unique_ptr<graph::GraphBuilder> builder_;
-  std::unique_ptr<gnn::ItgnnModel> classifier_;   ///< ITGNN-S
-  std::unique_ptr<gnn::ItgnnModel> contrastive_;  ///< ITGNN-C
-  gnn::DriftDetector drift_;
-  std::vector<gnn::GnnGraph> train_graphs_;
-  bool ready_ = false;
+  std::unique_ptr<TrainedDetector> detector_;
 };
 
 }  // namespace glint::core

@@ -1,0 +1,54 @@
+#include "core/serving.h"
+
+#include "util/thread_pool.h"
+
+namespace glint::core {
+
+ServingEngine::ServingEngine(const TrainedDetector* detector, Config config)
+    : detector_(detector), config_(config) {
+  GLINT_CHECK(detector_ != nullptr);
+}
+
+int ServingEngine::AddHome(const std::vector<rules::Rule>& deployed) {
+  auto session =
+      std::make_unique<DeploymentSession>(detector_, config_.session);
+  for (const auto& r : deployed) session->AddRule(r);
+  sessions_.push_back(std::move(session));
+  return static_cast<int>(sessions_.size()) - 1;
+}
+
+DeploymentSession& ServingEngine::home(int h) {
+  GLINT_CHECK(h >= 0 && h < static_cast<int>(sessions_.size()));
+  return *sessions_[static_cast<size_t>(h)];
+}
+
+const DeploymentSession& ServingEngine::home(int h) const {
+  GLINT_CHECK(h >= 0 && h < static_cast<int>(sessions_.size()));
+  return *sessions_[static_cast<size_t>(h)];
+}
+
+void ServingEngine::OnEvent(int h, const graph::Event& e) {
+  home(h).OnEvent(e);
+}
+
+std::vector<ThreatWarning> ServingEngine::InspectAll(double now_hours) {
+  std::vector<ThreatWarning> out(sessions_.size());
+  // One home per chunk: each session is touched by exactly one thread, and
+  // results land in per-home slots (bit-identical for any thread count).
+  ParallelFor(0, static_cast<int64_t>(sessions_.size()), 1,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t h = lo; h < hi; ++h) {
+                  out[static_cast<size_t>(h)] =
+                      sessions_[static_cast<size_t>(h)]->Inspect(now_hours);
+                }
+              });
+  return out;
+}
+
+size_t ServingEngine::total_rules() const {
+  size_t n = 0;
+  for (const auto& s : sessions_) n += static_cast<size_t>(s->num_rules());
+  return n;
+}
+
+}  // namespace glint::core

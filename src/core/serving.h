@@ -1,0 +1,50 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/session.h"
+
+namespace glint::core {
+
+/// Multiplexes many DeploymentSessions (homes) over one shared
+/// TrainedDetector — the "one detector, N homes" serving shape of the
+/// ROADMAP's production target. Event ingestion is addressed per home;
+/// InspectAll fans the per-home inspections out over the global ThreadPool.
+///
+/// Determinism: sessions are independent (each mutates only its own state;
+/// the detector's memo caches store pure-function results), so InspectAll
+/// returns bit-identical warnings for any thread count, in home order.
+class ServingEngine {
+ public:
+  struct Config {
+    DeploymentSession::Config session;
+  };
+
+  explicit ServingEngine(const TrainedDetector* detector,
+                         Config config = Config());
+
+  /// Registers a home with its deployed rules; returns the home index.
+  int AddHome(const std::vector<rules::Rule>& deployed);
+
+  size_t num_homes() const { return sessions_.size(); }
+  DeploymentSession& home(int h);
+  const DeploymentSession& home(int h) const;
+
+  /// Routes one event to a home's session.
+  void OnEvent(int h, const graph::Event& e);
+
+  /// Inspects every home at `now` in parallel; result i belongs to home i.
+  std::vector<ThreatWarning> InspectAll(double now_hours);
+
+  /// Total rules deployed across all homes.
+  size_t total_rules() const;
+
+ private:
+  const TrainedDetector* detector_;
+  Config config_;
+  /// unique_ptr for stable addresses across AddHome growth.
+  std::vector<std::unique_ptr<DeploymentSession>> sessions_;
+};
+
+}  // namespace glint::core

@@ -1,0 +1,76 @@
+#include "core/session.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace glint::core {
+
+DeploymentSession::DeploymentSession(const TrainedDetector* detector,
+                                     Config config)
+    : detector_(detector),
+      config_(config),
+      live_(
+          graph::LiveGraph::Config{
+              config.window_hours,
+              detector->options().builder.device_edges},
+          [detector](const rules::Rule& a, const rules::Rule& b) {
+            return detector->Correlated(a, b);
+          },
+          [detector](const rules::Rule& r) { return detector->MakeNode(r); }),
+      tensor_cache_(config.cache_capacity) {
+  GLINT_CHECK(detector_ != nullptr);
+}
+
+int DeploymentSession::AddRule(const rules::Rule& rule) {
+  return live_.AddRule(rule);
+}
+
+bool DeploymentSession::RemoveRule(int rule_id) {
+  return live_.RemoveRule(rule_id);
+}
+
+void DeploymentSession::OnEvent(const graph::Event& e) { live_.OnEvent(e); }
+
+ThreatWarning DeploymentSession::Inspect(double now_hours) {
+  return Render(live_.RealTimeEdges(now_hours));
+}
+
+ThreatWarning DeploymentSession::InspectStatic() {
+  return Render(live_.StaticEdges());
+}
+
+ThreatWarning DeploymentSession::Render(
+    const std::vector<graph::Edge>& edges) {
+  ++inspects_;
+  gnn::GnnGraphCache::Key key;
+  key.node_ids = live_.IdentityHashes();
+  key.edges.reserve(edges.size());
+  for (const auto& e : edges) key.edges.emplace_back(e.src, e.dst);
+
+  // Fast path: the graph structure is unchanged since a recent inspection,
+  // so the verdict is too (Analyze is deterministic in the graph).
+  for (auto& v : verdicts_) {
+    if (v.key == key) {
+      v.tick = ++tick_;
+      ++verdict_hits_;
+      return v.warning;
+    }
+  }
+
+  graph::InteractionGraph g = live_.Materialize(edges);
+  const gnn::GnnGraph* gg = tensor_cache_.Find(key);
+  if (gg == nullptr) gg = tensor_cache_.Insert(key, gnn::ToGnnGraph(g));
+  ThreatWarning warning = detector_->Analyze(*gg, g);
+
+  if (verdicts_.size() >= config_.cache_capacity && !verdicts_.empty()) {
+    size_t oldest = 0;
+    for (size_t i = 1; i < verdicts_.size(); ++i) {
+      if (verdicts_[i].tick < verdicts_[oldest].tick) oldest = i;
+    }
+    verdicts_.erase(verdicts_.begin() + static_cast<ptrdiff_t>(oldest));
+  }
+  verdicts_.push_back(Verdict{std::move(key), warning, ++tick_});
+  return warning;
+}
+
+}  // namespace glint::core

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detector.h"
+#include "gnn/ggraph.h"
+#include "graph/live_graph.h"
+
+namespace glint::core {
+
+/// Per-home mutable serving state: the online half of the Glint split.
+///
+/// A session owns a LiveGraph (incrementally maintained rules, pairwise
+/// correlations, and event-window edge liveness) plus two caches keyed by
+/// the exact graph structure (rule identity hashes + directed edge list):
+///   - a tensorization cache (GnnGraphCache), so an Inspect whose graph
+///     matches a recent one skips ToGnnGraph;
+///   - a verdict cache, so a no-change Inspect skips straight to the
+///     previously computed ThreatWarning.
+///
+/// Determinism: Inspect(now) is bit-identical to the cold pipeline
+///   GraphBuilder::BuildRealTime(CurrentRules(), log, now) -> Analyze
+/// under the same edge predicate, and InspectStatic() to
+///   BuildFromRules(CurrentRules()) -> Analyze.
+/// Cache keys are compared exactly, so hits can only return what the cold
+/// path would recompute.
+///
+/// Thread model: a session is single-threaded, but any number of sessions
+/// may run concurrently over one shared (const) TrainedDetector.
+class DeploymentSession {
+ public:
+  struct Config {
+    /// Sliding event window (Sec. 3.2.2 chronological pruning); matches the
+    /// BuildRealTime default.
+    double window_hours = 3.0;
+    /// Entries kept in the tensorization / verdict caches.
+    size_t cache_capacity = 4;
+  };
+
+  explicit DeploymentSession(const TrainedDetector* detector)
+      : DeploymentSession(detector, Config()) {}
+  DeploymentSession(const TrainedDetector* detector, Config config);
+
+  /// Deploys a rule (O(n) incremental pair-row update). Returns its node
+  /// index.
+  int AddRule(const rules::Rule& rule);
+
+  /// Retires the rule with this id. Returns false if absent.
+  bool RemoveRule(int rule_id);
+
+  /// Ingests one event-log record.
+  void OnEvent(const graph::Event& e);
+
+  /// Online inspection at time `now` (steps 4-6 of Fig. 2) over the
+  /// event-pruned live graph.
+  ThreatWarning Inspect(double now_hours);
+
+  /// Initial-setup inspection over the static (unpruned) graph.
+  ThreatWarning InspectStatic();
+
+  int num_rules() const { return live_.num_rules(); }
+  std::vector<rules::Rule> CurrentRules() const {
+    return live_.CurrentRules();
+  }
+  const graph::LiveGraph& live() const { return live_; }
+  const TrainedDetector& detector() const { return *detector_; }
+
+  // Cache observability (bench / test instrumentation).
+  size_t inspect_count() const { return inspects_; }
+  size_t verdict_hits() const { return verdict_hits_; }
+  size_t tensor_hits() const { return tensor_cache_.hits(); }
+
+ private:
+  /// Shared tail of Inspect / InspectStatic: cache lookups, then the
+  /// materialize -> tensorize -> analyze pipeline on miss.
+  ThreatWarning Render(const std::vector<graph::Edge>& edges);
+
+  struct Verdict {
+    gnn::GnnGraphCache::Key key;
+    ThreatWarning warning;
+    uint64_t tick = 0;
+  };
+
+  const TrainedDetector* detector_;
+  Config config_;
+  graph::LiveGraph live_;
+  gnn::GnnGraphCache tensor_cache_;
+  std::vector<Verdict> verdicts_;
+  uint64_t tick_ = 0;
+  size_t inspects_ = 0;
+  size_t verdict_hits_ = 0;
+};
+
+}  // namespace glint::core

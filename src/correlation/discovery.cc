@@ -2,6 +2,39 @@
 
 namespace glint::correlation {
 
+std::optional<bool> CorrelationCache::Lookup(uint64_t src_hash,
+                                             uint64_t dst_hash) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(Key{src_hash, dst_hash});
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void CorrelationCache::Insert(uint64_t src_hash, uint64_t dst_hash,
+                              bool correlated) {
+  std::lock_guard<std::mutex> lk(mu_);
+  map_.emplace(Key{src_hash, dst_hash}, correlated);
+}
+
+size_t CorrelationCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.size();
+}
+
+size_t CorrelationCache::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+
+size_t CorrelationCache::misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+
 void CorrelationDiscovery::Train(const ml::Dataset& pairs) {
   const auto weights = ml::BalancedClassWeights(pairs.y, 2);
   mlp_.Fit(pairs, weights);
@@ -22,8 +55,15 @@ double CorrelationDiscovery::VoteShare(const rules::Rule& src,
 }
 
 bool CorrelationDiscovery::Correlated(const rules::Rule& src,
-                                      const rules::Rule& dst) const {
-  return VoteShare(src, dst) >= 0.5;
+                                      const rules::Rule& dst,
+                                      CorrelationCache* cache) const {
+  if (cache == nullptr) return VoteShare(src, dst) >= 0.5;
+  const uint64_t hs = rules::RuleContentHash(src);
+  const uint64_t hd = rules::RuleContentHash(dst);
+  if (auto hit = cache->Lookup(hs, hd)) return *hit;
+  const bool verdict = VoteShare(src, dst) >= 0.5;
+  cache->Insert(hs, hd, verdict);
+  return verdict;
 }
 
 }  // namespace glint::correlation

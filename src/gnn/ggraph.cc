@@ -1,6 +1,7 @@
 #include "gnn/ggraph.h"
 
 #include <cmath>
+#include <cstddef>
 
 namespace glint::gnn {
 
@@ -84,6 +85,34 @@ std::vector<GnnGraph> ToGnnGraphs(const graph::GraphDataset& ds) {
   out.reserve(ds.graphs.size());
   for (const auto& g : ds.graphs) out.push_back(ToGnnGraph(g));
   return out;
+}
+
+const GnnGraph* GnnGraphCache::Find(const Key& key) {
+  for (auto& slot : slots_) {
+    if (slot->key == key) {
+      slot->tick = ++tick_;
+      ++hits_;
+      return &slot->graph;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+const GnnGraph* GnnGraphCache::Insert(Key key, GnnGraph g) {
+  if (slots_.size() >= capacity_ && !slots_.empty()) {
+    size_t oldest = 0;
+    for (size_t i = 1; i < slots_.size(); ++i) {
+      if (slots_[i]->tick < slots_[oldest]->tick) oldest = i;
+    }
+    slots_.erase(slots_.begin() + static_cast<ptrdiff_t>(oldest));
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->key = std::move(key);
+  slot->graph = std::move(g);
+  slot->tick = ++tick_;
+  slots_.push_back(std::move(slot));
+  return &slots_.back()->graph;
 }
 
 }  // namespace glint::gnn

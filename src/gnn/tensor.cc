@@ -49,7 +49,11 @@ std::shared_ptr<const SparseMatrix::Csr> SparseMatrix::CsrView() const {
 Tensor* Tape::Constant(Matrix value) {
   auto t = std::make_unique<Tensor>();
   t->value = std::move(value);
-  t->requires_grad = false;
+  t->requires_grad = track_constants_;
+  if (track_constants_) {
+    t->grad = Matrix(t->value.rows, t->value.cols);
+    tracked_constants_.push_back(t.get());
+  }
   nodes_.push_back(std::move(t));
   return nodes_.back().get();
 }
@@ -57,6 +61,14 @@ Tensor* Tape::Constant(Matrix value) {
 Tensor* Tape::Leaf(Parameter* param) {
   auto t = std::make_unique<Tensor>();
   t->value = param->value;
+  if (freeze_leaves_) {
+    // Inference mode: the parameter enters as a plain constant — no grad
+    // buffer, no accumulation closure, and ops downstream only track if
+    // some other input (e.g. a tracked constant) does.
+    t->requires_grad = false;
+    nodes_.push_back(std::move(t));
+    return nodes_.back().get();
+  }
   t->grad = Matrix(param->value.rows, param->value.cols);
   t->requires_grad = true;
   Tensor* raw = t.get();

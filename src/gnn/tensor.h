@@ -141,8 +141,26 @@ class Tape {
   /// Per-tape gradient buffer keyed by parameter (see set_grad_sink).
   using GradSink = std::unordered_map<Parameter*, Matrix>;
 
-  /// Creates a tensor from a value (no gradient tracking).
+  /// Creates a tensor from a value (no gradient tracking unless
+  /// set_track_constants(true) was called on this tape).
   Tensor* Constant(Matrix value);
+
+  /// When enabled, subsequent Constant() tensors are gradient-tracked and
+  /// recorded in creation order (see tracked_constants()). Model inputs
+  /// enter the tape as constants, so this is how input-saliency explanation
+  /// gets d(margin)/d(features): models create the typed feature constants
+  /// first, in ascending node-type order, before any auxiliary constants.
+  void set_track_constants(bool on) { track_constants_ = on; }
+  const std::vector<Tensor*>& tracked_constants() const {
+    return tracked_constants_;
+  }
+
+  /// When enabled, Leaf() tensors are untracked: no gradient buffers are
+  /// allocated for parameters and no parameter gradients are computed on
+  /// Backward(). Inference-only forwards set this to skip all gradient
+  /// bookkeeping; combined with set_track_constants(true), Backward()
+  /// computes input gradients only (the saliency screen's fast path).
+  void set_freeze_leaves(bool on) { freeze_leaves_ = on; }
 
   /// Creates a gradient-tracked leaf bound to a parameter: the forward pass
   /// reads param->value, the backward pass accumulates into param->grad.
@@ -166,6 +184,9 @@ class Tape {
  private:
   std::vector<std::unique_ptr<Tensor>> nodes_;
   GradSink* grad_sink_ = nullptr;
+  bool track_constants_ = false;
+  bool freeze_leaves_ = false;
+  std::vector<Tensor*> tracked_constants_;
 };
 
 // ---- Ops (all append to the tape; gradients flow where inputs track) -----

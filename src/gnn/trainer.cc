@@ -213,6 +213,7 @@ void Trainer::TrainContrastive(GraphModel* model,
 
 int Trainer::Predict(GraphModel* model, const GnnGraph& g) {
   Tape tape;
+  tape.set_freeze_leaves(true);  // inference only: skip grad bookkeeping
   ForwardResult r = model->Forward(&tape, g);
   auto p = SoftmaxRow(r.logits);
   return p[1] > p[0] ? 1 : 0;
@@ -236,6 +237,7 @@ ml::Metrics Trainer::Evaluate(GraphModel* model,
 
 FloatVec Trainer::Embed(GraphModel* model, const GnnGraph& g) {
   Tape tape;
+  tape.set_freeze_leaves(true);  // inference only: skip grad bookkeeping
   ForwardResult r = model->Forward(&tape, g);
   return FloatVec(r.embedding->value.data.begin(),
                   r.embedding->value.data.end());

@@ -22,10 +22,6 @@ GraphBuilder::GraphBuilder(Config config,
   };
 }
 
-namespace {
-
-// Two rules command the same physical device instance (same device class,
-// compatible rooms) — the "interacting device" links of Fig. 1.
 bool ShareDevice(const rules::Rule& a, const rules::Rule& b) {
   for (const auto& ai : a.actions) {
     for (const auto& bi : b.actions) {
@@ -38,8 +34,6 @@ bool ShareDevice(const rules::Rule& a, const rules::Rule& b) {
   }
   return false;
 }
-
-}  // namespace
 
 void GraphBuilder::AddEdges(const std::vector<rules::Rule>& rs,
                             InteractionGraph* g) const {
@@ -62,8 +56,23 @@ Node GraphBuilder::MakeNode(const rules::Rule& rule) const {
   Node node;
   node.rule = rule;
   node.type = NodeTypeOf(rule.platform);
+  // Features depend only on (type, text); memoize on that key. The rule
+  // (with its id) is copied into the node fresh each call.
+  const uint64_t key =
+      HashString(rule.text.data(), rule.text.size()) ^
+      (node.type == 1 ? 0x9e3779b97f4a7c15ULL : 0);
+  {
+    std::lock_guard<std::mutex> lk(feature_mu_);
+    auto it = feature_cache_.find(key);
+    if (it != feature_cache_.end()) {
+      node.features = it->second;
+      return node;
+    }
+  }
   node.features = node.type == 1 ? sentence_model_->EncodeSentence(rule.text)
                                  : word_model_->EmbedSentence(rule.text);
+  std::lock_guard<std::mutex> lk(feature_mu_);
+  feature_cache_.try_emplace(key, node.features);
   return node;
 }
 

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/event_log.h"
@@ -17,6 +20,11 @@ namespace glint::graph {
 /// paper's pipeline.
 using EdgePredicate =
     std::function<bool(const rules::Rule& src, const rules::Rule& dst)>;
+
+/// True when the two rules command the same physical device instance (same
+/// device class, compatible rooms) — the "interacting device" links of
+/// Fig. 1. Shared by the batch builder and the incremental LiveGraph.
+bool ShareDevice(const rules::Rule& a, const rules::Rule& b);
 
 /// Builds interaction graphs from rule pools (offline) and from deployed
 /// rules + event logs (online), embedding each rule's text into node
@@ -73,6 +81,10 @@ class GraphBuilder {
                                  double window_hours = 3.0);
 
   /// Node features for a rule (selects embedding model by platform).
+  /// Feature vectors are memoized by (node type, rule text): a rule that
+  /// recurs across graphs, datasets, or deployment sessions is embedded
+  /// once. Thread-safe; the vector is a pure function of the key, so the
+  /// cache cannot change results.
   Node MakeNode(const rules::Rule& rule) const;
 
  private:
@@ -91,6 +103,9 @@ class GraphBuilder {
   const nlp::EmbeddingModel* sentence_model_;
   EdgePredicate edge_pred_;
   Rng rng_;
+  /// MakeNode feature memo, keyed by type-salted text hash.
+  mutable std::mutex feature_mu_;
+  mutable std::unordered_map<uint64_t, FloatVec> feature_cache_;
 };
 
 }  // namespace glint::graph

@@ -1,0 +1,242 @@
+#include "graph/live_graph.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "graph/threat_analyzer.h"
+#include "util/status.h"
+
+namespace glint::graph {
+
+namespace {
+
+// Identity of one deployed rule: semantic content mixed with the id, so two
+// deployments of the same rule text under different ids stay distinct.
+uint64_t IdentityHashOf(const rules::Rule& r) {
+  uint64_t h = rules::RuleContentHash(r);
+  h ^= static_cast<uint64_t>(static_cast<int64_t>(r.id)) *
+       0x9e3779b97f4a7c15ULL;
+  return h * 0x100000001b3ULL + 0x9e3779b9U;
+}
+
+// Sorted insert from the back (events arrive nearly chronologically).
+void InsertTime(std::vector<double>* times, double t) {
+  auto it = times->end();
+  while (it != times->begin() && *(it - 1) > t) --it;
+  times->insert(it, t);
+}
+
+}  // namespace
+
+LiveGraph::LiveGraph(Config config, EdgePredicate edge_pred,
+                     NodeFactory make_node)
+    : config_(config),
+      edge_pred_(std::move(edge_pred)),
+      make_node_(std::move(make_node)) {
+  GLINT_CHECK(edge_pred_ != nullptr);
+  GLINT_CHECK(make_node_ != nullptr);
+}
+
+void LiveGraph::ReplayEvents(Entry* entry) const {
+  entry->trigger_times.clear();
+  entry->effect_times.clear();
+  for (const Event& e : retained_) {
+    if (EventFiresTrigger(e, entry->rule)) {
+      entry->trigger_times.push_back(e.time_hours);
+    }
+    for (const auto& a : entry->rule.actions) {
+      if (e.device == a.device &&
+          rules::CommandAssertsState(a.command, e.state)) {
+        entry->effect_times.push_back(e.time_hours);
+        break;
+      }
+    }
+  }
+}
+
+int LiveGraph::AddRule(const rules::Rule& rule) {
+  Entry entry;
+  entry.rule = rule;
+  entry.node = make_node_(rule);
+  entry.identity_hash = IdentityHashOf(rule);
+  ReplayEvents(&entry);
+
+  const size_t n = entries_.size();
+  std::vector<char> sem_row(n + 1, 0);
+  std::vector<char> share_row(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    sem_[i].push_back(edge_pred_(entries_[i].rule, rule) ? 1 : 0);
+    sem_row[i] = edge_pred_(rule, entries_[i].rule) ? 1 : 0;
+    const char sh = ShareDevice(entries_[i].rule, rule) ? 1 : 0;
+    share_[i].push_back(sh);
+    share_row[i] = sh;
+  }
+  sem_.push_back(std::move(sem_row));
+  share_.push_back(std::move(share_row));
+  entries_.push_back(std::move(entry));
+  return static_cast<int>(n);
+}
+
+bool LiveGraph::RemoveRule(int rule_id) {
+  size_t idx = entries_.size();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].rule.id == rule_id) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == entries_.size()) return false;
+  entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(idx));
+  sem_.erase(sem_.begin() + static_cast<ptrdiff_t>(idx));
+  share_.erase(share_.begin() + static_cast<ptrdiff_t>(idx));
+  for (auto& row : sem_) row.erase(row.begin() + static_cast<ptrdiff_t>(idx));
+  for (auto& row : share_) {
+    row.erase(row.begin() + static_cast<ptrdiff_t>(idx));
+  }
+  return true;
+}
+
+void LiveGraph::OnEvent(const Event& e) {
+  auto it = retained_.end();
+  while (it != retained_.begin() && (it - 1)->time_hours > e.time_hours) --it;
+  retained_.insert(it, e);
+  latest_ = std::max(latest_, e.time_hours);
+
+  for (auto& entry : entries_) {
+    if (EventFiresTrigger(e, entry.rule)) {
+      InsertTime(&entry.trigger_times, e.time_hours);
+    }
+    for (const auto& a : entry.rule.actions) {
+      if (e.device == a.device &&
+          rules::CommandAssertsState(a.command, e.state)) {
+        InsertTime(&entry.effect_times, e.time_hours);
+        break;
+      }
+    }
+  }
+  Prune();
+}
+
+void LiveGraph::Prune() {
+  // An observation at t < latest - window can never fall inside
+  // [now - window, now] again once now >= latest (the serving regime), so
+  // it is dead weight: drop it in place.
+  const double horizon = latest_ - config_.window_hours;
+  auto first_kept = std::lower_bound(
+      retained_.begin(), retained_.end(), horizon,
+      [](const Event& e, double t) { return e.time_hours < t; });
+  retained_.erase(retained_.begin(), first_kept);
+  for (auto& entry : entries_) {
+    auto drop = [horizon](std::vector<double>* times) {
+      auto it = std::lower_bound(times->begin(), times->end(), horizon);
+      times->erase(times->begin(), it);
+    };
+    drop(&entry.trigger_times);
+    drop(&entry.effect_times);
+  }
+}
+
+bool LiveGraph::EdgeLive(size_t i, size_t j, double now_hours) const {
+  const double lo = now_hours - config_.window_hours;
+  // Earliest effect of rule i within the window (lists are sorted).
+  const auto& effects = entries_[i].effect_times;
+  auto e_it = std::lower_bound(effects.begin(), effects.end(), lo);
+  if (e_it == effects.end() || *e_it > now_hours) return false;
+  // Latest trigger firing of rule j within the window.
+  const auto& triggers = entries_[j].trigger_times;
+  auto t_it = std::upper_bound(triggers.begin(), triggers.end(), now_hours);
+  if (t_it == triggers.begin()) return false;
+  const double t_max = *(t_it - 1);
+  if (t_max < lo) return false;
+  // Both within the window, so t_max - *e_it <= window holds; the edge is
+  // live iff the effect precedes (or coincides with) the trigger firing.
+  return *e_it <= t_max;
+}
+
+std::vector<rules::Rule> LiveGraph::CurrentRules() const {
+  std::vector<rules::Rule> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.rule);
+  return out;
+}
+
+std::vector<uint64_t> LiveGraph::IdentityHashes() const {
+  std::vector<uint64_t> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.identity_hash);
+  return out;
+}
+
+std::vector<Edge> LiveGraph::StaticEdges() const {
+  const size_t n = entries_.size();
+  std::vector<Edge> edges;
+  std::vector<char> seen(n * n, 0);
+  auto add = [&](size_t s, size_t d) {
+    if (seen[s * n + d]) return;
+    seen[s * n + d] = 1;
+    edges.push_back({static_cast<int>(s), static_cast<int>(d)});
+  };
+  // Mirror of GraphBuilder::AddEdges: semantic edge first, device link only
+  // when the semantic predicate declined, in the same scan order.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (sem_[i][j]) {
+        add(i, j);
+      } else if (config_.device_edges && i < j && share_[i][j]) {
+        add(i, j);
+        add(j, i);
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<Edge> LiveGraph::RealTimeEdges(double now_hours) const {
+  GLINT_CHECK(now_hours + 1e-9 >= latest_);
+  const size_t n = entries_.size();
+  std::vector<Edge> edges;
+  std::vector<char> seen(n * n, 0);
+  auto add = [&](size_t s, size_t d) {
+    if (seen[s * n + d]) return;
+    seen[s * n + d] = 1;
+    edges.push_back({static_cast<int>(s), static_cast<int>(d)});
+  };
+  // Mirror of GraphBuilder::BuildRealTime: the event-ordered semantic scan,
+  // then the unconditional shared-device pass.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j || !sem_[i][j]) continue;
+      if (EdgeLive(i, j, now_hours)) add(i, j);
+    }
+  }
+  if (config_.device_edges) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (share_[i][j]) {
+          add(i, j);
+          add(j, i);
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+InteractionGraph LiveGraph::Materialize(const std::vector<Edge>& edges) const {
+  InteractionGraph g;
+  for (const auto& e : entries_) g.AddNode(e.node);
+  for (const auto& e : edges) g.AddEdge(e.src, e.dst);
+  ThreatAnalyzer::Label(&g);
+  return g;
+}
+
+InteractionGraph LiveGraph::MaterializeStatic() const {
+  return Materialize(StaticEdges());
+}
+
+InteractionGraph LiveGraph::MaterializeRealTime(double now_hours) const {
+  return Materialize(RealTimeEdges(now_hours));
+}
+
+}  // namespace glint::graph

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/event_log.h"
+#include "graph/interaction_graph.h"
+#include "rules/rule.h"
+
+namespace glint::graph {
+
+/// Incrementally maintained interaction graph of one deployment (the live
+/// counterpart of GraphBuilder::BuildFromRules / BuildRealTime).
+///
+/// Instead of re-running the edge predicate over all O(n²) pairs and
+/// re-embedding every rule on each inspection, LiveGraph keeps:
+///   - one Node (features) per rule, computed once on AddRule;
+///   - the pairwise semantic-correlation and shared-device matrices, where
+///     adding or removing a rule touches only that rule's O(n) row/column;
+///   - per-rule trigger/effect observation times, appended on OnEvent and
+///     pruned in place by the sliding window (edge *liveness* is then a
+///     cheap min/max comparison per semantically-correlated pair).
+///
+/// Determinism contract: MaterializeStatic() is bit-identical to
+/// GraphBuilder::BuildFromRules over CurrentRules(), and
+/// MaterializeRealTime(now) is bit-identical to GraphBuilder::BuildRealTime
+/// over (CurrentRules(), the same event sequence, now) — same node order,
+/// same edge insertion order, same labels — provided the edge predicate and
+/// node factory are pure and `now` is monotonically non-decreasing across
+/// OnEvent/Materialize calls (the serving regime).
+class LiveGraph {
+ public:
+  struct Config {
+    /// Chronological-pruning window (Sec. 3.2.2); must match the
+    /// window_hours passed to BuildRealTime for equivalence.
+    double window_hours = 3.0;
+    /// Mirror of GraphBuilder::Config::device_edges.
+    bool device_edges = true;
+  };
+
+  /// Builds a Node (features) for a rule; typically GraphBuilder::MakeNode.
+  using NodeFactory = std::function<Node(const rules::Rule&)>;
+
+  LiveGraph(Config config, EdgePredicate edge_pred, NodeFactory make_node);
+
+  /// Adds a rule: embeds it once and evaluates its O(n) pair row/column
+  /// against the existing rules. Returns the rule's node index.
+  int AddRule(const rules::Rule& rule);
+
+  /// Removes the first rule with this id (erasing its row/column from the
+  /// pair matrices and its observation times). Returns false if absent.
+  bool RemoveRule(int rule_id);
+
+  /// Ingests one event: updates the matching rules' trigger/effect time
+  /// lists and prunes observations that have slid out of every possible
+  /// future window. Events must arrive (approximately) chronologically.
+  void OnEvent(const Event& e);
+
+  int num_rules() const { return static_cast<int>(entries_.size()); }
+
+  /// The deployed rules in node order (the order a cold rebuild must use).
+  std::vector<rules::Rule> CurrentRules() const;
+
+  /// Per-rule identity hashes (content hash mixed with the rule id), in
+  /// node order; used by sessions to key verdict/tensor caches.
+  std::vector<uint64_t> IdentityHashes() const;
+
+  /// Directed edges of the static graph, in BuildFromRules insertion order.
+  std::vector<Edge> StaticEdges() const;
+
+  /// Directed edges of the event-pruned graph at `now`, in BuildRealTime
+  /// insertion order. Requires now >= the latest ingested event time.
+  std::vector<Edge> RealTimeEdges(double now_hours) const;
+
+  /// Assembles the full interaction graph (nodes + analyzer labels) from a
+  /// previously computed edge list (StaticEdges / RealTimeEdges), saving
+  /// the caller a recomputation when it already holds the edges.
+  InteractionGraph Materialize(const std::vector<Edge>& edges) const;
+
+  /// Full static interaction graph (nodes + edges + analyzer labels);
+  /// bit-identical to GraphBuilder::BuildFromRules(CurrentRules()).
+  InteractionGraph MaterializeStatic() const;
+
+  /// Full real-time graph; bit-identical to BuildRealTime at `now`.
+  InteractionGraph MaterializeRealTime(double now_hours) const;
+
+  /// Latest event time ingested (0 if none).
+  double latest_event_hours() const { return latest_; }
+
+ private:
+  struct Entry {
+    rules::Rule rule;
+    Node node;
+    uint64_t identity_hash = 0;
+    /// Sorted observation times within the retained horizon.
+    std::vector<double> trigger_times;
+    std::vector<double> effect_times;
+  };
+
+  /// True when edge i -> j is alive at `now`: some effect of rule i was
+  /// observed before (or at) some firing of rule j's trigger, both within
+  /// [now - window, now].
+  bool EdgeLive(size_t i, size_t j, double now_hours) const;
+
+  /// Recomputes `entry`'s observation times from the retained events.
+  void ReplayEvents(Entry* entry) const;
+
+  /// Drops retained events and observation times older than
+  /// latest - window (they can never re-enter a window once `now` has
+  /// reached `latest`).
+  void Prune();
+
+  Config config_;
+  EdgePredicate edge_pred_;
+  NodeFactory make_node_;
+  std::vector<Entry> entries_;
+  /// sem_[i][j]: edge predicate verdict for the ordered pair (i, j).
+  std::vector<std::vector<char>> sem_;
+  /// share_[i][j]: symmetric shared-device relation.
+  std::vector<std::vector<char>> share_;
+  /// Chronologically sorted events within the retained horizon.
+  std::vector<Event> retained_;
+  double latest_ = 0;
+};
+
+}  // namespace glint::graph

@@ -66,10 +66,22 @@ FloatVec EmbeddingModel::Average(const std::vector<std::string>& tokens) const {
 }
 
 FloatVec EmbeddingModel::EmbedSentence(const std::string& sentence) const {
-  return Average(Tokenizer::Words(sentence));
+  {
+    std::lock_guard<std::mutex> lk(sentence_mu_);
+    auto it = embed_cache_.find(sentence);
+    if (it != embed_cache_.end()) return it->second;
+  }
+  FloatVec v = Average(Tokenizer::Words(sentence));
+  std::lock_guard<std::mutex> lk(sentence_mu_);
+  return embed_cache_.try_emplace(sentence, std::move(v)).first->second;
 }
 
 FloatVec EmbeddingModel::EncodeSentence(const std::string& sentence) const {
+  {
+    std::lock_guard<std::mutex> lk(sentence_mu_);
+    auto it = encode_cache_.find(sentence);
+    if (it != encode_cache_.end()) return it->second;
+  }
   const Lexicon& lex = Lexicon::Instance();
   auto tokens = Tokenizer::Words(sentence);
   FloatVec out(dim_, 0.f);
@@ -91,7 +103,8 @@ FloatVec EmbeddingModel::EncodeSentence(const std::string& sentence) const {
     ++count;
   }
   if (count > 0) ScaleInPlace(&out, 1.0f / static_cast<float>(count));
-  return out;
+  std::lock_guard<std::mutex> lk(sentence_mu_);
+  return encode_cache_.try_emplace(sentence, std::move(out)).first->second;
 }
 
 }  // namespace glint::nlp

@@ -200,4 +200,73 @@ bool RuleTriggersRuleInstant(const Rule& src, const Rule& dst) {
   return false;
 }
 
+namespace {
+
+// FNV-1a accumulation helpers for RuleContentHash.
+inline uint64_t HashMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashMixStr(uint64_t h, const std::string& s) {
+  h = HashMix(h, s.size());
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashMixDouble(uint64_t h, double d) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return HashMix(h, bits);
+}
+
+}  // namespace
+
+uint64_t RuleContentHash(const Rule& r) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = HashMix(h, static_cast<uint64_t>(r.platform));
+  h = HashMix(h, static_cast<uint64_t>(r.location));
+  const auto mix_trigger_shape = [&h](const TriggerSpec& t) {
+    h = HashMix(h, static_cast<uint64_t>(t.channel));
+    h = HashMix(h, static_cast<uint64_t>(t.device));
+    h = HashMix(h, static_cast<uint64_t>(t.cmp));
+    h = HashMixDouble(h, t.lo);
+    h = HashMixDouble(h, t.hi);
+    h = HashMixStr(h, t.state);
+    h = HashMix(h, static_cast<uint64_t>(t.direction));
+    h = HashMix(h, t.has_time ? 1 : 0);
+    h = HashMix(h, static_cast<uint64_t>(t.hour_lo));
+    h = HashMix(h, static_cast<uint64_t>(t.hour_hi));
+  };
+  mix_trigger_shape(r.trigger);
+  h = HashMix(h, r.conditions.size());
+  for (const auto& c : r.conditions) {
+    h = HashMix(h, static_cast<uint64_t>(c.channel));
+    h = HashMix(h, static_cast<uint64_t>(c.device));
+    h = HashMix(h, static_cast<uint64_t>(c.cmp));
+    h = HashMixDouble(h, c.lo);
+    h = HashMixDouble(h, c.hi);
+    h = HashMixStr(h, c.state);
+    h = HashMix(h, c.has_time ? 1 : 0);
+    h = HashMix(h, static_cast<uint64_t>(c.hour_lo));
+    h = HashMix(h, static_cast<uint64_t>(c.hour_hi));
+  }
+  h = HashMix(h, r.actions.size());
+  for (const auto& a : r.actions) {
+    h = HashMix(h, static_cast<uint64_t>(a.device));
+    h = HashMix(h, static_cast<uint64_t>(a.command));
+    h = HashMixDouble(h, a.level);
+  }
+  h = HashMixStr(h, r.text);
+  h = HashMix(h, r.manual_mode_pin ? 1 : 0);
+  return h;
+}
+
 }  // namespace glint::rules

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -97,6 +98,14 @@ struct Rule {
   /// types of Sec. 4.7).
   bool manual_mode_pin = false;
 };
+
+/// Stable 64-bit hash of a rule's semantic content: platform, location,
+/// trigger, conditions, actions, text, and the manual-mode pin — everything
+/// the embedding models, the correlation discoverer, and the threat
+/// analyzer can observe. The rule `id` is deliberately excluded so that two
+/// rules with identical content share cache entries (embeddings and
+/// pairwise correlation verdicts are pure functions of content, not id).
+uint64_t RuleContentHash(const Rule& r);
 
 /// True when executing `action` (in `action_loc`) can cause `trigger`
 /// (observed in `trigger_loc`) to fire — the ground truth "action-trigger"

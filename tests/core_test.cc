@@ -1,14 +1,39 @@
 #include <gtest/gtest.h>
 
-#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <string>
 
 #include "core/explain.h"
 #include "core/glint.h"
+#include "core/session.h"
 #include "graph/threat_analyzer.h"
 
 namespace glint::core {
 namespace {
+
+/// A unique per-test temporary directory, removed (with its contents) on
+/// test teardown. Tests must not write to shared paths like /tmp directly:
+/// concurrent runs of the suite would race on the same file names.
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    std::string tmpl = ::testing::TempDir() + "glint_core_test_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    GLINT_CHECK(mkdtemp(buf.data()) != nullptr);
+    path_ = buf.data();
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;  // best-effort cleanup; never throw from a dtor
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 // One small trained Glint shared by all tests in this file (training is the
 // expensive part).
@@ -106,16 +131,15 @@ TEST_F(GlintTest, InspectRealTimeRunsEndToEnd) {
 }
 
 TEST_F(GlintTest, SaveLoadRoundTrip) {
-  ASSERT_TRUE(glint_->SaveModels("/tmp").ok());
+  ScopedTempDir dir;
+  ASSERT_TRUE(glint_->SaveModels(dir.path()).ok());
   // A fresh Glint with the same architecture can load and classify.
   Glint::Options opts;
   opts.model.num_scales = 2;
   opts.model.embed_dim = 64;
   Glint fresh(opts);
-  ASSERT_TRUE(fresh.LoadModels("/tmp").ok());
+  ASSERT_TRUE(fresh.LoadModels(dir.path()).ok());
   EXPECT_TRUE(fresh.ready());
-  std::remove("/tmp/itgnn_s.bin");
-  std::remove("/tmp/itgnn_c.bin");
 }
 
 TEST_F(GlintTest, WarningRenderContainsCulprits) {
@@ -158,6 +182,94 @@ TEST(WarningTest, DriftingRender) {
   ThreatWarning w;
   w.drifting = true;
   EXPECT_NE(w.Render().find("drifting"), std::string::npos);
+}
+
+graph::Event TriggerEvent(const rules::Rule& r, double t) {
+  graph::Event e;
+  e.time_hours = t;
+  e.device = r.trigger.device;
+  e.state = r.trigger.state;
+  e.location = r.location;
+  return e;
+}
+
+graph::Event EffectEvent(const rules::Rule& r, size_t a, double t) {
+  graph::Event e;
+  e.time_hours = t;
+  e.device = r.actions[a].device;
+  e.state = rules::CommandResultState(r.actions[a].command);
+  e.location = r.location;
+  return e;
+}
+
+void ExpectSameWarning(const ThreatWarning& warm, const ThreatWarning& cold,
+                       int step) {
+  ASSERT_EQ(warm.threat, cold.threat) << "step " << step;
+  ASSERT_EQ(warm.drifting, cold.drifting) << "step " << step;
+  ASSERT_EQ(warm.confidence, cold.confidence) << "step " << step;
+  ASSERT_EQ(warm.Render(), cold.Render()) << "step " << step;
+}
+
+TEST_F(GlintTest, SessionMatchesColdPipelineUnderRandomOps) {
+  // The serving determinism contract, on the *learned* correlation
+  // pipeline: after any sequence of AddRule / RemoveRule / OnEvent, a
+  // session's warm incremental Inspect is bit-identical to the cold
+  // full-rebuild Glint::Inspect over the same rules, events, and time.
+  std::vector<rules::Rule> pool = rules::CorpusGenerator::Table1Rules();
+  {
+    auto t4 = rules::CorpusGenerator::Table4Settings();
+    pool.insert(pool.end(), t4.begin(), t4.end());
+    const auto& corpus = glint_->corpus();
+    pool.insert(pool.end(), corpus.begin(),
+                corpus.begin() + std::min<size_t>(20, corpus.size()));
+  }
+  for (size_t i = 0; i < pool.size(); ++i) {
+    pool[i].id = 9000 + static_cast<int>(i);
+  }
+
+  DeploymentSession session(&glint_->detector());
+  graph::EventLog log;
+  Rng rng(71);
+  size_t next = 0;
+  double now = 10.0;
+  for (int i = 0; i < 6; ++i) session.AddRule(pool[next++]);
+
+  for (int step = 0; step < 30; ++step) {
+    const double r = rng.Uniform();
+    if (r < 0.2 && next < pool.size()) {
+      session.AddRule(pool[next++]);
+    } else if (r < 0.3 && session.num_rules() > 2) {
+      const auto cur = session.CurrentRules();
+      EXPECT_TRUE(session.RemoveRule(cur[rng.Below(cur.size())].id));
+    } else {
+      now += 0.02 + rng.Uniform() * 0.4;
+      const auto cur = session.CurrentRules();
+      const auto& rule = cur[rng.Below(cur.size())];
+      graph::Event e =
+          (rng.Chance(0.5) || rule.actions.empty())
+              ? TriggerEvent(rule, now)
+              : EffectEvent(rule, rng.Below(rule.actions.size()), now);
+      session.OnEvent(e);
+      log.Append(e);
+    }
+    auto warm = session.Inspect(now);
+    auto cold = glint_->Inspect(session.CurrentRules(), log, now);
+    ExpectSameWarning(warm, cold, step);
+    // A repeated no-change Inspect is a verdict-cache hit and must still
+    // equal the cold result.
+    auto warm_again = session.Inspect(now);
+    ExpectSameWarning(warm_again, cold, step);
+  }
+  EXPECT_GT(session.verdict_hits(), 0u);
+}
+
+TEST_F(GlintTest, SessionStaticMatchesColdBuildGraph) {
+  auto table1 = rules::CorpusGenerator::Table1Rules();
+  DeploymentSession session(&glint_->detector());
+  for (const auto& r : table1) session.AddRule(r);
+  auto warm = session.InspectStatic();
+  auto cold = glint_->InspectGraph(glint_->BuildGraph(table1));
+  ExpectSameWarning(warm, cold, 0);
 }
 
 TEST_F(GlintTest, FineTuneAdaptsToUserFeedback) {

@@ -3,10 +3,15 @@
 // bit-identical results at 1 thread and at N threads (DESIGN.md,
 // "Concurrency model").
 
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/glint.h"
+#include "core/serving.h"
+#include "core/session.h"
 #include "gnn/ggraph.h"
 #include "gnn/models.h"
 #include "gnn/trainer.h"
@@ -174,6 +179,132 @@ TEST(ParallelDeterminismTest, ContrastiveTrainingIdenticalAcrossThreadCounts) {
   for (size_t i = 0; i < serial.size(); ++i) {
     ASSERT_EQ(serial[i], parallel[i]) << "embedding " << i;
   }
+}
+
+/// One small trained detector shared by the serving determinism tests
+/// (training is the expensive part; both tests only read it).
+core::Glint& SmallTrainedGlint() {
+  static core::Glint* g = [] {
+    core::Glint::Options opts;
+    opts.corpus.ifttt = 300;
+    opts.corpus.smartthings = 50;
+    opts.corpus.alexa = 60;
+    opts.corpus.google_assistant = 60;
+    opts.corpus.home_assistant = 60;
+    opts.num_training_graphs = 80;
+    opts.builder.max_nodes = 8;
+    opts.model.num_scales = 2;
+    opts.model.embed_dim = 32;
+    opts.train.epochs = 2;
+    opts.pairs.num_positive = 60;
+    opts.pairs.num_negative = 90;
+    auto* gl = new core::Glint(opts);
+    gl->TrainOffline();
+    return gl;
+  }();
+  return *g;
+}
+
+struct HomeTrace {
+  std::vector<std::string> renders;
+  std::vector<double> confidences;
+  bool operator==(const HomeTrace& o) const {
+    return renders == o.renders && confidences == o.confidences;
+  }
+};
+
+/// Runs one home's scripted session (rules, an event stream, periodic
+/// inspections) against the shared detector and records every warning.
+HomeTrace RunHome(const std::vector<rules::Rule>& rules, uint64_t seed) {
+  core::DeploymentSession session(&SmallTrainedGlint().detector());
+  for (const auto& r : rules) session.AddRule(r);
+  HomeTrace trace;
+  Rng rng(seed);
+  double now = 10.0;
+  for (int step = 0; step < 8; ++step) {
+    now += 0.1 + rng.Uniform() * 0.3;
+    const auto cur = session.CurrentRules();
+    const auto& rule = cur[rng.Below(cur.size())];
+    graph::Event e;
+    e.time_hours = now;
+    e.location = rule.location;
+    if (rng.Chance(0.5) || rule.actions.empty()) {
+      e.device = rule.trigger.device;
+      e.state = rule.trigger.state;
+    } else {
+      const auto& a = rule.actions[rng.Below(rule.actions.size())];
+      e.device = a.device;
+      e.state = rules::CommandResultState(a.command);
+    }
+    session.OnEvent(e);
+    auto w = session.Inspect(now);
+    trace.renders.push_back(w.Render());
+    trace.confidences.push_back(w.confidence);
+  }
+  return trace;
+}
+
+TEST(ParallelDeterminismTest, SharedDetectorSessionsIdenticalAcrossThreads) {
+  // Two DeploymentSessions over ONE TrainedDetector, each on its own
+  // thread, must reproduce the serial run bit-for-bit: the detector's memo
+  // caches store pure-function results, so sharing cannot change verdicts.
+  const auto home_a = rules::CorpusGenerator::Table1Rules();
+  const auto home_b = rules::CorpusGenerator::Table4Settings();
+
+  const HomeTrace ref_a = RunHome(home_a, 3);
+  const HomeTrace ref_b = RunHome(home_b, 5);
+
+  HomeTrace par_a, par_b;
+  std::thread ta([&] { par_a = RunHome(home_a, 3); });
+  std::thread tb([&] { par_b = RunHome(home_b, 5); });
+  ta.join();
+  tb.join();
+
+  EXPECT_EQ(ref_a, par_a);
+  EXPECT_EQ(ref_b, par_b);
+}
+
+TEST(ParallelDeterminismTest, ServingEngineInspectAllIdenticalAcrossThreadCounts) {
+  ThreadRestore restore;
+  const auto& glint = SmallTrainedGlint();
+  std::vector<std::vector<rules::Rule>> homes = {
+      rules::CorpusGenerator::Table1Rules(),
+      rules::CorpusGenerator::Table4Settings(),
+  };
+  for (const auto& g : rules::CorpusGenerator::NewThreatBlueprints()) {
+    homes.push_back(g);
+    if (homes.size() >= 5) break;
+  }
+
+  auto run = [&](int threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    core::ServingEngine engine(&glint.detector());
+    for (const auto& h : homes) engine.AddHome(h);
+    Rng rng(9);
+    double now = 10.0;
+    std::vector<std::string> out;
+    for (int round = 0; round < 3; ++round) {
+      for (int h = 0; h < static_cast<int>(homes.size()); ++h) {
+        now += 0.05;
+        const auto cur = engine.home(h).CurrentRules();
+        const auto& rule = cur[rng.Below(cur.size())];
+        graph::Event e;
+        e.time_hours = now;
+        e.device = rule.trigger.device;
+        e.state = rule.trigger.state;
+        e.location = rule.location;
+        engine.OnEvent(h, e);
+      }
+      for (const auto& w : engine.InspectAll(now)) {
+        out.push_back(w.Render());
+      }
+    }
+    return out;
+  };
+
+  const auto serial = run(1);
+  const auto parallel = run(kParallelThreads);
+  EXPECT_EQ(serial, parallel);
 }
 
 }  // namespace

@@ -14,6 +14,10 @@ ctest --test-dir build --output-on-failure -j"${JOBS}"
 # build/train/inference paths end to end).
 GLINT_THREADS=2 ./build/bench/bench_throughput --smoke
 
+# Smoke the serving bench (cold full-rebuild vs warm incremental Inspect
+# through a DeploymentSession; exits non-zero if warm != cold).
+GLINT_THREADS=2 ./build/bench/bench_serving --smoke
+
 # Data-race check: build only the thread-pool targets under TSAN and run
 # the stress driver.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGLINT_TSAN=ON

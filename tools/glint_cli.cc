@@ -14,6 +14,10 @@
 //       Run the offline stage and save the ITGNN-S / ITGNN-C models.
 //   inspect --model-dir DIR [--demo table1|table4|blueprints]
 //       Load trained models and inspect a rule deployment (demo rule sets).
+//   serve [--model-dir DIR] [--homes N] [--hours H] [--inspect-every H]
+//       Serve many simulated homes from one shared detector: per-home
+//       DeploymentSessions ingest event streams and are inspected in
+//       parallel by the ServingEngine (warm incremental pipeline).
 //   simulate [--hours H] [--attack NAME] [--seed S]
 //       Run the smart-home testbed simulator and print its event log.
 //   analyze [--demo table1|table4|blueprints]
@@ -26,6 +30,7 @@
 #include <vector>
 
 #include "core/glint.h"
+#include "core/serving.h"
 #include "graph/dataset_store.h"
 #include "graph/threat_analyzer.h"
 #include "testbed/attacks.h"
@@ -234,6 +239,86 @@ int CmdInspect(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  const int homes = std::atoi(FlagOr(flags, "homes", "4").c_str());
+  const double hours = std::atof(FlagOr(flags, "hours", "6").c_str());
+  const double every = std::atof(FlagOr(flags, "inspect-every", "1").c_str());
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "2026").c_str(), nullptr, 10);
+  const std::string dir = FlagOr(flags, "model-dir", "");
+
+  core::Glint detector(DefaultOptions(600, 14, 97));
+  if (!dir.empty()) {
+    Status st = detector.LoadModels(dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded models from %s\n", dir.c_str());
+  } else {
+    std::printf("no --model-dir given; training a fresh detector...\n");
+    detector.TrainOffline();
+  }
+
+  // One detector, many homes: each home gets a DeploymentSession sharing
+  // the trained models; events stream in and periodic InspectAll calls run
+  // the warm incremental pipeline across the thread pool.
+  core::ServingEngine engine(&detector.detector());
+  std::vector<testbed::SmartHome> sims;
+  std::vector<size_t> cursor(static_cast<size_t>(homes), 0);
+  sims.reserve(static_cast<size_t>(homes));
+  for (int h = 0; h < homes; ++h) {
+    testbed::SmartHome::Config cfg;
+    cfg.seed = seed + static_cast<uint64_t>(h);
+    cfg.start_hour = 18.0;
+    auto deployed = testbed::ScenarioGenerator::BenignDeployment();
+    sims.emplace_back(cfg, deployed);
+    engine.AddHome(deployed);
+  }
+  std::printf("serving %d homes, %zu rules total\n", homes,
+              engine.total_rules());
+
+  const double start = sims.empty() ? 18.0 : sims[0].now();
+  for (double t = start + every; t <= start + hours + 1e-9; t += every) {
+    for (int h = 0; h < homes; ++h) {
+      auto& sim = sims[static_cast<size_t>(h)];
+      sim.Simulate(t - sim.now());
+      const auto& events = sim.log().events();
+      for (size_t& i = cursor[static_cast<size_t>(h)]; i < events.size();
+           ++i) {
+        engine.OnEvent(h, events[i]);
+      }
+    }
+    auto warnings = engine.InspectAll(t);
+    int threats = 0, drifting = 0;
+    for (const auto& w : warnings) {
+      threats += w.threat;
+      drifting += w.drifting;
+    }
+    std::printf("t=%5.1fh  homes=%d threats=%d drifting=%d\n", t, homes,
+                threats, drifting);
+    for (int h = 0; h < homes; ++h) {
+      const auto& w = warnings[static_cast<size_t>(h)];
+      if (w.threat || w.drifting) {
+        std::printf("-- home %d --\n%s\n", h, w.Render().c_str());
+      }
+    }
+  }
+  size_t verdict_hits = 0, tensor_hits = 0, inspects = 0;
+  for (int h = 0; h < homes; ++h) {
+    const auto& s = engine.home(h);
+    verdict_hits += s.verdict_hits();
+    tensor_hits += s.tensor_hits();
+    inspects += s.inspect_count();
+  }
+  std::printf(
+      "cache stats: %zu inspections, %zu verdict hits, %zu tensor hits, "
+      "%zu correlation memo hits\n",
+      inspects, verdict_hits, tensor_hits,
+      detector.detector().correlation_cache().hits());
+  return 0;
+}
+
 int CmdSimulate(const std::map<std::string, std::string>& flags) {
   const double hours = std::atof(FlagOr(flags, "hours", "24").c_str());
   const std::string attack_name = FlagOr(flags, "attack", "none");
@@ -296,6 +381,8 @@ void Usage() {
       "  dataset-info    FILE\n"
       "  train           --model-dir DIR [--graphs N] [--epochs E]\n"
       "  inspect         [--model-dir DIR] [--demo table1|table4|blueprints]\n"
+      "  serve           [--model-dir DIR] [--homes N] [--hours H]\n"
+      "                  [--inspect-every H] [--seed S]\n"
       "  simulate        [--hours H] [--attack NAME] [--seed S]\n"
       "  analyze         [--demo table1|table4|blueprints]\n");
 }
@@ -320,6 +407,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "inspect") return CmdInspect(flags);
+  if (cmd == "serve") return CmdServe(flags);
   if (cmd == "simulate") return CmdSimulate(flags);
   if (cmd == "analyze") return CmdAnalyze(flags);
   Usage();
