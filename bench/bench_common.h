@@ -5,6 +5,8 @@
 // synthetic substitute datasets (see DESIGN.md for the substitution map)
 // and prints paper-reported values next to the measured ones.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -19,6 +21,64 @@
 #include "util/table.h"
 
 namespace glint::bench {
+
+/// Elapsed wall-clock seconds since `t0`.
+inline double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Nearest-rank percentile of an unsorted sample; `p` in [0, 1].
+inline double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const size_t idx = static_cast<size_t>(p * (xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+/// Builds the one-line machine-readable record each bench prints with a
+/// BENCH_JSON prefix (and bench_obs_overhead's pass/fail summary). Keys are
+/// emitted in insertion order so diffs across commits stay stable.
+class JsonWriter {
+ public:
+  void Raw(const std::string& key, const std::string& raw) {
+    body_ += (body_.empty() ? "\"" : ",\"") + key + "\":" + raw;
+  }
+  void Str(const std::string& key, const std::string& v) {
+    Raw(key, "\"" + v + "\"");
+  }
+  void Bool(const std::string& key, bool v) { Raw(key, v ? "true" : "false"); }
+  void Int(const std::string& key, long long v) {
+    Raw(key, std::to_string(v));
+  }
+  void Num(const std::string& key, double v, int decimals = 3) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    Raw(key, buf);
+  }
+  void Ints(const std::string& key, const std::vector<int>& xs) {
+    std::string a = "[";
+    for (size_t i = 0; i < xs.size(); ++i) {
+      a += (i ? "," : "") + std::to_string(xs[i]);
+    }
+    Raw(key, a + "]");
+  }
+  void Nums(const std::string& key, const std::vector<double>& xs,
+            int decimals = 1) {
+    std::string a = "[";
+    for (size_t i = 0; i < xs.size(); ++i) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%s%.*f", i ? "," : "", decimals,
+                    xs[i]);
+      a += buf;
+    }
+    Raw(key, a + "]");
+  }
+  std::string Render() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
 
 /// Embedding models shared by every bench (fixed seeds; all benches see the
 /// same feature space).

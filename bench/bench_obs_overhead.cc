@@ -1,0 +1,152 @@
+// Overhead gate for the glint::obs telemetry layer: times the warm
+// incremental Inspect path (1-rule delta on a deployed home — the serving
+// hot path) with telemetry collecting vs. runtime-disabled, and fails if
+// the enabled/disabled p50 ratio exceeds the 5% budget from DESIGN.md §9.
+// Also asserts the warm verdicts are bit-identical under both modes: the
+// telemetry layer must observe the pipeline, never perturb it.
+//
+// Emits one BENCH_JSON line with both p50s, the ratio, and pass/fail.
+//
+// Usage: bench_obs_overhead [--smoke]
+//   --smoke  smaller home / fewer reps; used by tools/check.sh.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/glint.h"
+#include "core/session.h"
+#include "obs/obs.h"
+
+namespace glint::bench {
+namespace {
+
+/// Ratio slack for sub-millisecond medians: when the warm path is this
+/// fast, scheduler jitter between the two timed loops dwarfs any real
+/// instrument cost, so the gate also accepts an absolute gap under 50µs.
+constexpr double kAbsSlackMs = 0.05;
+constexpr double kMaxRatio = 1.05;
+
+struct Timing {
+  std::vector<double> ms;
+  std::string last_render;  // verdict text of the final Inspect
+};
+
+/// One warm measurement pass: `reps` (RemoveRule, AddRule, Inspect) deltas
+/// against a session deployed with `rules`. A fresh session per pass keeps
+/// the two modes symmetric (same cold start, same cache history).
+Timing MeasureWarm(const core::Glint& glint,
+                   const std::vector<rules::Rule>& deployed, int reps,
+                   double now) {
+  core::DeploymentSession session(&glint.detector());
+  for (const auto& r : deployed) session.AddRule(r);
+  core::ThreatWarning w = session.Inspect(now);  // untimed warm-up
+  Timing out;
+  for (int r = 0; r < reps; ++r) {
+    const auto cur = session.CurrentRules();
+    const rules::Rule rotated = cur[static_cast<size_t>(r) % cur.size()];
+    auto t0 = std::chrono::steady_clock::now();
+    session.RemoveRule(rotated.id);
+    session.AddRule(rotated);
+    w = session.Inspect(now);
+    out.ms.push_back(Seconds(t0) * 1e3);
+  }
+  out.last_render = w.Render();
+  return out;
+}
+
+int Run(bool smoke) {
+  const int home_rules = smoke ? 12 : 40;
+  const int reps = smoke ? 8 : 30;
+
+  core::Glint::Options opts;
+  opts.corpus.ifttt = smoke ? 200 : 300;
+  opts.corpus.smartthings = 40;
+  opts.corpus.alexa = 60;
+  opts.corpus.google_assistant = 40;
+  opts.corpus.home_assistant = 40;
+  opts.num_training_graphs = smoke ? 40 : 80;
+  opts.builder.max_nodes = 8;
+  opts.model.num_scales = 2;
+  opts.model.embed_dim = 32;
+  opts.train.epochs = 2;
+  opts.pairs.num_positive = 60;
+  opts.pairs.num_negative = 90;
+  core::Glint glint(opts);
+  std::printf("training the detector (offline stage)...\n");
+  glint.TrainOffline();
+
+  std::vector<rules::Rule> deployed(
+      glint.corpus().begin(),
+      glint.corpus().begin() +
+          std::min<size_t>(static_cast<size_t>(home_rules),
+                           glint.corpus().size()));
+  for (size_t i = 0; i < deployed.size(); ++i) {
+    deployed[i].id = 9000 + static_cast<int>(i);
+  }
+  const double now = 10.0;
+
+  Banner("obs overhead: warm Inspect with telemetry on vs. off",
+         "the DESIGN.md §9 overhead budget");
+#ifdef GLINT_OBS_DISABLED
+  std::printf("glint::obs compiled out (GLINT_OBS_DISABLE); both modes are "
+              "the disabled path — gate trivially passes.\n");
+#endif
+
+  // Alternate off/on per block so slow drift (thermal, other processes)
+  // lands on both modes equally; first block is discarded implicitly by
+  // MeasureWarm's internal warm-up.
+  const int blocks = 4;
+  std::vector<double> off_ms, on_ms;
+  std::string off_render, on_render;
+  for (int b = 0; b < blocks; ++b) {
+    obs::SetEnabled(false);
+    Timing off = MeasureWarm(glint, deployed, reps, now);
+    obs::SetEnabled(true);
+    Timing on = MeasureWarm(glint, deployed, reps, now);
+    off_ms.insert(off_ms.end(), off.ms.begin(), off.ms.end());
+    on_ms.insert(on_ms.end(), on.ms.begin(), on.ms.end());
+    off_render = off.last_render;
+    on_render = on.last_render;
+  }
+
+  const double off_p50 = Percentile(off_ms, 0.50);
+  const double on_p50 = Percentile(on_ms, 0.50);
+  const double ratio = off_p50 > 0 ? on_p50 / off_p50 : 1.0;
+  const bool identical = on_render == off_render;
+  const bool within =
+      ratio <= kMaxRatio || (on_p50 - off_p50) <= kAbsSlackMs;
+  const bool pass = within && identical;
+
+  std::printf("%-28s %10s %10s\n", "telemetry", "p50 ms", "p95 ms");
+  std::printf("%-28s %10.3f %10.3f\n", "disabled (GLINT_OBS=off)", off_p50,
+              Percentile(off_ms, 0.95));
+  std::printf("%-28s %10.3f %10.3f\n", "enabled", on_p50,
+              Percentile(on_ms, 0.95));
+  std::printf("enabled/disabled p50 ratio: %.3f (budget %.2f, abs slack "
+              "%.0fus)   verdicts identical: %s\n",
+              ratio, kMaxRatio, kAbsSlackMs * 1e3,
+              identical ? "yes" : "NO — OBS PERTURBS THE PIPELINE");
+  std::printf("%s\n", pass ? "PASS" : "FAIL: obs overhead gate");
+
+  JsonWriter json;
+  json.Str("bench", "obs_overhead");
+  json.Int("home_rules", home_rules);
+  json.Num("off_p50_ms", off_p50);
+  json.Num("on_p50_ms", on_p50);
+  json.Num("ratio", ratio);
+  json.Bool("identical", identical);
+  json.Bool("pass", pass);
+  std::printf("BENCH_JSON %s\n", json.Render().c_str());
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace glint::bench
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  return glint::bench::Run(smoke);
+}

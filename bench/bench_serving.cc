@@ -25,18 +25,6 @@
 namespace glint::bench {
 namespace {
 
-double Seconds(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-double Percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0;
-  std::sort(xs.begin(), xs.end());
-  const size_t idx = static_cast<size_t>(p * (xs.size() - 1) + 0.5);
-  return xs[std::min(idx, xs.size() - 1)];
-}
-
 graph::Event EventFor(const rules::Rule& r, bool trigger, double t) {
   graph::Event e;
   e.time_hours = t;
@@ -202,27 +190,19 @@ int Run(bool smoke) {
   }
   ThreadPool::SetGlobalThreads(initial);
 
-  std::string json = "BENCH_JSON {\"bench\":\"serving\"";
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                ",\"home_rules\":%d,\"cold_p50_ms\":%.3f,\"cold_p95_ms\":"
-                "%.3f,\"warm_p50_ms\":%.3f,\"warm_p95_ms\":%.3f,"
-                "\"nochange_p50_ms\":%.4f,\"speedup_p50\":%.2f,"
-                "\"equivalent\":%s",
-                home_rules, cold_p50, cold_p95, warm_p50, warm_p95, hit_p50,
-                speedup, equivalent ? "true" : "false");
-  json += buf;
-  json += ",\"threads\":[";
-  for (size_t i = 0; i < sweep.size(); ++i) {
-    json += (i ? "," : "") + std::to_string(sweep[i]);
-  }
-  json += "],\"rules_per_sec\":[";
-  for (size_t i = 0; i < rates.size(); ++i) {
-    std::snprintf(buf, sizeof(buf), "%s%.1f", i ? "," : "", rates[i]);
-    json += buf;
-  }
-  json += "]}";
-  std::printf("%s\n", json.c_str());
+  JsonWriter json;
+  json.Str("bench", "serving");
+  json.Int("home_rules", home_rules);
+  json.Num("cold_p50_ms", cold_p50);
+  json.Num("cold_p95_ms", cold_p95);
+  json.Num("warm_p50_ms", warm_p50);
+  json.Num("warm_p95_ms", warm_p95);
+  json.Num("nochange_p50_ms", hit_p50, 4);
+  json.Num("speedup_p50", speedup, 2);
+  json.Bool("equivalent", equivalent);
+  json.Ints("threads", sweep);
+  json.Nums("rules_per_sec", rates);
+  std::printf("BENCH_JSON %s\n", json.Render().c_str());
   return equivalent ? 0 : 1;
 }
 

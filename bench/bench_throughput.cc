@@ -20,11 +20,6 @@
 namespace glint::bench {
 namespace {
 
-double Seconds(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
 struct Rates {
   double build_gps = 0;   // graphs built per second
   double train_gps = 0;   // graphs trained per second (one epoch)
@@ -110,34 +105,22 @@ int Run(bool smoke) {
   ThreadPool::SetGlobalThreads(initial);
 
   // Machine-readable trajectory line.
-  std::string json = "BENCH_JSON {\"bench\":\"throughput\",\"threads\":[";
-  auto append_nums = [&json, &sweep, &results](const char* key,
-                                               double Rates::* field) {
-    json += std::string("],\"") + key + "\":[";
-    for (size_t i = 0; i < results.size(); ++i) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%s%.1f", i ? "," : "",
-                    results[i].*field);
-      json += buf;
-    }
-    (void)sweep;
+  auto column = [&results](double Rates::* field) {
+    std::vector<double> xs;
+    for (const auto& r : results) xs.push_back(r.*field);
+    return xs;
   };
-  for (size_t i = 0; i < sweep.size(); ++i) {
-    json += (i ? "," : "") + std::to_string(sweep[i]);
-  }
-  append_nums("build_gps", &Rates::build_gps);
-  append_nums("train_gps", &Rates::train_gps);
-  append_nums("infer_gps", &Rates::infer_gps);
-  json += "],\"train_speedup\":";
-  char buf[64];
-  const double train_speedup =
-      results.back().train_gps / results.front().train_gps;
-  const double infer_speedup =
-      results.back().infer_gps / results.front().infer_gps;
-  std::snprintf(buf, sizeof(buf), "%.2f,\"infer_speedup\":%.2f}",
-                train_speedup, infer_speedup);
-  json += buf;
-  std::printf("%s\n", json.c_str());
+  JsonWriter json;
+  json.Str("bench", "throughput");
+  json.Ints("threads", sweep);
+  json.Nums("build_gps", column(&Rates::build_gps));
+  json.Nums("train_gps", column(&Rates::train_gps));
+  json.Nums("infer_gps", column(&Rates::infer_gps));
+  json.Num("train_speedup", results.back().train_gps / results.front().train_gps,
+           2);
+  json.Num("infer_speedup", results.back().infer_gps / results.front().infer_gps,
+           2);
+  std::printf("BENCH_JSON %s\n", json.Render().c_str());
   return 0;
 }
 

@@ -3,6 +3,7 @@
 #include "core/explain.h"
 #include "gnn/model_io.h"
 #include "graph/threat_analyzer.h"
+#include "obs/obs.h"
 
 namespace glint::core {
 
@@ -66,12 +67,17 @@ graph::Node TrainedDetector::MakeNode(const rules::Rule& rule) const {
 ThreatWarning TrainedDetector::Analyze(const gnn::GnnGraph& gg,
                                        const graph::InteractionGraph& g) const {
   GLINT_CHECK(ready_);
+  GLINT_OBS_SPAN(analyze_span, "glint.detector.analyze_ms");
   ThreatWarning warning;
 
   // Drift check first (Fig. 2 step 5): unfamiliar patterns go to the user
   // rather than the classifier.
-  FloatVec z = gnn::Trainer::Embed(contrastive_.get(), gg);
-  warning.drifting = drift_.IsDrifting(z);
+  {
+    GLINT_OBS_SPAN(span, "glint.drift.check_ms");
+    FloatVec z = gnn::Trainer::Embed(contrastive_.get(), gg);
+    warning.drifting = drift_.IsDrifting(z);
+  }
+  if (warning.drifting) GLINT_OBS_COUNT("glint.drift.flagged", 1);
 
   gnn::Tape tape;
   tape.set_freeze_leaves(true);  // inference only: skip grad bookkeeping
@@ -81,6 +87,7 @@ ThreatWarning TrainedDetector::Analyze(const gnn::GnnGraph& gg,
   warning.threat = p[1] > 0.5;
 
   if (warning.threat) {
+    GLINT_OBS_COUNT("glint.detector.threats", 1);
     // Explanation: top culprit rules, PGExplainer-style (Sec. 3.1).
     auto importance = ExplainNodes(classifier_.get(), gg);
     for (int v : TopCulprits(importance, 3)) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/obs.h"
+
 namespace glint::core {
 namespace {
 
@@ -49,7 +51,9 @@ std::vector<double> ExplainNodes(gnn::GraphModel* model,
   const size_t n = static_cast<size_t>(g.num_nodes);
   std::vector<double> importance(n, 0.0);
 
+  GLINT_OBS_COUNT("glint.explain.runs", 1);
   if (g.num_nodes <= kExactOcclusionMax) {
+    GLINT_OBS_SPAN(span, "glint.explain.occlusion_ms");
     const double base = ThreatMargin(model, g);
     for (int v = 0; v < g.num_nodes; ++v) {
       importance[static_cast<size_t>(v)] = OcclusionDrop(model, g, base, v);
@@ -62,40 +66,47 @@ std::vector<double> ExplainNodes(gnn::GraphModel* model,
   // node's first-order occlusion estimate, grad(margin) . features. The
   // typed feature matrices enter the tape as the first tracked constants,
   // in ascending node-type order (all model families share this layout).
-  gnn::Tape tape;
-  tape.set_freeze_leaves(true);  // saliency needs input grads only
-  tape.set_track_constants(true);
-  auto r = model->Forward(&tape, g);
-  tape.set_track_constants(false);
-  gnn::Matrix dir(2, 1);
-  dir.At(0, 0) = -1.f;
-  dir.At(1, 0) = 1.f;
-  gnn::Tensor* margin = MatMul(&tape, r.logits, tape.Constant(dir));
-  tape.Backward(margin);
-  const double base = margin->value.At(0, 0);
+  double base = 0.0;
+  {
+    GLINT_OBS_SPAN(span, "glint.explain.screen_ms");
+    gnn::Tape tape;
+    tape.set_freeze_leaves(true);  // saliency needs input grads only
+    tape.set_track_constants(true);
+    auto r = model->Forward(&tape, g);
+    tape.set_track_constants(false);
+    gnn::Matrix dir(2, 1);
+    dir.At(0, 0) = -1.f;
+    dir.At(1, 0) = 1.f;
+    gnn::Tensor* margin = MatMul(&tape, r.logits, tape.Constant(dir));
+    tape.Backward(margin);
+    base = margin->value.At(0, 0);
 
-  size_t next_input = 0;
-  const auto& inputs = tape.tracked_constants();
-  for (int type = 0; type < gnn::kNumNodeTypes; ++type) {
-    const auto& rows = g.type_rows[type];
-    if (rows.empty()) continue;
-    GLINT_CHECK(next_input < inputs.size());
-    const gnn::Tensor* x = inputs[next_input++];
-    GLINT_CHECK(x->value.rows == static_cast<int>(rows.size()));
-    for (size_t k = 0; k < rows.size(); ++k) {
-      double drop = 0.0;
-      for (int c = 0; c < x->value.cols; ++c) {
-        drop += double(x->grad.At(static_cast<int>(k), c)) *
-                x->value.At(static_cast<int>(k), c);
+    size_t next_input = 0;
+    const auto& inputs = tape.tracked_constants();
+    for (int type = 0; type < gnn::kNumNodeTypes; ++type) {
+      const auto& rows = g.type_rows[type];
+      if (rows.empty()) continue;
+      GLINT_CHECK(next_input < inputs.size());
+      const gnn::Tensor* x = inputs[next_input++];
+      GLINT_CHECK(x->value.rows == static_cast<int>(rows.size()));
+      for (size_t k = 0; k < rows.size(); ++k) {
+        double drop = 0.0;
+        for (int c = 0; c < x->value.cols; ++c) {
+          drop += double(x->grad.At(static_cast<int>(k), c)) *
+                  x->value.At(static_cast<int>(k), c);
+        }
+        importance[static_cast<size_t>(rows[k])] = drop;
       }
-      importance[static_cast<size_t>(rows[k])] = drop;
     }
   }
 
   // Stage 2 — exact occlusion on the screened top candidates, so the
   // culprits shown in the warning carry true occlusion scores.
-  for (int v : TopCulprits(importance, kRefineCandidates)) {
-    importance[static_cast<size_t>(v)] = OcclusionDrop(model, g, base, v);
+  {
+    GLINT_OBS_SPAN(span, "glint.explain.occlusion_ms");
+    for (int v : TopCulprits(importance, kRefineCandidates)) {
+      importance[static_cast<size_t>(v)] = OcclusionDrop(model, g, base, v);
+    }
   }
   ShiftNormalize(&importance);
   return importance;

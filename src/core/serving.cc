@@ -1,5 +1,8 @@
 #include "core/serving.h"
 
+#include <string>
+
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace glint::core {
@@ -18,20 +21,44 @@ int ServingEngine::AddHome(const std::vector<rules::Rule>& deployed) {
 }
 
 DeploymentSession& ServingEngine::home(int h) {
-  GLINT_CHECK(h >= 0 && h < static_cast<int>(sessions_.size()));
+  GLINT_CHECK(has_home(h));
   return *sessions_[static_cast<size_t>(h)];
 }
 
 const DeploymentSession& ServingEngine::home(int h) const {
-  GLINT_CHECK(h >= 0 && h < static_cast<int>(sessions_.size()));
+  GLINT_CHECK(has_home(h));
   return *sessions_[static_cast<size_t>(h)];
 }
 
+DeploymentSession* ServingEngine::FindHome(int h) {
+  return has_home(h) ? sessions_[static_cast<size_t>(h)].get() : nullptr;
+}
+
+const DeploymentSession* ServingEngine::FindHome(int h) const {
+  return has_home(h) ? sessions_[static_cast<size_t>(h)].get() : nullptr;
+}
+
 void ServingEngine::OnEvent(int h, const graph::Event& e) {
-  home(h).OnEvent(e);
+  GLINT_CHECK(has_home(h));
+  GLINT_OBS_COUNT("glint.serving.events", 1);
+  sessions_[static_cast<size_t>(h)]->OnEvent(e);
+}
+
+Status ServingEngine::TryOnEvent(int h, const graph::Event& e) {
+  DeploymentSession* session = FindHome(h);
+  if (session == nullptr) {
+    GLINT_OBS_COUNT("glint.serving.bad_home_index", 1);
+    return Status::InvalidArgument(
+        "no home with index " + std::to_string(h) + " (have " +
+        std::to_string(sessions_.size()) + ")");
+  }
+  GLINT_OBS_COUNT("glint.serving.events", 1);
+  session->OnEvent(e);
+  return Status::OK();
 }
 
 std::vector<ThreatWarning> ServingEngine::InspectAll(double now_hours) {
+  GLINT_OBS_SPAN(span, "glint.serving.inspect_all_ms");
   std::vector<ThreatWarning> out(sessions_.size());
   // One home per chunk: each session is touched by exactly one thread, and
   // results land in per-home slots (bit-identical for any thread count).
@@ -49,6 +76,12 @@ size_t ServingEngine::total_rules() const {
   size_t n = 0;
   for (const auto& s : sessions_) n += static_cast<size_t>(s->num_rules());
   return n;
+}
+
+DeploymentSession::CacheStats ServingEngine::AggregateStats() const {
+  DeploymentSession::CacheStats total;
+  for (const auto& s : sessions_) total += s->Stats();
+  return total;
 }
 
 }  // namespace glint::core

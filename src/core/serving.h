@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/session.h"
+#include "util/status.h"
 
 namespace glint::core {
 
@@ -28,17 +29,37 @@ class ServingEngine {
   int AddHome(const std::vector<rules::Rule>& deployed);
 
   size_t num_homes() const { return sessions_.size(); }
+  bool has_home(int h) const {
+    return h >= 0 && h < static_cast<int>(sessions_.size());
+  }
+
+  /// Checked accessors: an out-of-range home index is a programmer error
+  /// and aborts loudly (GLINT_CHECK). Callers routing *untrusted* indices
+  /// (CLI input, network frontends) use FindHome / TryOnEvent instead.
   DeploymentSession& home(int h);
   const DeploymentSession& home(int h) const;
 
-  /// Routes one event to a home's session.
+  /// Status-style lookup: nullptr when `h` is out of range.
+  DeploymentSession* FindHome(int h);
+  const DeploymentSession* FindHome(int h) const;
+
+  /// Routes one event to a home's session. Aborts on an invalid index.
   void OnEvent(int h, const graph::Event& e);
+
+  /// Validating variant: InvalidArgument instead of aborting when `h` does
+  /// not name a registered home.
+  Status TryOnEvent(int h, const graph::Event& e);
 
   /// Inspects every home at `now` in parallel; result i belongs to home i.
   std::vector<ThreatWarning> InspectAll(double now_hours);
 
   /// Total rules deployed across all homes.
   size_t total_rules() const;
+
+  /// Sum of every home's per-session counters (cache hit/miss, inspects,
+  /// events) — the fleet-level half of a `--stats` report; pair it with
+  /// obs::Registry::Global().TakeSnapshot() for stage latencies.
+  DeploymentSession::CacheStats AggregateStats() const;
 
  private:
   const TrainedDetector* detector_;

@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace glint::core {
 
 DeploymentSession::DeploymentSession(const TrainedDetector* detector,
@@ -29,7 +31,22 @@ bool DeploymentSession::RemoveRule(int rule_id) {
   return live_.RemoveRule(rule_id);
 }
 
-void DeploymentSession::OnEvent(const graph::Event& e) { live_.OnEvent(e); }
+void DeploymentSession::OnEvent(const graph::Event& e) {
+  ++events_;
+  live_.OnEvent(e);
+}
+
+DeploymentSession::CacheStats DeploymentSession::Stats() const {
+  CacheStats s;
+  s.inspects = inspects_;
+  s.events = events_;
+  s.rules = static_cast<uint64_t>(live_.num_rules());
+  s.verdict_hits = verdict_hits_;
+  s.verdict_misses = inspects_ - verdict_hits_;
+  s.tensor_hits = tensor_cache_.hits();
+  s.tensor_misses = tensor_cache_.misses();
+  return s;
+}
 
 ThreatWarning DeploymentSession::Inspect(double now_hours) {
   return Render(live_.RealTimeEdges(now_hours));
@@ -41,6 +58,7 @@ ThreatWarning DeploymentSession::InspectStatic() {
 
 ThreatWarning DeploymentSession::Render(
     const std::vector<graph::Edge>& edges) {
+  GLINT_OBS_SPAN(span, "glint.session.inspect_ms");
   ++inspects_;
   gnn::GnnGraphCache::Key key;
   key.node_ids = live_.IdentityHashes();
@@ -53,9 +71,11 @@ ThreatWarning DeploymentSession::Render(
     if (v.key == key) {
       v.tick = ++tick_;
       ++verdict_hits_;
+      GLINT_OBS_COUNT("glint.session.verdict_cache.hits", 1);
       return v.warning;
     }
   }
+  GLINT_OBS_COUNT("glint.session.verdict_cache.misses", 1);
 
   graph::InteractionGraph g = live_.Materialize(edges);
   const gnn::GnnGraph* gg = tensor_cache_.Find(key);

@@ -71,6 +71,31 @@ class DeploymentSession {
   size_t verdict_hits() const { return verdict_hits_; }
   size_t tensor_hits() const { return tensor_cache_.hits(); }
 
+  /// Per-home counter snapshot (the per-session half of glint::obs: these
+  /// are plain members, not registry instruments, so one home's activity is
+  /// attributable even when many sessions share the process registry).
+  struct CacheStats {
+    uint64_t inspects = 0;
+    uint64_t events = 0;
+    uint64_t rules = 0;
+    uint64_t verdict_hits = 0;
+    uint64_t verdict_misses = 0;
+    uint64_t tensor_hits = 0;
+    uint64_t tensor_misses = 0;
+
+    CacheStats& operator+=(const CacheStats& o) {
+      inspects += o.inspects;
+      events += o.events;
+      rules += o.rules;
+      verdict_hits += o.verdict_hits;
+      verdict_misses += o.verdict_misses;
+      tensor_hits += o.tensor_hits;
+      tensor_misses += o.tensor_misses;
+      return *this;
+    }
+  };
+  CacheStats Stats() const;
+
  private:
   /// Shared tail of Inspect / InspectStatic: cache lookups, then the
   /// materialize -> tensorize -> analyze pipeline on miss.
@@ -90,6 +115,7 @@ class DeploymentSession {
   uint64_t tick_ = 0;
   size_t inspects_ = 0;
   size_t verdict_hits_ = 0;
+  size_t events_ = 0;
 };
 
 }  // namespace glint::core

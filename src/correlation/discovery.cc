@@ -1,5 +1,7 @@
 #include "correlation/discovery.h"
 
+#include "obs/obs.h"
+
 namespace glint::correlation {
 
 std::optional<bool> CorrelationCache::Lookup(uint64_t src_hash,
@@ -8,9 +10,11 @@ std::optional<bool> CorrelationCache::Lookup(uint64_t src_hash,
   auto it = map_.find(Key{src_hash, dst_hash});
   if (it == map_.end()) {
     ++misses_;
+    GLINT_OBS_COUNT("glint.correlation.cache.misses", 1);
     return std::nullopt;
   }
   ++hits_;
+  GLINT_OBS_COUNT("glint.correlation.cache.hits", 1);
   return it->second;
 }
 
@@ -46,6 +50,7 @@ void CorrelationDiscovery::Train(const ml::Dataset& pairs) {
 double CorrelationDiscovery::VoteShare(const rules::Rule& src,
                                        const rules::Rule& dst) const {
   GLINT_CHECK(trained_);
+  GLINT_OBS_TIMER(timer, "glint.correlation.predict_ms");
   const FloatVec f = extractor_.ExtractPair(src, dst);
   int votes = 0;
   votes += mlp_.Predict(f) == 1 ? 1 : 0;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace glint::gnn {
 
 void DriftDetector::Fit(const std::vector<FloatVec>& embeddings,
@@ -52,6 +54,8 @@ void DriftDetector::Fit(const std::vector<FloatVec>& embeddings,
 
 double DriftDetector::DriftingDegree(const FloatVec& embedding) const {
   GLINT_CHECK(!centroids_.empty());
+  GLINT_OBS_COUNT("glint.drift.checks", 1);
+  GLINT_OBS_TIMER(timer, "glint.drift.degree_ms");
   double best = std::numeric_limits<double>::infinity();
   for (size_t c = 0; c < centroids_.size(); ++c) {
     const double d = EuclideanDistance(embedding, centroids_[c]);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstddef>
 
+#include "obs/obs.h"
+
 namespace glint::gnn {
 
 SparseMatrix NormalizedAdjacency(
@@ -38,6 +40,7 @@ SparseMatrix NormalizedAdjacency(
 }
 
 GnnGraph ToGnnGraph(const graph::InteractionGraph& g) {
+  GLINT_OBS_TIMER(timer, "glint.gnn.tensorize_ms");
   GnnGraph out;
   out.num_nodes = g.num_nodes();
   out.label = g.vulnerable() ? 1 : 0;
@@ -92,10 +95,12 @@ const GnnGraph* GnnGraphCache::Find(const Key& key) {
     if (slot->key == key) {
       slot->tick = ++tick_;
       ++hits_;
+      GLINT_OBS_COUNT("glint.gnn.tensor_cache.hits", 1);
       return &slot->graph;
     }
   }
   ++misses_;
+  GLINT_OBS_COUNT("glint.gnn.tensor_cache.misses", 1);
   return nullptr;
 }
 

@@ -1,5 +1,7 @@
 #include "gnn/models.h"
 
+#include "obs/obs.h"
+
 namespace glint::gnn {
 
 Tensor* HomogeneousFeatures(Tape* t, const GnnGraph& g) {
@@ -480,6 +482,7 @@ ItgnnModel::ItgnnModel(Config config) : config_(config) {
 }
 
 ForwardResult ItgnnModel::Forward(Tape* t, const GnnGraph& g) {
+  GLINT_OBS_TIMER(timer, "glint.gnn.forward_ms");
   // Metapath-based node transformation (lines 1-13 of Algorithm 2).
   Tensor* h = converter_.Forward(t, g);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace glint::gnn {
@@ -236,6 +237,7 @@ ml::Metrics Trainer::Evaluate(GraphModel* model,
 }
 
 FloatVec Trainer::Embed(GraphModel* model, const GnnGraph& g) {
+  GLINT_OBS_TIMER(timer, "glint.gnn.embed_ms");
   Tape tape;
   tape.set_freeze_leaves(true);  // inference only: skip grad bookkeeping
   ForwardResult r = model->Forward(&tape, g);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "graph/threat_analyzer.h"
+#include "obs/obs.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -65,10 +66,12 @@ Node GraphBuilder::MakeNode(const rules::Rule& rule) const {
     std::lock_guard<std::mutex> lk(feature_mu_);
     auto it = feature_cache_.find(key);
     if (it != feature_cache_.end()) {
+      GLINT_OBS_COUNT("glint.graph.feature_cache.hits", 1);
       node.features = it->second;
       return node;
     }
   }
+  GLINT_OBS_COUNT("glint.graph.feature_cache.misses", 1);
   node.features = node.type == 1 ? sentence_model_->EncodeSentence(rule.text)
                                  : word_model_->EmbedSentence(rule.text);
   std::lock_guard<std::mutex> lk(feature_mu_);
@@ -132,6 +135,7 @@ GraphDataset GraphBuilder::BuildDataset(const std::vector<rules::Rule>& pool,
 
 InteractionGraph GraphBuilder::BuildFromRules(
     const std::vector<rules::Rule>& deployed) {
+  GLINT_OBS_SPAN(span, "glint.graph.build_ms");
   InteractionGraph g;
   for (const auto& r : deployed) g.AddNode(MakeNode(r));
   AddEdges(deployed, &g);
@@ -142,6 +146,7 @@ InteractionGraph GraphBuilder::BuildFromRules(
 InteractionGraph GraphBuilder::BuildRealTime(
     const std::vector<rules::Rule>& deployed, const EventLog& log,
     double now_hours, double window_hours) {
+  GLINT_OBS_SPAN(span, "glint.graph.build_ms");
   InteractionGraph g;
   for (const auto& r : deployed) g.AddNode(MakeNode(r));
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "graph/threat_analyzer.h"
+#include "obs/obs.h"
 #include "util/status.h"
 
 namespace glint::graph {
@@ -55,6 +56,8 @@ void LiveGraph::ReplayEvents(Entry* entry) const {
 }
 
 int LiveGraph::AddRule(const rules::Rule& rule) {
+  GLINT_OBS_TIMER(timer, "glint.live.add_rule_ms");
+  GLINT_OBS_COUNT("glint.live.rule_deltas", 1);
   Entry entry;
   entry.rule = rule;
   entry.node = make_node_(rule);
@@ -86,6 +89,7 @@ bool LiveGraph::RemoveRule(int rule_id) {
     }
   }
   if (idx == entries_.size()) return false;
+  GLINT_OBS_COUNT("glint.live.rule_deltas", 1);
   entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(idx));
   sem_.erase(sem_.begin() + static_cast<ptrdiff_t>(idx));
   share_.erase(share_.begin() + static_cast<ptrdiff_t>(idx));
@@ -97,6 +101,7 @@ bool LiveGraph::RemoveRule(int rule_id) {
 }
 
 void LiveGraph::OnEvent(const Event& e) {
+  GLINT_OBS_COUNT("glint.live.events", 1);
   auto it = retained_.end();
   while (it != retained_.begin() && (it - 1)->time_hours > e.time_hours) --it;
   retained_.insert(it, e);
@@ -224,6 +229,7 @@ std::vector<Edge> LiveGraph::RealTimeEdges(double now_hours) const {
 }
 
 InteractionGraph LiveGraph::Materialize(const std::vector<Edge>& edges) const {
+  GLINT_OBS_TIMER(timer, "glint.live.materialize_ms");
   InteractionGraph g;
   for (const auto& e : entries_) g.AddNode(e.node);
   for (const auto& e : edges) g.AddEdge(e.src, e.dst);

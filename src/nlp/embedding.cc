@@ -4,6 +4,7 @@
 
 #include "nlp/lexicon.h"
 #include "nlp/tokenizer.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace glint::nlp {
@@ -69,8 +70,13 @@ FloatVec EmbeddingModel::EmbedSentence(const std::string& sentence) const {
   {
     std::lock_guard<std::mutex> lk(sentence_mu_);
     auto it = embed_cache_.find(sentence);
-    if (it != embed_cache_.end()) return it->second;
+    if (it != embed_cache_.end()) {
+      GLINT_OBS_COUNT("glint.nlp.sentence_cache.hits", 1);
+      return it->second;
+    }
   }
+  GLINT_OBS_COUNT("glint.nlp.sentence_cache.misses", 1);
+  GLINT_OBS_TIMER(timer, "glint.nlp.embed_ms");
   FloatVec v = Average(Tokenizer::Words(sentence));
   std::lock_guard<std::mutex> lk(sentence_mu_);
   return embed_cache_.try_emplace(sentence, std::move(v)).first->second;
@@ -80,8 +86,13 @@ FloatVec EmbeddingModel::EncodeSentence(const std::string& sentence) const {
   {
     std::lock_guard<std::mutex> lk(sentence_mu_);
     auto it = encode_cache_.find(sentence);
-    if (it != encode_cache_.end()) return it->second;
+    if (it != encode_cache_.end()) {
+      GLINT_OBS_COUNT("glint.nlp.sentence_cache.hits", 1);
+      return it->second;
+    }
   }
+  GLINT_OBS_COUNT("glint.nlp.sentence_cache.misses", 1);
+  GLINT_OBS_TIMER(timer, "glint.nlp.embed_ms");
   const Lexicon& lex = Lexicon::Instance();
   auto tokens = Tokenizer::Words(sentence);
   FloatVec out(dim_, 0.f);

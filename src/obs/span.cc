@@ -1,0 +1,108 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace glint::obs {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+/// Per-thread bounded span buffer. Push is owner-thread-only but Collect /
+/// Clear run from other threads, so every access takes the ring's mutex —
+/// spans are stage-scale (>= microseconds), an uncontended lock is noise.
+class TraceRing {
+ public:
+  explicit TraceRing(uint32_t thread) : thread_(thread) {}
+
+  void Push(const char* stage, uint64_t start_ns, uint64_t dur_ns) {
+    std::lock_guard<std::mutex> lk(mu_);
+    TraceEvent e{stage, start_ns, dur_ns, thread_};
+    if (events_.size() < kTraceRingCapacity) {
+      events_.push_back(e);
+    } else {
+      events_[head_] = e;
+      head_ = (head_ + 1) % kTraceRingCapacity;
+    }
+  }
+
+  void AppendTo(std::vector<TraceEvent>* out) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Oldest-first: [head_, end) then [0, head_).
+    for (size_t i = head_; i < events_.size(); ++i) out->push_back(events_[i]);
+    for (size_t i = 0; i < head_; ++i) out->push_back(events_[i]);
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.clear();
+    head_ = 0;
+  }
+
+ private:
+  const uint32_t thread_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  size_t head_ = 0;
+};
+
+struct RingDirectory {
+  std::mutex mu;
+  /// Rings live for the process lifetime (a thread's spans remain
+  /// collectable after it exits); bounded by peak thread count.
+  std::vector<std::unique_ptr<TraceRing>> rings;
+};
+
+RingDirectory& Directory() {
+  static RingDirectory* dir = new RingDirectory();
+  return *dir;
+}
+
+TraceRing& LocalRing() {
+  thread_local TraceRing* ring = [] {
+    RingDirectory& dir = Directory();
+    std::lock_guard<std::mutex> lk(dir.mu);
+    dir.rings.push_back(
+        std::make_unique<TraceRing>(static_cast<uint32_t>(dir.rings.size())));
+    return dir.rings.back().get();
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+Span::~Span() {
+  if (stage_ == nullptr) return;
+  const uint64_t dur = NowNs() - start_ns_;
+  if (hist_ != nullptr) hist_->Observe(double(dur) * 1e-6);
+  LocalRing().Push(stage_, start_ns_, dur);
+}
+
+std::vector<TraceEvent> CollectTrace() {
+  std::vector<TraceEvent> out;
+  RingDirectory& dir = Directory();
+  std::lock_guard<std::mutex> lk(dir.mu);
+  for (const auto& ring : dir.rings) ring->AppendTo(&out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_ns != b.start_ns) {
+                       return a.start_ns < b.start_ns;
+                     }
+                     return a.thread < b.thread;
+                   });
+  return out;
+}
+
+void ClearTrace() {
+  RingDirectory& dir = Directory();
+  std::lock_guard<std::mutex> lk(dir.mu);
+  for (const auto& ring : dir.rings) ring->Clear();
+}
+
+}  // namespace glint::obs

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace glint::obs {
+
+/// One completed span in the trace ring. `stage` must be a string literal
+/// (spans never copy it).
+struct TraceEvent {
+  const char* stage = nullptr;
+  uint64_t start_ns = 0;  ///< steady-clock, process-relative
+  uint64_t dur_ns = 0;
+  uint32_t thread = 0;  ///< obs thread ordinal (not an OS tid)
+};
+
+/// Monotonic nanoseconds since an arbitrary process-local epoch.
+uint64_t NowNs();
+
+/// Capacity of each per-thread trace ring; older spans are overwritten, so
+/// tracing memory is bounded at (threads x kTraceRingCapacity) events.
+constexpr size_t kTraceRingCapacity = 1024;
+
+/// Merged view of every thread's trace ring, ordered by start time (ties
+/// broken by thread ordinal, so the merge is deterministic for a fixed set
+/// of recorded spans). Rings keep recording while this runs.
+std::vector<TraceEvent> CollectTrace();
+
+/// Drops all recorded spans (benches/tests isolating a measurement window).
+void ClearTrace();
+
+/// RAII wall-time recorder: measures the enclosing scope and feeds the
+/// histogram on destruction. With observability disabled the constructor is
+/// a single branch — no clock read, no record.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) {
+    if (Enabled() && h != nullptr) {
+      hist_ = h;
+      start_ns_ = NowNs();
+    }
+  }
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      hist_->Observe(double(NowNs() - start_ns_) * 1e-6);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+/// ScopedTimer that additionally appends a stage-tagged TraceEvent to the
+/// calling thread's bounded ring. Use for pipeline *stages* (ms-scale); use
+/// bare ScopedTimer (or counters) for per-element hot loops.
+class Span {
+ public:
+  /// `stage` must be a string literal; `h` may be null (trace-only span).
+  explicit Span(const char* stage, Histogram* h = nullptr) {
+    if (Enabled()) {
+      stage_ = stage;
+      hist_ = h;
+      start_ns_ = NowNs();
+    }
+  }
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* stage_ = nullptr;
+  Histogram* hist_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace glint::obs

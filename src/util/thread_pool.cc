@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <utility>
+
+#include "obs/obs.h"
 
 namespace glint {
 namespace {
@@ -37,6 +40,7 @@ void ThreadPool::SetGlobalThreads(int threads) {
 }
 
 ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  GLINT_OBS_GAUGE_SET("glint.threadpool.threads", threads_);
   workers_.reserve(static_cast<size_t>(threads_ - 1));
   for (int i = 0; i < threads_ - 1; ++i) {
     workers_.emplace_back([this]() { WorkerLoop(); });
@@ -68,6 +72,22 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  if (obs::Enabled()) {
+    // Queue-depth gauge (with peak) plus two latencies: time spent waiting
+    // in the queue and time spent running. The wrapper costs one extra
+    // allocation per task; tasks are ParallelFor chunk drains (a handful
+    // per call), not per-index work, so this is off the per-element path.
+    GLINT_OBS_COUNT("glint.threadpool.tasks", 1);
+    GLINT_OBS_GAUGE_ADD("glint.threadpool.queue_depth", 1);
+    const uint64_t enqueue_ns = obs::NowNs();
+    task = [enqueue_ns, inner = std::move(task)]() {
+      GLINT_OBS_GAUGE_ADD("glint.threadpool.queue_depth", -1);
+      GLINT_OBS_OBSERVE("glint.threadpool.task_wait_ms",
+                        double(obs::NowNs() - enqueue_ns) * 1e-6);
+      GLINT_OBS_TIMER(timer, "glint.threadpool.task_run_ms");
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     tasks_.push(std::move(task));

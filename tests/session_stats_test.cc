@@ -1,0 +1,196 @@
+// Ground-truth property test for the per-session cache counters surfaced
+// through DeploymentSession::Stats() / ServingEngine::AggregateStats(): a
+// scripted AddRule / OnEvent / Inspect sequence whose verdict-LRU and
+// GnnGraphCache hit counts are derivable by hand, plus the bounds-guard
+// behavior of ServingEngine (has_home / FindHome / TryOnEvent / home).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/glint.h"
+#include "core/serving.h"
+#include "core/session.h"
+
+namespace glint::core {
+namespace {
+
+// One small trained detector shared by every test here; quality is
+// irrelevant — the counters only depend on cache keys and LRU mechanics.
+class SessionStatsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Glint::Options opts;
+    opts.corpus.ifttt = 200;
+    opts.corpus.smartthings = 40;
+    opts.corpus.alexa = 60;
+    opts.corpus.google_assistant = 40;
+    opts.corpus.home_assistant = 40;
+    opts.num_training_graphs = 40;
+    opts.builder.max_nodes = 8;
+    opts.model.num_scales = 2;
+    opts.model.embed_dim = 32;
+    opts.train.epochs = 2;
+    opts.pairs.num_positive = 60;
+    opts.pairs.num_negative = 90;
+    glint_ = new Glint(opts);
+    glint_->TrainOffline();
+  }
+
+  static std::vector<rules::Rule> HomeRules(int n) {
+    std::vector<rules::Rule> out(
+        glint_->corpus().begin(),
+        glint_->corpus().begin() +
+            std::min<size_t>(static_cast<size_t>(n),
+                             glint_->corpus().size()));
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i].id = 9000 + static_cast<int>(i);
+    }
+    return out;
+  }
+
+  static graph::Event EventFor(const rules::Rule& r, double t) {
+    graph::Event e;
+    e.time_hours = t;
+    e.location = r.location;
+    e.device = r.trigger.device;
+    e.state = r.trigger.state;
+    return e;
+  }
+
+  static Glint* glint_;
+};
+
+Glint* SessionStatsTest::glint_ = nullptr;
+
+TEST_F(SessionStatsTest, FreshSessionCountsRulesOnly) {
+  auto rules = HomeRules(4);
+  DeploymentSession session(&glint_->detector());
+  for (const auto& r : rules) session.AddRule(r);
+  const auto s = session.Stats();
+  EXPECT_EQ(s.rules, 4u);
+  EXPECT_EQ(s.inspects, 0u);
+  EXPECT_EQ(s.events, 0u);
+  EXPECT_EQ(s.verdict_hits, 0u);
+  EXPECT_EQ(s.verdict_misses, 0u);
+  EXPECT_EQ(s.tensor_hits, 0u);
+  EXPECT_EQ(s.tensor_misses, 0u);
+}
+
+TEST_F(SessionStatsTest, ScriptedSequenceHitsExactCounts) {
+  // Capacity 2 on both caches. The script walks three graph structures:
+  //   A = rules {0..4}, B = {0..3}, C = {0..2}
+  // (removing the *last* rule, so re-adding it restores the exact node
+  // order and therefore the exact cache key).
+  auto rules = HomeRules(5);
+  DeploymentSession::Config cfg;
+  cfg.cache_capacity = 2;
+  DeploymentSession session(&glint_->detector(), cfg);
+  for (const auto& r : rules) session.AddRule(r);
+  const double now = 1.0;
+
+  // 1) A: verdict miss, tensor miss.        verdict LRU {A}, tensor {A}
+  const auto wa = session.Inspect(now);
+  // 2) B: verdict miss, tensor miss.        verdict {A,B}, tensor {A,B}
+  ASSERT_TRUE(session.RemoveRule(rules[4].id));
+  const auto wb = session.Inspect(now);
+  // 3) A again: verdict HIT (refreshes A in the verdict LRU only — the
+  //    tensor cache is never consulted on a verdict hit, so its recency
+  //    order still says A is oldest).       verdict {B,A}, tensor {A,B}
+  session.AddRule(rules[4]);
+  const auto wa2 = session.Inspect(now);
+  EXPECT_EQ(wa2.Render(), wa.Render());
+  // 4) C: verdict miss, tensor miss; both caches are full, so the verdict
+  //    LRU evicts B (oldest there) while the tensor cache evicts A.
+  //                                         verdict {A,C}, tensor {B,C}
+  ASSERT_TRUE(session.RemoveRule(rules[4].id));
+  ASSERT_TRUE(session.RemoveRule(rules[3].id));
+  const auto wc = session.Inspect(now);
+  // 5) B again: verdict miss (B was evicted in step 4) but tensor HIT —
+  //    the divergent recency orders are exactly what the two counters are
+  //    supposed to make visible.
+  session.AddRule(rules[3]);
+  const auto wb2 = session.Inspect(now);
+  EXPECT_EQ(wb2.Render(), wb.Render());  // hit path == recompute path
+
+  const auto s = session.Stats();
+  EXPECT_EQ(s.inspects, 5u);
+  EXPECT_EQ(s.verdict_hits, 1u);
+  EXPECT_EQ(s.verdict_misses, 4u);
+  EXPECT_EQ(s.tensor_hits, 1u);
+  EXPECT_EQ(s.tensor_misses, 3u);
+  // Every verdict miss does exactly one tensor lookup.
+  EXPECT_EQ(s.tensor_hits + s.tensor_misses, s.verdict_misses);
+  EXPECT_EQ(s.rules, 4u);  // ended at structure B
+  (void)wc;
+}
+
+TEST_F(SessionStatsTest, EventsAreCountedAndChangeTheKey) {
+  auto rules = HomeRules(4);
+  DeploymentSession session(&glint_->detector());
+  for (const auto& r : rules) session.AddRule(r);
+  (void)session.Inspect(1.0);
+  session.OnEvent(EventFor(rules[0], 1.1));
+  session.OnEvent(EventFor(rules[1], 1.2));
+  const auto s = session.Stats();
+  EXPECT_EQ(s.events, 2u);
+  // Counters stay internally consistent whatever the events did to edges.
+  const auto s2 = session.Stats();
+  (void)session.Inspect(1.3);
+  const auto s3 = session.Stats();
+  EXPECT_EQ(s3.inspects, s2.inspects + 1);
+  EXPECT_EQ(s3.verdict_hits + s3.verdict_misses, s3.inspects);
+}
+
+TEST_F(SessionStatsTest, AggregateStatsSumsHomes) {
+  auto rules = HomeRules(4);
+  ServingEngine engine(&glint_->detector());
+  engine.AddHome(rules);
+  engine.AddHome(rules);
+  engine.AddHome(rules);
+  engine.OnEvent(0, EventFor(rules[0], 1.0));
+  engine.OnEvent(2, EventFor(rules[1], 1.1));
+  (void)engine.InspectAll(1.5);
+  (void)engine.InspectAll(1.5);  // unchanged structures: all verdict hits
+
+  DeploymentSession::CacheStats manual;
+  for (int h = 0; h < 3; ++h) manual += engine.home(h).Stats();
+  const auto agg = engine.AggregateStats();
+  EXPECT_EQ(agg.inspects, manual.inspects);
+  EXPECT_EQ(agg.events, manual.events);
+  EXPECT_EQ(agg.rules, manual.rules);
+  EXPECT_EQ(agg.verdict_hits, manual.verdict_hits);
+  EXPECT_EQ(agg.tensor_hits, manual.tensor_hits);
+  EXPECT_EQ(agg.inspects, 6u);
+  EXPECT_EQ(agg.events, 2u);
+  EXPECT_EQ(agg.verdict_hits, 3u);  // the second InspectAll, per home
+}
+
+TEST_F(SessionStatsTest, BoundsGuards) {
+  auto rules = HomeRules(3);
+  ServingEngine engine(&glint_->detector());
+  const int h = engine.AddHome(rules);
+  EXPECT_TRUE(engine.has_home(h));
+  EXPECT_FALSE(engine.has_home(-1));
+  EXPECT_FALSE(engine.has_home(1));
+  EXPECT_NE(engine.FindHome(h), nullptr);
+  EXPECT_EQ(engine.FindHome(-1), nullptr);
+  EXPECT_EQ(engine.FindHome(7), nullptr);
+
+  const graph::Event e = EventFor(rules[0], 1.0);
+  EXPECT_TRUE(engine.TryOnEvent(h, e).ok());
+  const Status bad = engine.TryOnEvent(5, e);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.ToString().find("no home with index 5"), std::string::npos);
+  EXPECT_EQ(engine.home(h).Stats().events, 1u);  // bad route touched nothing
+}
+
+TEST_F(SessionStatsTest, CheckedAccessorAbortsOutOfRange) {
+  auto rules = HomeRules(3);
+  ServingEngine engine(&glint_->detector());
+  engine.AddHome(rules);
+  EXPECT_DEATH((void)engine.home(3), "");
+}
+
+}  // namespace
+}  // namespace glint::core

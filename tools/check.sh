@@ -18,10 +18,18 @@ GLINT_THREADS=2 ./build/bench/bench_throughput --smoke
 # through a DeploymentSession; exits non-zero if warm != cold).
 GLINT_THREADS=2 ./build/bench/bench_serving --smoke
 
-# Data-race check: build only the thread-pool targets under TSAN and run
-# the stress driver.
+# Observability gate: obs unit tests (bucket boundaries, quantiles vs an
+# exact reference, registry collision aborts, snapshot-merge determinism),
+# then the overhead bench — exits non-zero if telemetry costs >5% on the
+# warm Inspect path or perturbs the verdicts.
+./build/tests/obs_test
+GLINT_THREADS=2 ./build/bench/bench_obs_overhead --smoke
+
+# Data-race check: build the thread-pool and obs stress targets under TSAN
+# and run both drivers.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGLINT_TSAN=ON
-cmake --build build-tsan -j"${JOBS}" --target threadpool_stress
+cmake --build build-tsan -j"${JOBS}" --target threadpool_stress obs_stress
 ./build-tsan/tests/threadpool_stress
+./build-tsan/tests/obs_stress
 
 echo "check.sh: all stages passed"

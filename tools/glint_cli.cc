@@ -15,9 +15,15 @@
 //   inspect --model-dir DIR [--demo table1|table4|blueprints]
 //       Load trained models and inspect a rule deployment (demo rule sets).
 //   serve [--model-dir DIR] [--homes N] [--hours H] [--inspect-every H]
+//         [--stats] [--stats-every H]
 //       Serve many simulated homes from one shared detector: per-home
 //       DeploymentSessions ingest event streams and are inspected in
 //       parallel by the ServingEngine (warm incremental pipeline).
+//       --stats prints per-stage latency and cache-hit telemetry at the end
+//       (plus a machine-readable STATS_JSON line); --stats-every H also
+//       prints a periodic snapshot every H simulated hours.
+//   stats
+//       Document the glint::obs instrument taxonomy and STATS_JSON schema.
 //   simulate [--hours H] [--attack NAME] [--seed S]
 //       Run the smart-home testbed simulator and print its event log.
 //   analyze [--demo table1|table4|blueprints]
@@ -32,6 +38,7 @@
 #include "core/glint.h"
 #include "core/serving.h"
 #include "graph/dataset_store.h"
+#include "obs/obs.h"
 #include "graph/threat_analyzer.h"
 #include "testbed/attacks.h"
 #include "testbed/scenarios.h"
@@ -41,13 +48,20 @@ using namespace glint;  // NOLINT
 
 namespace {
 
-// Minimal flag parser: --key value pairs after the subcommand.
+// Minimal flag parser: --key value pairs after the subcommand. A --key
+// followed by another --flag (or by nothing) is a valueless boolean flag
+// and parses as "1" (e.g. `serve --stats`).
 std::map<std::string, std::string> ParseFlags(int argc, char** argv,
                                               int start) {
   std::map<std::string, std::string> flags;
-  for (int i = start; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) == 0) {
-      flags[argv[i] + 2] = argv[i + 1];
+  for (int i = start; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    const char* key = argv[i] + 2;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[i + 1];
+      ++i;
+    } else {
+      flags[key] = "1";
     }
   }
   return flags;
@@ -239,10 +253,76 @@ int CmdInspect(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Fleet summary + registry telemetry as one single-line JSON object:
+/// {"serving":{...per-home aggregate...},"counters":{...},"gauges":{...},
+///  "histograms":{...}} — see `glint stats` for the schema.
+std::string StatsJson(const core::ServingEngine& engine) {
+  const auto agg = engine.AggregateStats();
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"serving\":{\"homes\":%zu,\"rules\":%llu,\"inspects\":%llu,"
+      "\"events\":%llu,\"verdict_hits\":%llu,\"verdict_misses\":%llu,"
+      "\"tensor_hits\":%llu,\"tensor_misses\":%llu},",
+      engine.num_homes(), static_cast<unsigned long long>(agg.rules),
+      static_cast<unsigned long long>(agg.inspects),
+      static_cast<unsigned long long>(agg.events),
+      static_cast<unsigned long long>(agg.verdict_hits),
+      static_cast<unsigned long long>(agg.verdict_misses),
+      static_cast<unsigned long long>(agg.tensor_hits),
+      static_cast<unsigned long long>(agg.tensor_misses));
+  // Splice the registry object in after the serving section.
+  std::string registry = obs::Registry::Global().TakeSnapshot().RenderJson();
+  return std::string(buf) + registry.substr(1);
+}
+
+double HitRate(uint64_t hits, uint64_t misses) {
+  const uint64_t total = hits + misses;
+  return total == 0 ? 0.0 : 100.0 * double(hits) / double(total);
+}
+
+void PrintStatsReport(const core::Glint& detector,
+                      const core::ServingEngine& engine) {
+  std::printf("\n---- telemetry (glint::obs) ----\n");
+  std::printf("%s",
+              obs::Registry::Global().TakeSnapshot().RenderText().c_str());
+  const auto agg = engine.AggregateStats();
+  const auto& corr = detector.detector().correlation_cache();
+  std::printf("cache hit rates:\n");
+  std::printf("  %-44s %6.1f%%  (%llu/%llu)\n", "verdict (no-change inspect)",
+              HitRate(agg.verdict_hits, agg.verdict_misses),
+              static_cast<unsigned long long>(agg.verdict_hits),
+              static_cast<unsigned long long>(agg.verdict_hits +
+                                              agg.verdict_misses));
+  std::printf("  %-44s %6.1f%%  (%llu/%llu)\n", "tensorization (GnnGraph)",
+              HitRate(agg.tensor_hits, agg.tensor_misses),
+              static_cast<unsigned long long>(agg.tensor_hits),
+              static_cast<unsigned long long>(agg.tensor_hits +
+                                              agg.tensor_misses));
+  std::printf("  %-44s %6.1f%%  (%zu/%zu)\n", "correlation verdict memo",
+              HitRate(corr.hits(), corr.misses()), corr.hits(),
+              corr.hits() + corr.misses());
+  std::printf("per-home:\n");
+  for (int h = 0; h < static_cast<int>(engine.num_homes()); ++h) {
+    const auto s = engine.home(h).Stats();
+    std::printf(
+        "  home %-3d rules=%-4llu events=%-6llu inspects=%-5llu "
+        "verdict_hits=%-5llu tensor_hits=%llu\n",
+        h, static_cast<unsigned long long>(s.rules),
+        static_cast<unsigned long long>(s.events),
+        static_cast<unsigned long long>(s.inspects),
+        static_cast<unsigned long long>(s.verdict_hits),
+        static_cast<unsigned long long>(s.tensor_hits));
+  }
+}
+
 int CmdServe(const std::map<std::string, std::string>& flags) {
   const int homes = std::atoi(FlagOr(flags, "homes", "4").c_str());
   const double hours = std::atof(FlagOr(flags, "hours", "6").c_str());
   const double every = std::atof(FlagOr(flags, "inspect-every", "1").c_str());
+  const double stats_every =
+      std::atof(FlagOr(flags, "stats-every", "0").c_str());
+  const bool stats = flags.count("stats") > 0 || stats_every > 0;
   const uint64_t seed =
       std::strtoull(FlagOr(flags, "seed", "2026").c_str(), nullptr, 10);
   const std::string dir = FlagOr(flags, "model-dir", "");
@@ -279,6 +359,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
               engine.total_rules());
 
   const double start = sims.empty() ? 18.0 : sims[0].now();
+  double next_stats = stats_every > 0 ? start + stats_every : 0;
   for (double t = start + every; t <= start + hours + 1e-9; t += every) {
     for (int h = 0; h < homes; ++h) {
       auto& sim = sims[static_cast<size_t>(h)];
@@ -286,7 +367,13 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
       const auto& events = sim.log().events();
       for (size_t& i = cursor[static_cast<size_t>(h)]; i < events.size();
            ++i) {
-        engine.OnEvent(h, events[i]);
+        // Home indices here come from the loop, but route through the
+        // validating path anyway: serve is the untrusted-frontend shape.
+        Status st = engine.TryOnEvent(h, events[i]);
+        if (!st.ok()) {
+          std::fprintf(stderr, "%s\n", st.ToString().c_str());
+          return 1;
+        }
       }
     }
     auto warnings = engine.InspectAll(t);
@@ -303,19 +390,62 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
         std::printf("-- home %d --\n%s\n", h, w.Render().c_str());
       }
     }
+    if (stats_every > 0 && t + 1e-9 >= next_stats) {
+      std::printf("---- stats snapshot @ t=%.1fh ----\n%s",
+                  t, obs::Registry::Global().TakeSnapshot().RenderText()
+                         .c_str());
+      next_stats += stats_every;
+    }
   }
-  size_t verdict_hits = 0, tensor_hits = 0, inspects = 0;
-  for (int h = 0; h < homes; ++h) {
-    const auto& s = engine.home(h);
-    verdict_hits += s.verdict_hits();
-    tensor_hits += s.tensor_hits();
-    inspects += s.inspect_count();
+  if (stats) {
+    PrintStatsReport(detector, engine);
+    std::printf("STATS_JSON %s\n", StatsJson(engine).c_str());
+  } else {
+    const auto agg = engine.AggregateStats();
+    std::printf(
+        "cache stats: %llu inspections, %llu verdict hits, %llu tensor "
+        "hits, %zu correlation memo hits\n",
+        static_cast<unsigned long long>(agg.inspects),
+        static_cast<unsigned long long>(agg.verdict_hits),
+        static_cast<unsigned long long>(agg.tensor_hits),
+        detector.detector().correlation_cache().hits());
   }
+  return 0;
+}
+
+int CmdStats() {
   std::printf(
-      "cache stats: %zu inspections, %zu verdict hits, %zu tensor hits, "
-      "%zu correlation memo hits\n",
-      inspects, verdict_hits, tensor_hits,
-      detector.detector().correlation_cache().hits());
+      "glint::obs — process-wide telemetry registry\n\n"
+      "Instruments are named glint.<subsystem>.<name>; suffixes:\n"
+      "  *_ms       histogram of wall-time per stage, in milliseconds\n"
+      "  *.hits / *.misses   cache counters (hit rate = hits/(hits+misses))\n"
+      "  (others)   plain event counters or gauges (value + peak)\n\n"
+      "subsystems:\n"
+      "  glint.nlp.*         sentence embedding + encode cache\n"
+      "  glint.correlation.* rule-pair correlation model + verdict memo\n"
+      "  glint.graph.*       interaction-graph build + node-feature memo\n"
+      "  glint.live.*        LiveGraph incremental deltas / materialize\n"
+      "  glint.gnn.*         tensorization, ITGNN forward, GnnGraph cache\n"
+      "  glint.explain.*     gradient screen + occlusion refinement\n"
+      "  glint.drift.*       behavioral drift detector\n"
+      "  glint.detector.*    end-to-end Analyze verdicts\n"
+      "  glint.session.*     per-home Inspect + verdict LRU\n"
+      "  glint.serving.*     fleet event routing + InspectAll\n"
+      "  glint.threadpool.*  queue depth, task wait/run latency\n\n"
+      "`glint serve --stats` prints a human-readable report, then one\n"
+      "machine-readable line:\n\n"
+      "  STATS_JSON {\"serving\":{\"homes\":N,\"rules\":N,\"inspects\":N,\n"
+      "    \"events\":N,\"verdict_hits\":N,\"verdict_misses\":N,\n"
+      "    \"tensor_hits\":N,\"tensor_misses\":N},\n"
+      "   \"counters\":{\"name\":N,...},\n"
+      "   \"gauges\":{\"name\":{\"value\":N,\"peak\":N},...},\n"
+      "   \"histograms\":{\"name\":{\"count\":N,\"sum_ms\":X,\"mean\":X,\n"
+      "     \"p50\":X,\"p95\":X,\"p99\":X},...}}\n\n"
+      "Collection is on by default; set GLINT_OBS=off to reduce every\n"
+      "instrument to a relaxed-load branch, or configure with\n"
+      "-DGLINT_OBS_DISABLE=ON to compile the layer out entirely.\n"
+      "Overhead budget: <= 5%% on the warm serving path (enforced by\n"
+      "bench_obs_overhead in tools/check.sh).\n");
   return 0;
 }
 
@@ -382,7 +512,9 @@ void Usage() {
       "  train           --model-dir DIR [--graphs N] [--epochs E]\n"
       "  inspect         [--model-dir DIR] [--demo table1|table4|blueprints]\n"
       "  serve           [--model-dir DIR] [--homes N] [--hours H]\n"
-      "                  [--inspect-every H] [--seed S]\n"
+      "                  [--inspect-every H] [--seed S] [--stats]\n"
+      "                  [--stats-every H]\n"
+      "  stats\n"
       "  simulate        [--hours H] [--attack NAME] [--seed S]\n"
       "  analyze         [--demo table1|table4|blueprints]\n");
 }
@@ -408,6 +540,7 @@ int main(int argc, char** argv) {
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "inspect") return CmdInspect(flags);
   if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "stats") return CmdStats();
   if (cmd == "simulate") return CmdSimulate(flags);
   if (cmd == "analyze") return CmdAnalyze(flags);
   Usage();
