@@ -79,10 +79,15 @@ ThreatWarning TrainedDetector::Analyze(const gnn::GnnGraph& gg,
   }
   if (warning.drifting) GLINT_OBS_COUNT("glint.drift.flagged", 1);
 
-  gnn::Tape tape;
-  tape.set_freeze_leaves(true);  // inference only: skip grad bookkeeping
-  auto r = classifier_->Forward(&tape, gg);
-  auto p = gnn::SoftmaxRow(r.logits);
+  // Pooled tape: a warm serving session replays classification into the
+  // same arena every Inspect, so the steady state allocates nothing. The
+  // explainer below acquires its own lease; stack discipline keeps the
+  // nesting safe.
+  gnn::ScopedTape tape;
+  tape->set_freeze_leaves(true);  // inference only: skip grad bookkeeping
+  auto r = classifier_->Forward(tape.get(), gg);
+  double p[2];
+  gnn::SoftmaxRowInto(r.logits, p);
   warning.confidence = p[1];
   warning.threat = p[1] > 0.5;
 

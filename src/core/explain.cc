@@ -17,9 +17,9 @@ constexpr int kExactOcclusionMax = 24;
 constexpr int kRefineCandidates = 4;
 
 double ThreatMargin(gnn::GraphModel* model, const gnn::GnnGraph& g) {
-  gnn::Tape tape;
-  tape.set_freeze_leaves(true);  // inference only: skip grad bookkeeping
-  auto r = model->Forward(&tape, g);
+  gnn::ScopedTape tape;  // pooled tape: occlusion scans reuse one arena
+  tape->set_freeze_leaves(true);  // inference only: skip grad bookkeeping
+  auto r = model->Forward(tape.get(), g);
   return double(r.logits->value.At(0, 1)) - r.logits->value.At(0, 0);
 }
 
@@ -69,7 +69,8 @@ std::vector<double> ExplainNodes(gnn::GraphModel* model,
   double base = 0.0;
   {
     GLINT_OBS_SPAN(span, "glint.explain.screen_ms");
-    gnn::Tape tape;
+    gnn::ScopedTape lease;  // pooled: nested safely inside detector tapes
+    gnn::Tape& tape = *lease;
     tape.set_freeze_leaves(true);  // saliency needs input grads only
     tape.set_track_constants(true);
     auto r = model->Forward(&tape, g);

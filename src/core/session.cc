@@ -60,8 +60,9 @@ ThreatWarning DeploymentSession::Render(
     const std::vector<graph::Edge>& edges) {
   GLINT_OBS_SPAN(span, "glint.session.inspect_ms");
   ++inspects_;
-  gnn::GnnGraphCache::Key key;
-  key.node_ids = live_.IdentityHashes();
+  gnn::GnnGraphCache::Key& key = key_scratch_;
+  live_.IdentityHashesInto(&key.node_ids);
+  key.edges.clear();
   key.edges.reserve(edges.size());
   for (const auto& e : edges) key.edges.emplace_back(e.src, e.dst);
 
@@ -89,7 +90,8 @@ ThreatWarning DeploymentSession::Render(
     }
     verdicts_.erase(verdicts_.begin() + static_cast<ptrdiff_t>(oldest));
   }
-  verdicts_.push_back(Verdict{std::move(key), warning, ++tick_});
+  // Copy (not move) the key so the scratch keeps its storage for reuse.
+  verdicts_.push_back(Verdict{key, warning, ++tick_});
   return warning;
 }
 

@@ -111,6 +111,9 @@ class DeploymentSession {
   Config config_;
   graph::LiveGraph live_;
   gnn::GnnGraphCache tensor_cache_;
+  /// Cache-key scratch reused across Render calls: a warm no-change Inspect
+  /// rebuilds the key into retained storage instead of allocating one.
+  gnn::GnnGraphCache::Key key_scratch_;
   std::vector<Verdict> verdicts_;
   uint64_t tick_ = 0;
   size_t inspects_ = 0;

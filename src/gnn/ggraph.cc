@@ -9,17 +9,25 @@ namespace glint::gnn {
 
 SparseMatrix NormalizedAdjacency(
     int n, const std::vector<std::pair<int, int>>& edges) {
-  // Build symmetrized A + I, then D^-1/2 (A+I) D^-1/2.
-  std::vector<std::vector<char>> present(
-      static_cast<size_t>(n), std::vector<char>(static_cast<size_t>(n), 0));
-  for (int i = 0; i < n; ++i) present[static_cast<size_t>(i)][static_cast<size_t>(i)] = 1;
+  // Build symmetrized A + I, then D^-1/2 (A+I) D^-1/2. The presence bitmap
+  // and degree scratch are flat thread-local buffers re-used across calls
+  // (this runs per VIPool coarsening inside every forward), so the
+  // steady-state cost is the fill, not allocation.
+  thread_local std::vector<char> present;
+  thread_local std::vector<double> degree;
+  present.assign(static_cast<size_t>(n) * static_cast<size_t>(n), 0);
+  degree.assign(static_cast<size_t>(n), 0.0);
+  auto at = [n](std::vector<char>& m, int i, int j) -> char& {
+    return m[static_cast<size_t>(i) * static_cast<size_t>(n) +
+             static_cast<size_t>(j)];
+  };
+  for (int i = 0; i < n; ++i) at(present, i, i) = 1;
   for (const auto& [s, d] : edges) {
-    present[static_cast<size_t>(s)][static_cast<size_t>(d)] = 1;
-    present[static_cast<size_t>(d)][static_cast<size_t>(s)] = 1;
+    at(present, s, d) = 1;
+    at(present, d, s) = 1;
   }
-  std::vector<double> degree(static_cast<size_t>(n), 0.0);
   for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) degree[static_cast<size_t>(i)] += present[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    for (int j = 0; j < n; ++j) degree[static_cast<size_t>(i)] += at(present, i, j);
   }
   SparseMatrix adj;
   adj.rows = n;
@@ -27,7 +35,7 @@ SparseMatrix NormalizedAdjacency(
   adj.Reserve(static_cast<size_t>(n) + 2 * edges.size());
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
-      if (present[static_cast<size_t>(i)][static_cast<size_t>(j)]) {
+      if (at(present, i, j)) {
         const float v = static_cast<float>(
             1.0 / std::sqrt(degree[static_cast<size_t>(i)] *
                             degree[static_cast<size_t>(j)]));
@@ -37,6 +45,54 @@ SparseMatrix NormalizedAdjacency(
   }
   adj.BuildCsrCache();
   return adj;
+}
+
+std::shared_ptr<const GnnGraph::TypeMeta> GnnGraph::TypeMetaView() const {
+  auto cached = type_meta_.load(std::memory_order_acquire);
+  if (cached) return cached;
+
+  auto meta = std::make_shared<TypeMeta>();
+  // Scatter permutation: node i reads row perm[i] of the stacked type
+  // blocks (type 0 block first). Matches the block stacking order used by
+  // MetapathConverter::Forward and HgslModel::Forward.
+  meta->perm.assign(static_cast<size_t>(num_nodes), 0);
+  int offset = 0;
+  for (int type = 0; type < kNumNodeTypes; ++type) {
+    const auto& rows = type_rows[type];
+    for (size_t k = 0; k < rows.size(); ++k) {
+      meta->perm[static_cast<size_t>(rows[k])] = offset + static_cast<int>(k);
+    }
+    offset += static_cast<int>(rows.size());
+  }
+  // Type-restricted mean-neighbour operators (self fallback when a node
+  // has no neighbour of the type).
+  for (int type = 0; type < kNumNodeTypes; ++type) {
+    SparseMatrix& mean_t = meta->type_mean[type];
+    mean_t.rows = num_nodes;
+    mean_t.cols = num_nodes;
+    for (int v = 0; v < num_nodes; ++v) {
+      int count = 0;
+      for (int u : neighbors[static_cast<size_t>(v)]) {
+        if (node_types[static_cast<size_t>(u)] == type) ++count;
+      }
+      if (count == 0) {
+        mean_t.entries.push_back({v, v, 1.f});
+      } else {
+        const float w = 1.0f / static_cast<float>(count);
+        for (int u : neighbors[static_cast<size_t>(v)]) {
+          if (node_types[static_cast<size_t>(u)] == type) {
+            mean_t.entries.push_back({v, u, w});
+          }
+        }
+      }
+    }
+    mean_t.BuildCsrCache();
+  }
+
+  std::shared_ptr<const TypeMeta> expected;
+  std::shared_ptr<const TypeMeta> built = std::move(meta);
+  if (type_meta_.compare_exchange_strong(expected, built)) return built;
+  return expected;
 }
 
 GnnGraph ToGnnGraph(const graph::InteractionGraph& g) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -44,6 +45,91 @@ struct GnnGraph {
   bool IsHeterogeneous() const {
     return !type_rows[1].empty() && !type_rows[0].empty();
   }
+
+  /// Derived per-graph operators shared by the heterogeneous models: the
+  /// type-block → node-order scatter permutation and the type-restricted
+  /// mean-neighbour sparse operators. They depend only on the graph
+  /// structure (node_types / type_rows / neighbors), never on feature
+  /// values, so they are built once on first use and shared by copies —
+  /// repeated forwards over the same graph stop paying the rebuild.
+  struct TypeMeta {
+    std::vector<int> perm;
+    SparseMatrix type_mean[kNumNodeTypes];
+  };
+
+  /// Returns the derived operators, building and caching them on first use.
+  /// Safe to call concurrently on a fully-constructed graph: the first
+  /// build wins (same discipline as SparseMatrix::CsrView).
+  std::shared_ptr<const TypeMeta> TypeMetaView() const;
+
+  GnnGraph() = default;
+  GnnGraph(const GnnGraph& o)
+      : num_nodes(o.num_nodes),
+        label(o.label),
+        node_types(o.node_types),
+        adj_norm(o.adj_norm),
+        adj_raw(o.adj_raw),
+        edges(o.edges),
+        neighbors(o.neighbors),
+        type_meta_(o.type_meta_.load()) {
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+      typed_features[t] = o.typed_features[t];
+      type_rows[t] = o.type_rows[t];
+    }
+  }
+  GnnGraph& operator=(const GnnGraph& o) {
+    if (this == &o) return *this;
+    num_nodes = o.num_nodes;
+    label = o.label;
+    node_types = o.node_types;
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+      typed_features[t] = o.typed_features[t];
+      type_rows[t] = o.type_rows[t];
+    }
+    adj_norm = o.adj_norm;
+    adj_raw = o.adj_raw;
+    edges = o.edges;
+    neighbors = o.neighbors;
+    type_meta_.store(o.type_meta_.load());
+    return *this;
+  }
+  GnnGraph(GnnGraph&& o) noexcept
+      : num_nodes(o.num_nodes),
+        label(o.label),
+        node_types(std::move(o.node_types)),
+        adj_norm(std::move(o.adj_norm)),
+        adj_raw(std::move(o.adj_raw)),
+        edges(std::move(o.edges)),
+        neighbors(std::move(o.neighbors)),
+        type_meta_(o.type_meta_.load()) {
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+      typed_features[t] = std::move(o.typed_features[t]);
+      type_rows[t] = std::move(o.type_rows[t]);
+    }
+    o.num_nodes = 0;
+    o.type_meta_.store(std::shared_ptr<const TypeMeta>());
+  }
+  GnnGraph& operator=(GnnGraph&& o) noexcept {
+    if (this == &o) return *this;
+    num_nodes = o.num_nodes;
+    label = o.label;
+    node_types = std::move(o.node_types);
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+      typed_features[t] = std::move(o.typed_features[t]);
+      type_rows[t] = std::move(o.type_rows[t]);
+    }
+    adj_norm = std::move(o.adj_norm);
+    adj_raw = std::move(o.adj_raw);
+    edges = std::move(o.edges);
+    neighbors = std::move(o.neighbors);
+    type_meta_.store(o.type_meta_.load());
+    o.num_nodes = 0;
+    o.type_meta_.store(std::shared_ptr<const TypeMeta>());
+    return *this;
+  }
+
+ private:
+  mutable std::atomic<std::shared_ptr<const TypeMeta>> type_meta_;
 };
 
 /// Converts an interaction graph (features already attached to nodes) into

@@ -14,22 +14,19 @@ MetapathConverter::MetapathConverter(Config config, Rng* rng)
 }
 
 Tensor* MetapathConverter::Forward(Tape* t, const GnnGraph& g) {
+  // Scatter permutation and type-mean operators are graph-derived and
+  // cached on the graph (built once, shared by every forward).
+  const auto meta = g.TypeMetaView();
+
   // 1. Project each type block, then scatter back to original node order.
   Tensor* blocks = nullptr;
-  std::vector<int> perm(static_cast<size_t>(g.num_nodes), 0);
-  int offset = 0;
   for (int type = 0; type < kNumNodeTypes; ++type) {
-    const auto& rows = g.type_rows[type];
-    if (rows.empty()) continue;
+    if (g.type_rows[type].empty()) continue;
     Tensor* projected =
         proj_[type].Forward(t, t->Constant(g.typed_features[type]));
     blocks = blocks == nullptr ? projected : ConcatRows(t, blocks, projected);
-    for (size_t k = 0; k < rows.size(); ++k) {
-      perm[static_cast<size_t>(rows[k])] = offset + static_cast<int>(k);
-    }
-    offset += static_cast<int>(rows.size());
   }
-  Tensor* h = GatherRows(t, blocks, perm);  // n x hidden, node order
+  Tensor* h = GatherRows(t, blocks, meta->perm);  // n x hidden, node order
 
   if (!config_.use_intra && !config_.use_inter) {
     // Full ablation: plain projected features.
@@ -42,27 +39,7 @@ Tensor* MetapathConverter::Forward(Tape* t, const GnnGraph& g) {
   paths.push_back(Relu(t, self_.Forward(t, h)));
   if (config_.use_intra) {
     for (int type = 0; type < kNumNodeTypes; ++type) {
-      SparseMatrix mean_t;
-      mean_t.rows = g.num_nodes;
-      mean_t.cols = g.num_nodes;
-      for (int v = 0; v < g.num_nodes; ++v) {
-        int count = 0;
-        for (int u : g.neighbors[static_cast<size_t>(v)]) {
-          if (g.node_types[static_cast<size_t>(u)] == type) ++count;
-        }
-        if (count == 0) {
-          mean_t.entries.push_back({v, v, 1.f});  // fallback: self
-        } else {
-          const float w = 1.0f / static_cast<float>(count);
-          for (int u : g.neighbors[static_cast<size_t>(v)]) {
-            if (g.node_types[static_cast<size_t>(u)] == type) {
-              mean_t.entries.push_back({v, u, w});
-            }
-          }
-        }
-      }
-      mean_t.BuildCsrCache();
-      Tensor* agg = SpMM(t, mean_t, h);
+      Tensor* agg = SpMM(t, meta->type_mean[type], h);
       // Concat self, neighbour mean, and (optionally) their Hadamard
       // product — the multiplicative term lets a linear detector express
       // "my rule and a neighbour touch the same device with opposing

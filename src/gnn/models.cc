@@ -150,19 +150,8 @@ Tensor* InfoGraphModel::AuxLoss(Tape* t, const GnnGraph& g,
   for (int split = 0; split < 2; ++split) {
     Tensor* h = split == 0 ? nodes : corrupt_nodes;
     const int label = split == 0 ? 1 : 0;
-    // scores = h * (zw)^T computed as row-wise dot: (n x d) * (d x 1)
-    // transpose via MatMul with reshaped zw — build a d x 1 view.
-    Tensor* zt = t->New(zw->cols(), 1, zw->requires_grad);
-    for (int j = 0; j < zw->cols(); ++j) zt->value.At(j, 0) = zw->value.At(0, j);
-    Tensor* zw_cap = zw;
-    if (zt->requires_grad) {
-      zt->backward = [zw_cap, zt]() {
-        for (int j = 0; j < zw_cap->cols(); ++j) {
-          zw_cap->grad.At(0, j) += zt->grad.At(j, 0);
-        }
-      };
-      zt->parents = {zw};
-    }
+    // scores = h * (zw)^T computed as row-wise dot: (n x d) * (d x 1).
+    Tensor* zt = Transpose(t, zw);
     Tensor* scores = MatMul(t, h, zt);  // n x 1
     for (int i = 0; i < scores->rows(); ++i) {
       Tensor* s = GatherRows(t, scores, {i});
@@ -198,19 +187,22 @@ GxnModel::GxnModel(int in_dim, int hidden, int num_scales,
 
 ForwardResult GxnModel::Forward(Tape* t, const GnnGraph& g) {
   Tensor* h = Relu(t, input_.Forward(t, HomogeneousFeatures(t, g)));
-  SparseMatrix adj_norm = g.adj_norm;
-  SparseMatrix adj_raw = g.adj_raw;
+  // Walk the adjacency chain by pointer: scale 0 reads the graph's own
+  // matrices, later scales read the pooled result (no copies either way).
+  const SparseMatrix* adj_norm = &g.adj_norm;
+  const SparseMatrix* adj_raw = &g.adj_raw;
+  VIPool::Result pooled;
   ForwardResult r;
   Tensor* readouts = nullptr;
   for (size_t s = 0; s < convs_.size(); ++s) {
-    h = convs_[s].Forward(t, adj_norm, h);
+    h = convs_[s].Forward(t, *adj_norm, h);
     Tensor* ro = ConcatCols(t, MeanRows(t, h), MaxRows(t, h));
     readouts = readouts == nullptr ? ro : ConcatCols(t, readouts, ro);
     if (s < pools_.size()) {
-      auto pooled = pools_[s].Forward(t, adj_norm, adj_raw, h);
+      pooled = pools_[s].Forward(t, *adj_norm, *adj_raw, h);
       h = pooled.features;
-      adj_norm = std::move(pooled.adj_norm);
-      adj_raw = std::move(pooled.adj_raw);
+      adj_norm = &pooled.adj_norm;
+      adj_raw = &pooled.adj_raw;
       r.pool_logits.push_back(pooled.graph_logit);
     }
   }
@@ -310,19 +302,20 @@ MagxnModel::MagxnModel(int hidden, int num_scales, double pooling_ratio,
 
 ForwardResult MagxnModel::Forward(Tape* t, const GnnGraph& g) {
   Tensor* h = converter_.Forward(t, g);
-  SparseMatrix adj_norm = g.adj_norm;
-  SparseMatrix adj_raw = g.adj_raw;
+  const SparseMatrix* adj_norm = &g.adj_norm;
+  const SparseMatrix* adj_raw = &g.adj_raw;
+  VIPool::Result pooled;
   ForwardResult r;
   Tensor* readouts = nullptr;
   for (size_t s = 0; s < convs_.size(); ++s) {
-    h = convs_[s].Forward(t, adj_norm, h);
+    h = convs_[s].Forward(t, *adj_norm, h);
     Tensor* ro = ConcatCols(t, MeanRows(t, h), MaxRows(t, h));
     readouts = readouts == nullptr ? ro : ConcatCols(t, readouts, ro);
     if (s < pools_.size()) {
-      auto pooled = pools_[s].Forward(t, adj_norm, adj_raw, h);
+      pooled = pools_[s].Forward(t, *adj_norm, *adj_raw, h);
       h = pooled.features;
-      adj_norm = std::move(pooled.adj_norm);
-      adj_raw = std::move(pooled.adj_raw);
+      adj_norm = &pooled.adj_norm;
+      adj_raw = &pooled.adj_raw;
       r.pool_logits.push_back(pooled.graph_logit);
     }
   }
@@ -377,46 +370,26 @@ HgslModel::HgslModel(int hidden, uint64_t seed) : hidden_(hidden) {
 }
 
 ForwardResult HgslModel::Forward(Tape* t, const GnnGraph& g) {
-  // Per-type projection + scatter to node order.
+  // Per-type projection + scatter to node order (cached permutation).
+  const auto meta = g.TypeMetaView();
   Tensor* blocks = nullptr;
-  std::vector<int> perm(static_cast<size_t>(g.num_nodes), 0);
-  int offset = 0;
   for (int type = 0; type < kNumNodeTypes; ++type) {
-    const auto& rows = g.type_rows[type];
-    if (rows.empty()) continue;
+    if (g.type_rows[type].empty()) continue;
     Tensor* projected =
         proj_[type].Forward(t, t->Constant(g.typed_features[type]));
     blocks = blocks == nullptr ? projected : ConcatRows(t, blocks, projected);
-    for (size_t k = 0; k < rows.size(); ++k) {
-      perm[static_cast<size_t>(rows[k])] = offset + static_cast<int>(k);
-    }
-    offset += static_cast<int>(rows.size());
   }
-  Tensor* h = GatherRows(t, blocks, perm);
+  Tensor* h = GatherRows(t, blocks, meta->perm);
 
   // Structure learning: S = sigmoid(H W H^T); mix with the observed
-  // adjacency (densified), then two graph convolutions over the mixture.
+  // adjacency (densified once per graph), then two graph convolutions over
+  // the mixture.
   Tensor* hw = MatMul(t, h, t->Leaf(&sim_w_));  // n x d
-  // H^T as a constant-free transpose via custom node.
-  Tensor* ht = t->New(h->cols(), h->rows(), h->requires_grad);
-  for (int i = 0; i < h->rows(); ++i) {
-    for (int j = 0; j < h->cols(); ++j) ht->value.At(j, i) = h->value.At(i, j);
-  }
-  if (ht->requires_grad) {
-    Tensor* hcap = h;
-    ht->backward = [hcap, ht]() {
-      for (int i = 0; i < hcap->rows(); ++i) {
-        for (int j = 0; j < hcap->cols(); ++j) {
-          hcap->grad.At(i, j) += ht->grad.At(j, i);
-        }
-      }
-    };
-  }
+  Tensor* ht = Transpose(t, h);
   Tensor* sim = Sigmoid(t, MatMul(t, hw, ht));  // n x n
 
-  Matrix dense_adj(g.num_nodes, g.num_nodes);
-  for (const auto& e : g.adj_norm.entries) dense_adj.At(e.r, e.c) = e.v;
-  Tensor* mixed = Add(t, Scale(t, sim, 0.3f), t->Constant(dense_adj));
+  Tensor* mixed =
+      Add(t, Scale(t, sim, 0.3f), t->Constant(*g.adj_norm.DenseView()));
 
   h = Relu(t, MatMul(t, mixed, conv1_.Forward(t, h)));
   h = Relu(t, MatMul(t, mixed, conv2_.Forward(t, h)));
@@ -487,19 +460,20 @@ ForwardResult ItgnnModel::Forward(Tape* t, const GnnGraph& g) {
   Tensor* h = converter_.Forward(t, g);
 
   // Multi-scale graph generation + TAG propagation (lines 15-21).
-  SparseMatrix adj_norm = g.adj_norm;
-  SparseMatrix adj_raw = g.adj_raw;
+  const SparseMatrix* adj_norm = &g.adj_norm;
+  const SparseMatrix* adj_raw = &g.adj_raw;
+  VIPool::Result pooled;
   ForwardResult r;
   Tensor* readouts = nullptr;
   for (size_t s = 0; s < scale_convs_.size(); ++s) {
-    for (auto& conv : scale_convs_[s]) h = conv.Forward(t, adj_norm, h);
+    for (auto& conv : scale_convs_[s]) h = conv.Forward(t, *adj_norm, h);
     Tensor* ro = ConcatCols(t, MeanRows(t, h), MaxRows(t, h));
     readouts = readouts == nullptr ? ro : ConcatCols(t, readouts, ro);
     if (s < pools_.size()) {
-      auto pooled = pools_[s].Forward(t, adj_norm, adj_raw, h);
+      pooled = pools_[s].Forward(t, *adj_norm, *adj_raw, h);
       h = pooled.features;
-      adj_norm = std::move(pooled.adj_norm);
-      adj_raw = std::move(pooled.adj_raw);
+      adj_norm = &pooled.adj_norm;
+      adj_raw = &pooled.adj_raw;
       r.pool_logits.push_back(pooled.graph_logit);
     }
   }

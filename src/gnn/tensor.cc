@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace glint::gnn {
@@ -46,67 +47,246 @@ std::shared_ptr<const SparseMatrix::Csr> SparseMatrix::CsrView() const {
   return expected;
 }
 
-Tensor* Tape::Constant(Matrix value) {
-  auto t = std::make_unique<Tensor>();
-  t->value = std::move(value);
+std::shared_ptr<const Matrix> SparseMatrix::DenseView() const {
+  auto cached = dense_.load(std::memory_order_acquire);
+  if (cached) return cached;
+
+  auto dense = std::make_shared<Matrix>(rows, cols);
+  for (const auto& e : entries) dense->At(e.r, e.c) = e.v;
+
+  std::shared_ptr<const Matrix> expected;
+  std::shared_ptr<const Matrix> built = std::move(dense);
+  if (dense_.compare_exchange_strong(expected, built)) return built;
+  return expected;
+}
+
+// ---- TapeArena -----------------------------------------------------------
+
+namespace {
+// Sum of bytes_retained over all live arenas; exported through obs on
+// Tape::Reset so a snapshot shows the process-wide tape footprint.
+std::atomic<size_t> g_arena_bytes_total{0};
+}  // namespace
+
+size_t TapeArena::TotalBytesRetained() {
+  return g_arena_bytes_total.load(std::memory_order_relaxed);
+}
+
+void TapeArena::CountGrowth(size_t old_cap_bytes, size_t new_cap_bytes) {
+  if (new_cap_bytes > old_cap_bytes) {
+    ++growth_allocs_;
+    bytes_retained_ += new_cap_bytes - old_cap_bytes;
+    g_arena_bytes_total.fetch_add(new_cap_bytes - old_cap_bytes,
+                                  std::memory_order_relaxed);
+  }
+}
+
+TapeArena::~TapeArena() {
+  g_arena_bytes_total.fetch_sub(bytes_retained_, std::memory_order_relaxed);
+}
+
+Tensor* TapeArena::NewTensor() {
+  const size_t chunk = tensor_cursor_ / kChunk;
+  const size_t slot = tensor_cursor_ % kChunk;
+  if (chunk == chunks_.size()) {
+    chunks_.push_back(std::make_unique<Tensor[]>(kChunk));
+    ++growth_allocs_;
+    bytes_retained_ += kChunk * sizeof(Tensor);
+    g_arena_bytes_total.fetch_add(kChunk * sizeof(Tensor),
+                                  std::memory_order_relaxed);
+  }
+  ++tensor_cursor_;
+  return &chunks_[chunk][slot];
+}
+
+size_t TapeArena::AllocInts(size_t n) {
+  const size_t off = int_cursor_;
+  const size_t need = off + n;
+  if (need > ints_.size()) {
+    const size_t old_cap = ints_.capacity();
+    ints_.resize(need);  // size() is the high-water mark across Reset()
+    CountGrowth(old_cap * sizeof(int), ints_.capacity() * sizeof(int));
+  }
+  int_cursor_ = need;
+  return off;
+}
+
+size_t TapeArena::AllocDoubles(size_t n) {
+  const size_t off = double_cursor_;
+  const size_t need = off + n;
+  if (need > doubles_.size()) {
+    const size_t old_cap = doubles_.capacity();
+    doubles_.resize(need);
+    CountGrowth(old_cap * sizeof(double), doubles_.capacity() * sizeof(double));
+  }
+  double_cursor_ = need;
+  return off;
+}
+
+Matrix* TapeArena::Scratch(int rows, int cols) {
+  if (scratch_cursor_ == scratch_.size()) {
+    scratch_.push_back(std::make_unique<Matrix>());
+    ++growth_allocs_;
+    bytes_retained_ += sizeof(Matrix);
+    g_arena_bytes_total.fetch_add(sizeof(Matrix), std::memory_order_relaxed);
+  }
+  Matrix* m = scratch_[scratch_cursor_++].get();
+  Shape(m, rows, cols, /*zero=*/false);
+  return m;
+}
+
+void TapeArena::Shape(Matrix* m, int rows, int cols, bool zero) {
+  const size_t need = static_cast<size_t>(rows) * cols;
+  const size_t old_cap = m->data.capacity();
+  m->rows = rows;
+  m->cols = cols;
+  if (zero) {
+    m->data.assign(need, 0.f);
+  } else {
+    m->data.resize(need);
+  }
+  CountGrowth(old_cap * sizeof(float), m->data.capacity() * sizeof(float));
+}
+
+void TapeArena::Reset() {
+  tensor_cursor_ = 0;
+  scratch_cursor_ = 0;
+  int_cursor_ = 0;
+  double_cursor_ = 0;
+}
+
+// ---- Tape ----------------------------------------------------------------
+
+Tensor* Tape::Constant(const Matrix& value) {
+  Tensor* t = arena_.NewTensor();
+  arena_.Shape(&t->value, value.rows, value.cols, /*zero=*/false);
+  std::copy(value.data.begin(), value.data.end(), t->value.data.begin());
   t->requires_grad = track_constants_;
   if (track_constants_) {
-    t->grad = Matrix(t->value.rows, t->value.cols);
-    tracked_constants_.push_back(t.get());
+    arena_.Shape(&t->grad, value.rows, value.cols, /*zero=*/true);
+    tracked_constants_.push_back(t);
   }
-  nodes_.push_back(std::move(t));
-  return nodes_.back().get();
+  return t;
 }
 
 Tensor* Tape::Leaf(Parameter* param) {
-  auto t = std::make_unique<Tensor>();
-  t->value = param->value;
+  Tensor* t = arena_.NewTensor();
+  arena_.Shape(&t->value, param->value.rows, param->value.cols,
+               /*zero=*/false);
+  std::copy(param->value.data.begin(), param->value.data.end(),
+            t->value.data.begin());
   if (freeze_leaves_) {
     // Inference mode: the parameter enters as a plain constant — no grad
-    // buffer, no accumulation closure, and ops downstream only track if
+    // buffer, no accumulation record, and ops downstream only track if
     // some other input (e.g. a tracked constant) does.
     t->requires_grad = false;
-    nodes_.push_back(std::move(t));
-    return nodes_.back().get();
+    return t;
   }
-  t->grad = Matrix(param->value.rows, param->value.cols);
+  arena_.Shape(&t->grad, param->value.rows, param->value.cols, /*zero=*/true);
   t->requires_grad = true;
-  Tensor* raw = t.get();
-  Tape* tape = this;
-  t->backward = [raw, param, tape]() {
-    Matrix* dst = &param->grad;
-    if (tape->grad_sink_ != nullptr) {
-      dst = &tape->grad_sink_
-                 ->try_emplace(param, param->value.rows, param->value.cols)
-                 .first->second;
-    }
-    for (size_t i = 0; i < raw->grad.data.size(); ++i) {
-      dst->data[i] += raw->grad.data[i];
-    }
-  };
-  nodes_.push_back(std::move(t));
-  return raw;
+  OpRecord r{};
+  r.kind = OpKind::kLeaf;
+  r.out = t;
+  r.param = param;
+  Record(r);
+  return t;
 }
 
 Tensor* Tape::New(int rows, int cols, bool requires_grad) {
-  auto t = std::make_unique<Tensor>();
-  t->value = Matrix(rows, cols);
-  if (requires_grad) t->grad = Matrix(rows, cols);
+  Tensor* t = arena_.NewTensor();
+  arena_.Shape(&t->value, rows, cols, /*zero=*/true);
+  if (requires_grad) arena_.Shape(&t->grad, rows, cols, /*zero=*/true);
   t->requires_grad = requires_grad;
-  nodes_.push_back(std::move(t));
-  return nodes_.back().get();
+  return t;
+}
+
+void Tape::Record(const OpRecord& r) {
+  const size_t old_cap = records_.capacity();
+  records_.push_back(r);
+  arena_.CountGrowth(old_cap * sizeof(OpRecord),
+                     records_.capacity() * sizeof(OpRecord));
+}
+
+void Tape::RetainCsr(std::shared_ptr<const SparseMatrix::Csr> csr) {
+  const size_t old_cap = csr_refs_.capacity();
+  csr_refs_.push_back(std::move(csr));
+  arena_.CountGrowth(old_cap * sizeof(csr_refs_[0]),
+                     csr_refs_.capacity() * sizeof(csr_refs_[0]));
 }
 
 void Tape::Backward(Tensor* loss) {
   GLINT_CHECK(loss->rows() == 1 && loss->cols() == 1);
   GLINT_CHECK(loss->requires_grad);
   loss->grad.data[0] = 1.f;
-  // Creation order is topological; run closures newest-first.
-  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
-    Tensor* t = it->get();
-    if (t->requires_grad && t->backward) t->backward();
+  // Creation order is topological; replay the records newest-first. This is
+  // the same walk (and therefore the same float summation order) as running
+  // per-node closures over the node list in reverse.
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    RunBackward(*it);
   }
 }
+
+void Tape::Reset() {
+  GLINT_OBS_GAUGE_SET("glint.tape.nodes_per_step",
+                      static_cast<int64_t>(arena_.nodes()));
+  GLINT_OBS_GAUGE_SET("glint.tape.arena_bytes_retained",
+                      static_cast<int64_t>(TapeArena::TotalBytesRetained()));
+  const size_t growth = arena_.growth_allocs();
+  GLINT_OBS_COUNT("glint.tape.arena_growth_allocs",
+                  static_cast<uint64_t>(growth - growth_published_));
+  growth_published_ = growth;
+  GLINT_OBS_COUNT("glint.tape.resets", 1);
+  arena_.Reset();
+  records_.clear();
+  csr_refs_.clear();
+  grad_sink_ = nullptr;
+  track_constants_ = false;
+  freeze_leaves_ = false;
+  tracked_constants_.clear();
+}
+
+Tape::Stats Tape::stats() const {
+  Stats s;
+  s.nodes = arena_.nodes();
+  s.records = records_.size();
+  s.bytes_retained = arena_.bytes_retained();
+  s.growth_allocs = arena_.growth_allocs();
+  return s;
+}
+
+// ---- ScopedTape ----------------------------------------------------------
+
+namespace {
+
+struct TapePool {
+  std::vector<std::unique_ptr<Tape>> owned;
+  std::vector<Tape*> free_list;
+};
+
+TapePool& LocalTapePool() {
+  thread_local TapePool pool;
+  return pool;
+}
+
+}  // namespace
+
+ScopedTape::ScopedTape() {
+  auto& pool = LocalTapePool();
+  if (pool.free_list.empty()) {
+    pool.owned.push_back(std::make_unique<Tape>());
+    tape_ = pool.owned.back().get();
+  } else {
+    tape_ = pool.free_list.back();
+    pool.free_list.pop_back();
+  }
+}
+
+ScopedTape::~ScopedTape() {
+  tape_->Reset();
+  LocalTapePool().free_list.push_back(tape_);
+}
+
+// ---- Backward dispatch ---------------------------------------------------
 
 namespace {
 
@@ -131,58 +311,53 @@ int64_t RowGrain(int64_t per_row_flops) {
                            kParallelFlops / std::max<int64_t>(1, per_row_flops));
 }
 
-Matrix Transposed(const Matrix& b) {
-  Matrix bt(b.cols, b.rows);
-  for (int l = 0; l < b.rows; ++l) {
-    for (int j = 0; j < b.cols; ++j) bt.At(j, l) = b.At(l, j);
-  }
-  return bt;
-}
-
 }  // namespace
 
-Tensor* MatMul(Tape* tape, Tensor* a, Tensor* b) {
-  GLINT_CHECK(a->cols() == b->rows());
-  Tensor* out = tape->New(a->rows(), b->cols(), Track({a, b}));
-  const int n = a->rows(), k = a->cols(), m = b->cols();
-  // Transposed-B kernel: C[i][j] = dot(A row i, B^T row j), both contiguous.
-  // Each output element is produced by exactly one thread with a fixed
-  // l-order, so the result is bit-identical for any thread count.
-  const Matrix bt = Transposed(b->value);
-  ParallelFor(0, n, RowGrain(static_cast<int64_t>(k) * m),
-              [&](int64_t lo, int64_t hi) {
-                for (int j0 = 0; j0 < m; j0 += kMatMulTile) {
-                  const int j1 = std::min(m, j0 + kMatMulTile);
-                  for (int64_t i = lo; i < hi; ++i) {
-                    const float* arow =
-                        &a->value.data[static_cast<size_t>(i) * k];
-                    float* crow = &out->value.data[static_cast<size_t>(i) * m];
-                    for (int j = j0; j < j1; ++j) {
-                      const float* btrow =
-                          &bt.data[static_cast<size_t>(j) * k];
-                      float s = 0.f;
-                      for (int l = 0; l < k; ++l) s += arow[l] * btrow[l];
-                      crow[j] = s;
-                    }
-                  }
-                }
-              });
-  if (out->requires_grad) {
-    out->backward = [a, b, out, n, k, m]() {
+void Tape::RunBackward(const OpRecord& r) {
+  Tensor* out = r.out;
+  Tensor* a = r.a;
+  Tensor* b = r.b;
+  switch (r.kind) {
+    case OpKind::kLeaf: {
+      Matrix* dst = &r.param->grad;
+      if (grad_sink_ != nullptr) {
+        dst = &grad_sink_
+                   ->try_emplace(r.param, r.param->value.rows,
+                                 r.param->value.cols)
+                   .first->second;
+      }
+      for (size_t i = 0; i < out->grad.data.size(); ++i) {
+        dst->data[i] += out->grad.data[i];
+      }
+      break;
+    }
+    case OpKind::kMatMul: {
+      const int n = a->rows(), k = a->cols(), m = b->cols();
+      // The worker lambdas capture a single context reference so the
+      // std::function built at the ParallelFor call site fits its inline
+      // buffer — no heap allocation per backward op.
       if (a->requires_grad) {
         // dA = dC * B^T, row-parallel over i (B rows are contiguous).
+        struct Ctx {
+          float* ga;
+          const float* gc;
+          const float* bv;
+          int k, m;
+        } c{a->grad.data.data(), out->grad.data.data(), b->value.data.data(),
+            k, m};
         ParallelFor(0, n, RowGrain(static_cast<int64_t>(k) * m),
-                    [&](int64_t lo, int64_t hi) {
+                    [&c](int64_t lo, int64_t hi) {
                       for (int64_t i = lo; i < hi; ++i) {
-                        float* garow =
-                            &a->grad.data[static_cast<size_t>(i) * k];
+                        float* garow = c.ga + static_cast<size_t>(i) * c.k;
                         const float* gcrow =
-                            &out->grad.data[static_cast<size_t>(i) * m];
-                        for (int l = 0; l < k; ++l) {
+                            c.gc + static_cast<size_t>(i) * c.m;
+                        for (int l = 0; l < c.k; ++l) {
                           const float* brow =
-                              &b->value.data[static_cast<size_t>(l) * m];
+                              c.bv + static_cast<size_t>(l) * c.m;
                           float s = 0;
-                          for (int j = 0; j < m; ++j) s += gcrow[j] * brow[j];
+                          for (int j = 0; j < c.m; ++j) {
+                            s += gcrow[j] * brow[j];
+                          }
                           garow[l] += s;
                         }
                       }
@@ -191,42 +366,35 @@ Tensor* MatMul(Tape* tape, Tensor* a, Tensor* b) {
       if (b->requires_grad) {
         // dB = A^T * dC, parallel over B rows: each dB row is owned by one
         // thread and accumulated in ascending-i order (the serial order).
+        struct Ctx {
+          float* gb;
+          const float* av;
+          const float* gc;
+          int n, k, m;
+        } c{b->grad.data.data(), a->value.data.data(), out->grad.data.data(),
+            n, k, m};
         ParallelFor(0, k, RowGrain(static_cast<int64_t>(n) * m),
-                    [&](int64_t lo, int64_t hi) {
+                    [&c](int64_t lo, int64_t hi) {
                       for (int64_t l = lo; l < hi; ++l) {
-                        float* gbrow =
-                            &b->grad.data[static_cast<size_t>(l) * m];
-                        for (int i = 0; i < n; ++i) {
-                          const float av =
-                              a->value.data[static_cast<size_t>(i) * k +
-                                            static_cast<size_t>(l)];
+                        float* gbrow = c.gb + static_cast<size_t>(l) * c.m;
+                        for (int i = 0; i < c.n; ++i) {
+                          const float av = c.av[static_cast<size_t>(i) * c.k +
+                                                static_cast<size_t>(l)];
                           if (av == 0.f) continue;
                           const float* gcrow =
-                              &out->grad.data[static_cast<size_t>(i) * m];
-                          for (int j = 0; j < m; ++j) gbrow[j] += av * gcrow[j];
+                              c.gc + static_cast<size_t>(i) * c.m;
+                          for (int j = 0; j < c.m; ++j) {
+                            gbrow[j] += av * gcrow[j];
+                          }
                         }
                       }
                     });
       }
-    };
-  }
-  return out;
-}
-
-Tensor* Add(Tape* tape, Tensor* a, Tensor* b) {
-  const bool broadcast = (b->rows() == 1 && a->rows() != 1);
-  GLINT_CHECK(a->cols() == b->cols());
-  GLINT_CHECK(broadcast || a->rows() == b->rows());
-  Tensor* out = tape->New(a->rows(), a->cols(), Track({a, b}));
-  const int cols = a->cols();
-  for (int i = 0; i < a->rows(); ++i) {
-    for (int j = 0; j < cols; ++j) {
-      out->value.At(i, j) = a->value.At(i, j) +
-                            (broadcast ? b->value.At(0, j) : b->value.At(i, j));
+      break;
     }
-  }
-  if (out->requires_grad) {
-    out->backward = [a, b, out, broadcast, cols]() {
+    case OpKind::kAdd: {
+      const bool broadcast = r.i0 != 0;
+      const int cols = a->cols();
       if (a->requires_grad) {
         for (size_t i = 0; i < a->grad.data.size(); ++i) {
           a->grad.data[i] += out->grad.data[i];
@@ -245,7 +413,271 @@ Tensor* Add(Tape* tape, Tensor* a, Tensor* b) {
           }
         }
       }
-    };
+      break;
+    }
+    case OpKind::kMul: {
+      if (a->requires_grad) {
+        for (size_t i = 0; i < a->grad.data.size(); ++i) {
+          a->grad.data[i] += out->grad.data[i] * b->value.data[i];
+        }
+      }
+      if (b->requires_grad) {
+        for (size_t i = 0; i < b->grad.data.size(); ++i) {
+          b->grad.data[i] += out->grad.data[i] * a->value.data[i];
+        }
+      }
+      break;
+    }
+    case OpKind::kScale: {
+      for (size_t i = 0; i < a->grad.data.size(); ++i) {
+        a->grad.data[i] += r.f0 * out->grad.data[i];
+      }
+      break;
+    }
+    case OpKind::kRelu: {
+      for (size_t i = 0; i < a->grad.data.size(); ++i) {
+        a->grad.data[i] +=
+            out->grad.data[i] * (a->value.data[i] > 0 ? 1.f : 0.f);
+      }
+      break;
+    }
+    case OpKind::kSigmoid: {
+      for (size_t i = 0; i < a->grad.data.size(); ++i) {
+        const float y = out->value.data[i];
+        a->grad.data[i] += out->grad.data[i] * (y * (1.f - y));
+      }
+      break;
+    }
+    case OpKind::kTanh: {
+      for (size_t i = 0; i < a->grad.data.size(); ++i) {
+        const float y = out->value.data[i];
+        a->grad.data[i] += out->grad.data[i] * (1.f - y * y);
+      }
+      break;
+    }
+    case OpKind::kConcatCols: {
+      for (int i = 0; i < a->rows(); ++i) {
+        if (a->requires_grad) {
+          for (int j = 0; j < a->cols(); ++j) {
+            a->grad.At(i, j) += out->grad.At(i, j);
+          }
+        }
+        if (b->requires_grad) {
+          for (int j = 0; j < b->cols(); ++j) {
+            b->grad.At(i, j) += out->grad.At(i, a->cols() + j);
+          }
+        }
+      }
+      break;
+    }
+    case OpKind::kConcatRows: {
+      if (a->requires_grad) {
+        for (size_t i = 0; i < a->grad.data.size(); ++i) {
+          a->grad.data[i] += out->grad.data[i];
+        }
+      }
+      if (b->requires_grad) {
+        for (size_t i = 0; i < b->grad.data.size(); ++i) {
+          b->grad.data[i] += out->grad.data[a->value.size() + i];
+        }
+      }
+      break;
+    }
+    case OpKind::kMeanRows: {
+      for (int i = 0; i < a->rows(); ++i) {
+        for (int j = 0; j < a->cols(); ++j) {
+          a->grad.At(i, j) += out->grad.At(0, j) * r.f0;
+        }
+      }
+      break;
+    }
+    case OpKind::kMaxRows: {
+      const int* argmax = arena_.Ints(static_cast<size_t>(r.i0));
+      for (int j = 0; j < a->cols(); ++j) {
+        a->grad.At(argmax[j], j) += out->grad.At(0, j);
+      }
+      break;
+    }
+    case OpKind::kGatherRows: {
+      const int* idx = arena_.Ints(static_cast<size_t>(r.i0));
+      for (int i = 0; i < r.i1; ++i) {
+        for (int j = 0; j < a->cols(); ++j) {
+          a->grad.At(idx[i], j) += out->grad.At(i, j);
+        }
+      }
+      break;
+    }
+    case OpKind::kSpMM: {
+      const auto* csr = static_cast<const SparseMatrix::Csr*>(r.aux);
+      const int rows = out->rows();
+      const int cols = a->cols();
+      for (int row = 0; row < rows; ++row) {
+        const float* gcrow = &out->grad.data[static_cast<size_t>(row) * cols];
+        const int k0 = csr->row_ptr[static_cast<size_t>(row)];
+        const int k1 = csr->row_ptr[static_cast<size_t>(row) + 1];
+        for (int k = k0; k < k1; ++k) {
+          float* garow =
+              &a->grad.data[static_cast<size_t>(
+                                csr->col_idx[static_cast<size_t>(k)]) *
+                            cols];
+          const float v = csr->vals[static_cast<size_t>(k)];
+          for (int j = 0; j < cols; ++j) garow[j] += v * gcrow[j];
+        }
+      }
+      break;
+    }
+    case OpKind::kRowScale: {
+      for (int i = 0; i < a->rows(); ++i) {
+        const float s = b->value.At(i, 0);
+        for (int j = 0; j < a->cols(); ++j) {
+          if (a->requires_grad) a->grad.At(i, j) += s * out->grad.At(i, j);
+          if (b->requires_grad) {
+            b->grad.At(i, 0) += a->value.At(i, j) * out->grad.At(i, j);
+          }
+        }
+      }
+      break;
+    }
+    case OpKind::kSumAll: {
+      const float g = out->grad.data[0];
+      for (auto& gv : a->grad.data) gv += g;
+      break;
+    }
+    case OpKind::kSoftmaxXent: {
+      const double* p = arena_.Doubles(static_cast<size_t>(r.i0));
+      const float g = out->grad.data[0];
+      for (int j = 0; j < a->cols(); ++j) {
+        const float onehot = (j == r.i1) ? 1.f : 0.f;
+        a->grad.At(0, j) +=
+            g * r.f0 * (static_cast<float>(p[j]) - onehot);
+      }
+      break;
+    }
+    case OpKind::kBceLogit: {
+      const double x = a->value.data[0];
+      const double p = 1.0 / (1.0 + std::exp(-x));
+      const double y = r.i0;
+      a->grad.data[0] +=
+          out->grad.data[0] * static_cast<float>(r.f0 * (p - y));
+      break;
+    }
+    case OpKind::kContrastiveMargin: {
+      if (r.d1 <= 0) break;
+      // dL/dd = 2 * margin * (-1) * d / norm
+      const float g = out->grad.data[0];
+      const float coef = static_cast<float>(-2.0 * r.d1 / r.d0) * g;
+      for (size_t i = 0; i < a->grad.data.size(); ++i) {
+        a->grad.data[i] += coef * a->value.data[i];
+      }
+      break;
+    }
+    case OpKind::kSoftmaxRow: {
+      // dL/dx_i = p_i * (g_i - sum_j g_j p_j)
+      double dot = 0;
+      for (int j = 0; j < a->cols(); ++j) {
+        dot += double(out->grad.At(0, j)) * out->value.At(0, j);
+      }
+      for (int j = 0; j < a->cols(); ++j) {
+        a->grad.At(0, j) += static_cast<float>(
+            out->value.At(0, j) * (out->grad.At(0, j) - dot));
+      }
+      break;
+    }
+    case OpKind::kScaleByEntry: {
+      if (a->requires_grad) {
+        for (size_t i = 0; i < a->grad.data.size(); ++i) {
+          a->grad.data[i] += r.f0 * out->grad.data[i];
+        }
+      }
+      if (b->requires_grad) {
+        double g = 0;
+        for (size_t i = 0; i < a->value.data.size(); ++i) {
+          g += double(a->value.data[i]) * out->grad.data[i];
+        }
+        b->grad.At(0, r.i0) += static_cast<float>(g);
+      }
+      break;
+    }
+    case OpKind::kTranspose: {
+      for (int i = 0; i < a->rows(); ++i) {
+        for (int j = 0; j < a->cols(); ++j) {
+          a->grad.At(i, j) += out->grad.At(j, i);
+        }
+      }
+      break;
+    }
+  }
+}
+
+// ---- Ops -----------------------------------------------------------------
+
+Tensor* MatMul(Tape* tape, Tensor* a, Tensor* b) {
+  GLINT_CHECK(a->cols() == b->rows());
+  Tensor* out = tape->New(a->rows(), b->cols(), Track({a, b}));
+  const int n = a->rows(), k = a->cols(), m = b->cols();
+  // Transposed-B kernel: C[i][j] = dot(A row i, B^T row j), both contiguous.
+  // B^T lives in arena scratch (fully overwritten below). Each output
+  // element is produced by exactly one thread with a fixed l-order, so the
+  // result is bit-identical for any thread count.
+  Matrix* bt = tape->arena()->Scratch(b->cols(), b->rows());
+  for (int l = 0; l < b->rows(); ++l) {
+    for (int j = 0; j < b->cols(); ++j) bt->At(j, l) = b->value.At(l, j);
+  }
+  // Single-context capture keeps the ParallelFor std::function inside its
+  // inline buffer — the forward kernel performs no heap allocation.
+  struct Ctx {
+    const float* av;
+    const float* bt;
+    float* cv;
+    int k, m;
+  } c{a->value.data.data(), bt->data.data(), out->value.data.data(), k, m};
+  ParallelFor(0, n, RowGrain(static_cast<int64_t>(k) * m),
+              [&c](int64_t lo, int64_t hi) {
+                for (int j0 = 0; j0 < c.m; j0 += kMatMulTile) {
+                  const int j1 = std::min(c.m, j0 + kMatMulTile);
+                  for (int64_t i = lo; i < hi; ++i) {
+                    const float* arow = c.av + static_cast<size_t>(i) * c.k;
+                    float* crow = c.cv + static_cast<size_t>(i) * c.m;
+                    for (int j = j0; j < j1; ++j) {
+                      const float* btrow = c.bt + static_cast<size_t>(j) * c.k;
+                      float s = 0.f;
+                      for (int l = 0; l < c.k; ++l) s += arow[l] * btrow[l];
+                      crow[j] = s;
+                    }
+                  }
+                }
+              });
+  if (out->requires_grad) {
+    OpRecord r{};
+    r.kind = OpKind::kMatMul;
+    r.out = out;
+    r.a = a;
+    r.b = b;
+    tape->Record(r);
+  }
+  return out;
+}
+
+Tensor* Add(Tape* tape, Tensor* a, Tensor* b) {
+  const bool broadcast = (b->rows() == 1 && a->rows() != 1);
+  GLINT_CHECK(a->cols() == b->cols());
+  GLINT_CHECK(broadcast || a->rows() == b->rows());
+  Tensor* out = tape->New(a->rows(), a->cols(), Track({a, b}));
+  const int cols = a->cols();
+  for (int i = 0; i < a->rows(); ++i) {
+    for (int j = 0; j < cols; ++j) {
+      out->value.At(i, j) = a->value.At(i, j) +
+                            (broadcast ? b->value.At(0, j) : b->value.At(i, j));
+    }
+  }
+  if (out->requires_grad) {
+    OpRecord r{};
+    r.kind = OpKind::kAdd;
+    r.out = out;
+    r.a = a;
+    r.b = b;
+    r.i0 = broadcast ? 1 : 0;
+    tape->Record(r);
   }
   return out;
 }
@@ -262,18 +694,12 @@ Tensor* Mul(Tape* tape, Tensor* a, Tensor* b) {
     out->value.data[i] = a->value.data[i] * b->value.data[i];
   }
   if (out->requires_grad) {
-    out->backward = [a, b, out]() {
-      if (a->requires_grad) {
-        for (size_t i = 0; i < a->grad.data.size(); ++i) {
-          a->grad.data[i] += out->grad.data[i] * b->value.data[i];
-        }
-      }
-      if (b->requires_grad) {
-        for (size_t i = 0; i < b->grad.data.size(); ++i) {
-          b->grad.data[i] += out->grad.data[i] * a->value.data[i];
-        }
-      }
-    };
+    OpRecord r{};
+    r.kind = OpKind::kMul;
+    r.out = out;
+    r.a = a;
+    r.b = b;
+    tape->Record(r);
   }
   return out;
 }
@@ -284,30 +710,30 @@ Tensor* Scale(Tape* tape, Tensor* a, float s) {
     out->value.data[i] = s * a->value.data[i];
   }
   if (out->requires_grad) {
-    out->backward = [a, out, s]() {
-      for (size_t i = 0; i < a->grad.data.size(); ++i) {
-        a->grad.data[i] += s * out->grad.data[i];
-      }
-    };
+    OpRecord r{};
+    r.kind = OpKind::kScale;
+    r.out = out;
+    r.a = a;
+    r.f0 = s;
+    tape->Record(r);
   }
   return out;
 }
 
 namespace {
 
-template <typename F, typename DF>
-Tensor* Elementwise(Tape* tape, Tensor* a, F f, DF df) {
+template <typename F>
+Tensor* Elementwise(Tape* tape, Tensor* a, OpKind kind, F f) {
   Tensor* out = tape->New(a->rows(), a->cols(), a->requires_grad);
   for (size_t i = 0; i < out->value.data.size(); ++i) {
     out->value.data[i] = f(a->value.data[i]);
   }
   if (out->requires_grad) {
-    out->backward = [a, out, df]() {
-      for (size_t i = 0; i < a->grad.data.size(); ++i) {
-        a->grad.data[i] +=
-            out->grad.data[i] * df(a->value.data[i], out->value.data[i]);
-      }
-    };
+    OpRecord r{};
+    r.kind = kind;
+    r.out = out;
+    r.a = a;
+    tape->Record(r);
   }
   return out;
 }
@@ -315,21 +741,18 @@ Tensor* Elementwise(Tape* tape, Tensor* a, F f, DF df) {
 }  // namespace
 
 Tensor* Relu(Tape* tape, Tensor* a) {
-  return Elementwise(
-      tape, a, [](float x) { return x > 0 ? x : 0.f; },
-      [](float x, float) { return x > 0 ? 1.f : 0.f; });
+  return Elementwise(tape, a, OpKind::kRelu,
+                     [](float x) { return x > 0 ? x : 0.f; });
 }
 
 Tensor* Sigmoid(Tape* tape, Tensor* a) {
-  return Elementwise(
-      tape, a, [](float x) { return 1.f / (1.f + std::exp(-x)); },
-      [](float, float y) { return y * (1.f - y); });
+  return Elementwise(tape, a, OpKind::kSigmoid,
+                     [](float x) { return 1.f / (1.f + std::exp(-x)); });
 }
 
 Tensor* Tanh(Tape* tape, Tensor* a) {
-  return Elementwise(
-      tape, a, [](float x) { return std::tanh(x); },
-      [](float, float y) { return 1.f - y * y; });
+  return Elementwise(tape, a, OpKind::kTanh,
+                     [](float x) { return std::tanh(x); });
 }
 
 Tensor* ConcatCols(Tape* tape, Tensor* a, Tensor* b) {
@@ -342,20 +765,12 @@ Tensor* ConcatCols(Tape* tape, Tensor* a, Tensor* b) {
     }
   }
   if (out->requires_grad) {
-    out->backward = [a, b, out]() {
-      for (int i = 0; i < a->rows(); ++i) {
-        if (a->requires_grad) {
-          for (int j = 0; j < a->cols(); ++j) {
-            a->grad.At(i, j) += out->grad.At(i, j);
-          }
-        }
-        if (b->requires_grad) {
-          for (int j = 0; j < b->cols(); ++j) {
-            b->grad.At(i, j) += out->grad.At(i, a->cols() + j);
-          }
-        }
-      }
-    };
+    OpRecord r{};
+    r.kind = OpKind::kConcatCols;
+    r.out = out;
+    r.a = a;
+    r.b = b;
+    tape->Record(r);
   }
   return out;
 }
@@ -368,18 +783,12 @@ Tensor* ConcatRows(Tape* tape, Tensor* a, Tensor* b) {
   std::copy(b->value.data.begin(), b->value.data.end(),
             out->value.data.begin() + static_cast<long>(a->value.size()));
   if (out->requires_grad) {
-    out->backward = [a, b, out]() {
-      if (a->requires_grad) {
-        for (size_t i = 0; i < a->grad.data.size(); ++i) {
-          a->grad.data[i] += out->grad.data[i];
-        }
-      }
-      if (b->requires_grad) {
-        for (size_t i = 0; i < b->grad.data.size(); ++i) {
-          b->grad.data[i] += out->grad.data[a->value.size() + i];
-        }
-      }
-    };
+    OpRecord r{};
+    r.kind = OpKind::kConcatRows;
+    r.out = out;
+    r.a = a;
+    r.b = b;
+    tape->Record(r);
   }
   return out;
 }
@@ -393,13 +802,12 @@ Tensor* MeanRows(Tape* tape, Tensor* a) {
     }
   }
   if (out->requires_grad) {
-    out->backward = [a, out, inv]() {
-      for (int i = 0; i < a->rows(); ++i) {
-        for (int j = 0; j < a->cols(); ++j) {
-          a->grad.At(i, j) += out->grad.At(0, j) * inv;
-        }
-      }
-    };
+    OpRecord r{};
+    r.kind = OpKind::kMeanRows;
+    r.out = out;
+    r.a = a;
+    r.f0 = inv;
+    tape->Record(r);
   }
   return out;
 }
@@ -407,28 +815,37 @@ Tensor* MeanRows(Tape* tape, Tensor* a) {
 Tensor* MaxRows(Tape* tape, Tensor* a) {
   GLINT_CHECK(a->rows() >= 1);
   Tensor* out = tape->New(1, a->cols(), a->requires_grad);
-  std::vector<int> argmax(static_cast<size_t>(a->cols()), 0);
+  int* argmax = nullptr;
+  size_t off = 0;
+  if (out->requires_grad) {
+    off = tape->arena()->AllocInts(static_cast<size_t>(a->cols()));
+    argmax = tape->arena()->Ints(off);
+  }
   for (int j = 0; j < a->cols(); ++j) {
     float best = a->value.At(0, j);
+    int bi = 0;
     for (int i = 1; i < a->rows(); ++i) {
       if (a->value.At(i, j) > best) {
         best = a->value.At(i, j);
-        argmax[static_cast<size_t>(j)] = i;
+        bi = i;
       }
     }
+    if (argmax != nullptr) argmax[j] = bi;
     out->value.At(0, j) = best;
   }
   if (out->requires_grad) {
-    out->backward = [a, out, argmax = std::move(argmax)]() {
-      for (int j = 0; j < a->cols(); ++j) {
-        a->grad.At(argmax[static_cast<size_t>(j)], j) += out->grad.At(0, j);
-      }
-    };
+    OpRecord r{};
+    r.kind = OpKind::kMaxRows;
+    r.out = out;
+    r.a = a;
+    r.i0 = static_cast<int>(off);
+    r.i1 = a->cols();
+    tape->Record(r);
   }
   return out;
 }
 
-Tensor* GatherRows(Tape* tape, Tensor* a, std::vector<int> idx) {
+Tensor* GatherRows(Tape* tape, Tensor* a, const std::vector<int>& idx) {
   Tensor* out =
       tape->New(static_cast<int>(idx.size()), a->cols(), a->requires_grad);
   for (size_t i = 0; i < idx.size(); ++i) {
@@ -437,13 +854,15 @@ Tensor* GatherRows(Tape* tape, Tensor* a, std::vector<int> idx) {
     }
   }
   if (out->requires_grad) {
-    out->backward = [a, out, idx = std::move(idx)]() {
-      for (size_t i = 0; i < idx.size(); ++i) {
-        for (int j = 0; j < a->cols(); ++j) {
-          a->grad.At(idx[i], j) += out->grad.At(static_cast<int>(i), j);
-        }
-      }
-    };
+    const size_t off = tape->arena()->AllocInts(idx.size());
+    std::copy(idx.begin(), idx.end(), tape->arena()->Ints(off));
+    OpRecord r{};
+    r.kind = OpKind::kGatherRows;
+    r.out = out;
+    r.a = a;
+    r.i0 = static_cast<int>(off);
+    r.i1 = static_cast<int>(idx.size());
+    tape->Record(r);
   }
   return out;
 }
@@ -469,23 +888,16 @@ Tensor* SpMM(Tape* tape, const SparseMatrix& s, Tensor* a) {
     }
   }
   if (out->requires_grad) {
-    // Share the immutable CSR view with the closure; the SparseMatrix
-    // itself may not outlive the tape.
-    out->backward = [a, out, csr, rows = s.rows, cols]() {
-      for (int r = 0; r < rows; ++r) {
-        const float* gcrow = &out->grad.data[static_cast<size_t>(r) * cols];
-        const int k0 = csr->row_ptr[static_cast<size_t>(r)];
-        const int k1 = csr->row_ptr[static_cast<size_t>(r) + 1];
-        for (int k = k0; k < k1; ++k) {
-          float* garow =
-              &a->grad.data[static_cast<size_t>(
-                                csr->col_idx[static_cast<size_t>(k)]) *
-                            cols];
-          const float v = csr->vals[static_cast<size_t>(k)];
-          for (int j = 0; j < cols; ++j) garow[j] += v * gcrow[j];
-        }
-      }
-    };
+    // The record borrows the raw CSR pointer; RetainCsr keeps the view
+    // alive for the pass (the SparseMatrix itself may not outlive the
+    // tape).
+    OpRecord r{};
+    r.kind = OpKind::kSpMM;
+    r.out = out;
+    r.a = a;
+    r.aux = csr.get();
+    tape->Record(r);
+    tape->RetainCsr(csr);
   }
   return out;
 }
@@ -500,17 +912,12 @@ Tensor* RowScale(Tape* tape, Tensor* a, Tensor* g) {
     }
   }
   if (out->requires_grad) {
-    out->backward = [a, g, out]() {
-      for (int i = 0; i < a->rows(); ++i) {
-        const float s = g->value.At(i, 0);
-        for (int j = 0; j < a->cols(); ++j) {
-          if (a->requires_grad) a->grad.At(i, j) += s * out->grad.At(i, j);
-          if (g->requires_grad) {
-            g->grad.At(i, 0) += a->value.At(i, j) * out->grad.At(i, j);
-          }
-        }
-      }
-    };
+    OpRecord r{};
+    r.kind = OpKind::kRowScale;
+    r.out = out;
+    r.a = a;
+    r.b = g;
+    tape->Record(r);
   }
   return out;
 }
@@ -521,45 +928,91 @@ Tensor* SumAll(Tape* tape, Tensor* a) {
   for (float v : a->value.data) s += v;
   out->value.data[0] = static_cast<float>(s);
   if (out->requires_grad) {
-    out->backward = [a, out]() {
-      const float g = out->grad.data[0];
-      for (auto& gv : a->grad.data) gv += g;
-    };
+    OpRecord r{};
+    r.kind = OpKind::kSumAll;
+    r.out = out;
+    r.a = a;
+    tape->Record(r);
   }
   return out;
 }
 
-std::vector<double> SoftmaxRow(const Tensor* logits) {
-  std::vector<double> p(logits->value.data.begin(), logits->value.data.end());
-  double mx = p[0];
-  for (double v : p) mx = std::max(mx, v);
-  double sum = 0;
-  for (double& v : p) {
-    v = std::exp(v - mx);
-    sum += v;
+Tensor* Transpose(Tape* tape, Tensor* a) {
+  Tensor* out = tape->New(a->cols(), a->rows(), a->requires_grad);
+  for (int i = 0; i < a->rows(); ++i) {
+    for (int j = 0; j < a->cols(); ++j) {
+      out->value.At(j, i) = a->value.At(i, j);
+    }
   }
-  for (double& v : p) v /= sum;
+  if (out->requires_grad) {
+    OpRecord r{};
+    r.kind = OpKind::kTranspose;
+    r.out = out;
+    r.a = a;
+    tape->Record(r);
+  }
+  return out;
+}
+
+void SoftmaxRowInto(const Tensor* logits, double* p) {
+  const size_t n = logits->value.data.size();
+  for (size_t i = 0; i < n; ++i) p[i] = logits->value.data[i];
+  double mx = p[0];
+  for (size_t i = 0; i < n; ++i) mx = std::max(mx, p[i]);
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    p[i] = std::exp(p[i] - mx);
+    sum += p[i];
+  }
+  for (size_t i = 0; i < n; ++i) p[i] /= sum;
+}
+
+std::vector<double> SoftmaxRow(const Tensor* logits) {
+  std::vector<double> p(logits->value.data.size());
+  SoftmaxRowInto(logits, p.data());
   return p;
 }
+
+namespace {
+
+/// SoftmaxRow() replicated into the arena double pool (same operation
+/// order, so the float results are bit-identical to the heap version).
+size_t SoftmaxRowIntoPool(Tape* tape, const Tensor* logits) {
+  const int k = logits->cols();
+  const size_t off = tape->arena()->AllocDoubles(static_cast<size_t>(k));
+  double* p = tape->arena()->Doubles(off);
+  for (int j = 0; j < k; ++j) p[j] = logits->value.data[j];
+  double mx = p[0];
+  for (int j = 0; j < k; ++j) mx = std::max(mx, p[j]);
+  double sum = 0;
+  for (int j = 0; j < k; ++j) {
+    p[j] = std::exp(p[j] - mx);
+    sum += p[j];
+  }
+  for (int j = 0; j < k; ++j) p[j] /= sum;
+  return off;
+}
+
+}  // namespace
 
 Tensor* SoftmaxCrossEntropy(Tape* tape, Tensor* logits, int label,
                             float weight) {
   GLINT_CHECK(logits->rows() == 1);
   GLINT_CHECK(label >= 0 && label < logits->cols());
   Tensor* out = tape->New(1, 1, logits->requires_grad);
-  std::vector<double> p = SoftmaxRow(logits);
+  const size_t off = SoftmaxRowIntoPool(tape, logits);
+  const double* p = tape->arena()->Doubles(off);
   out->value.data[0] = static_cast<float>(
       -weight * std::log(std::max(1e-12, p[static_cast<size_t>(label)])));
   if (out->requires_grad) {
-    out->backward = [logits, out, label, weight, p = std::move(p)]() {
-      const float g = out->grad.data[0];
-      for (int j = 0; j < logits->cols(); ++j) {
-        const float onehot = (j == label) ? 1.f : 0.f;
-        logits->grad.At(0, j) +=
-            g * weight * (static_cast<float>(p[static_cast<size_t>(j)]) -
-                          onehot);
-      }
-    };
+    OpRecord r{};
+    r.kind = OpKind::kSoftmaxXent;
+    r.out = out;
+    r.a = logits;
+    r.f0 = weight;
+    r.i0 = static_cast<int>(off);
+    r.i1 = label;
+    tape->Record(r);
   }
   return out;
 }
@@ -573,12 +1026,13 @@ Tensor* BceWithLogit(Tape* tape, Tensor* logit, int label, float weight) {
   out->value.data[0] = static_cast<float>(
       weight * (std::max(x, 0.0) - x * y + std::log1p(std::exp(-std::fabs(x)))));
   if (out->requires_grad) {
-    out->backward = [logit, out, y, weight]() {
-      const double x = logit->value.data[0];
-      const double p = 1.0 / (1.0 + std::exp(-x));
-      logit->grad.data[0] +=
-          out->grad.data[0] * static_cast<float>(weight * (p - y));
-    };
+    OpRecord r{};
+    r.kind = OpKind::kBceLogit;
+    r.out = out;
+    r.a = logit;
+    r.f0 = weight;
+    r.i0 = label;
+    tape->Record(r);
   }
   return out;
 }
@@ -594,7 +1048,7 @@ Tensor* ContrastiveLoss(Tape* tape, Tensor* za, Tensor* zb, bool same_label,
   if (same_label) {
     return SquaredDistance(tape, za, zb);  // ||f(xi) - f(xj)||^2
   }
-  // max(0, eps - ||f(xi) - f(xj)||_2)^2, computed with a custom node for
+  // max(0, eps - ||f(xi) - f(xj)||_2)^2, computed with a custom record for
   // the norm to keep gradients exact.
   Tensor* d = Sub(tape, za, zb);
   Tensor* out = tape->New(1, 1, d->requires_grad);
@@ -604,15 +1058,13 @@ Tensor* ContrastiveLoss(Tape* tape, Tensor* za, Tensor* zb, bool same_label,
   const double margin = std::max(0.0, eps - norm);
   out->value.data[0] = static_cast<float>(margin * margin);
   if (out->requires_grad) {
-    out->backward = [d, out, norm, margin]() {
-      if (margin <= 0) return;
-      // dL/dd = 2 * margin * (-1) * d / norm
-      const float g = out->grad.data[0];
-      const float coef = static_cast<float>(-2.0 * margin / norm) * g;
-      for (size_t i = 0; i < d->grad.data.size(); ++i) {
-        d->grad.data[i] += coef * d->value.data[i];
-      }
-    };
+    OpRecord r{};
+    r.kind = OpKind::kContrastiveMargin;
+    r.out = out;
+    r.a = d;
+    r.d0 = norm;
+    r.d1 = margin;
+    tape->Record(r);
   }
   return out;
 }
@@ -626,22 +1078,17 @@ Tensor* AddLoss(Tape* tape, Tensor* a, Tensor* b) {
 Tensor* SoftmaxRowOp(Tape* tape, Tensor* a) {
   GLINT_CHECK(a->rows() == 1);
   Tensor* out = tape->New(1, a->cols(), a->requires_grad);
-  std::vector<double> p = SoftmaxRow(a);
+  const size_t off = SoftmaxRowIntoPool(tape, a);
+  const double* p = tape->arena()->Doubles(off);
   for (int j = 0; j < a->cols(); ++j) {
     out->value.At(0, j) = static_cast<float>(p[static_cast<size_t>(j)]);
   }
   if (out->requires_grad) {
-    out->backward = [a, out]() {
-      // dL/dx_i = p_i * (g_i - sum_j g_j p_j)
-      double dot = 0;
-      for (int j = 0; j < a->cols(); ++j) {
-        dot += double(out->grad.At(0, j)) * out->value.At(0, j);
-      }
-      for (int j = 0; j < a->cols(); ++j) {
-        a->grad.At(0, j) += static_cast<float>(
-            out->value.At(0, j) * (out->grad.At(0, j) - dot));
-      }
-    };
+    OpRecord r{};
+    r.kind = OpKind::kSoftmaxRow;
+    r.out = out;
+    r.a = a;
+    tape->Record(r);
   }
   return out;
 }
@@ -654,20 +1101,14 @@ Tensor* ScaleByEntry(Tape* tape, Tensor* a, Tensor* s, int idx) {
     out->value.data[i] = sv * a->value.data[i];
   }
   if (out->requires_grad) {
-    out->backward = [a, s, out, idx, sv]() {
-      if (a->requires_grad) {
-        for (size_t i = 0; i < a->grad.data.size(); ++i) {
-          a->grad.data[i] += sv * out->grad.data[i];
-        }
-      }
-      if (s->requires_grad) {
-        double g = 0;
-        for (size_t i = 0; i < a->value.data.size(); ++i) {
-          g += double(a->value.data[i]) * out->grad.data[i];
-        }
-        s->grad.At(0, idx) += static_cast<float>(g);
-      }
-    };
+    OpRecord r{};
+    r.kind = OpKind::kScaleByEntry;
+    r.out = out;
+    r.a = a;
+    r.b = s;
+    r.f0 = sv;
+    r.i0 = idx;
+    tape->Record(r);
   }
   return out;
 }

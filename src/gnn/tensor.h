@@ -2,7 +2,7 @@
 
 #include <atomic>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -33,12 +33,13 @@ struct Matrix {
 };
 
 /// Sparse matrix in coordinate form (used for normalized adjacencies), with
-/// a build-once CSR mirror for fast row-wise multiplies.
+/// a build-once CSR mirror for fast row-wise multiplies and a build-once
+/// dense mirror for models that consume the adjacency densely.
 ///
 /// Usage contract: entries are appended during construction, then the
 /// matrix is read-only. Construction sites that feed hot SpMM paths call
 /// BuildCsrCache() once at the end; SpMM builds (and caches) the CSR form
-/// on demand otherwise. Copies share the immutable cache.
+/// on demand otherwise. Copies share the immutable caches.
 struct SparseMatrix {
   int rows = 0;
   int cols = 0;
@@ -58,24 +59,42 @@ struct SparseMatrix {
 
   SparseMatrix() = default;
   SparseMatrix(const SparseMatrix& o)
-      : rows(o.rows), cols(o.cols), entries(o.entries), csr_(o.csr_.load()) {}
+      : rows(o.rows),
+        cols(o.cols),
+        entries(o.entries),
+        csr_(o.csr_.load()),
+        dense_(o.dense_.load()) {}
   SparseMatrix& operator=(const SparseMatrix& o) {
+    if (this == &o) return *this;
     rows = o.rows;
     cols = o.cols;
     entries = o.entries;
     csr_.store(o.csr_.load());
+    dense_.store(o.dense_.load());
     return *this;
   }
   SparseMatrix(SparseMatrix&& o) noexcept
       : rows(o.rows),
         cols(o.cols),
         entries(std::move(o.entries)),
-        csr_(o.csr_.load()) {}
+        csr_(o.csr_.load()),
+        dense_(o.dense_.load()) {
+    o.rows = 0;
+    o.cols = 0;
+    o.csr_.store(std::shared_ptr<const Csr>());
+    o.dense_.store(std::shared_ptr<const Matrix>());
+  }
   SparseMatrix& operator=(SparseMatrix&& o) noexcept {
+    if (this == &o) return *this;
     rows = o.rows;
     cols = o.cols;
     entries = std::move(o.entries);
     csr_.store(o.csr_.load());
+    dense_.store(o.dense_.load());
+    o.rows = 0;
+    o.cols = 0;
+    o.csr_.store(std::shared_ptr<const Csr>());
+    o.dense_.store(std::shared_ptr<const Matrix>());
     return *this;
   }
 
@@ -94,22 +113,26 @@ struct SparseMatrix {
   /// Eagerly builds the CSR cache (call once after construction).
   void BuildCsrCache() const { (void)CsrView(); }
 
+  /// Returns the densified form (entry list scattered into a rows x cols
+  /// Matrix, later duplicates winning), building and caching it on first
+  /// use with the same first-build-wins discipline as CsrView().
+  std::shared_ptr<const Matrix> DenseView() const;
+
   const std::vector<int>& RowPtr() const { return CsrView()->row_ptr; }
   const std::vector<int>& ColIdx() const { return CsrView()->col_idx; }
   const std::vector<float>& Vals() const { return CsrView()->vals; }
 
  private:
   mutable std::atomic<std::shared_ptr<const Csr>> csr_;
+  mutable std::atomic<std::shared_ptr<const Matrix>> dense_;
 };
 
-/// A node in the autograd tape: value, gradient, and the closure that
-/// back-propagates into its parents.
+/// A node in the autograd tape: value and gradient. Backward logic lives in
+/// the tape's op records (see OpRecord), not on the node.
 struct Tensor {
   Matrix value;
   Matrix grad;
   bool requires_grad = false;
-  std::function<void()> backward;
-  std::vector<Tensor*> parents;
 
   int rows() const { return value.rows; }
   int cols() const { return value.cols; }
@@ -133,17 +156,128 @@ struct Parameter {
   void ZeroGrad() { std::fill(grad.data.begin(), grad.data.end(), 0.f); }
 };
 
+/// Op tag for the closure-free backward dispatch (internal to the tape).
+enum class OpKind : uint8_t {
+  kLeaf,
+  kMatMul,
+  kAdd,
+  kMul,
+  kScale,
+  kRelu,
+  kSigmoid,
+  kTanh,
+  kConcatCols,
+  kConcatRows,
+  kMeanRows,
+  kMaxRows,
+  kGatherRows,
+  kSpMM,
+  kRowScale,
+  kSumAll,
+  kSoftmaxXent,
+  kBceLogit,
+  kContrastiveMargin,
+  kSoftmaxRow,
+  kScaleByEntry,
+  kTranspose,
+};
+
+/// One recorded gradient-flowing op: tag, operand pointers, and a small
+/// fixed payload. Trivially destructible, so the record list clears without
+/// per-element work; integer/double payloads index into the arena pools.
+struct OpRecord {
+  OpKind kind;
+  Tensor* out = nullptr;
+  Tensor* a = nullptr;
+  Tensor* b = nullptr;
+  Parameter* param = nullptr;   ///< kLeaf
+  const void* aux = nullptr;    ///< kSpMM: borrowed SparseMatrix::Csr*
+  float f0 = 0.f;               ///< scale factor / sample weight
+  double d0 = 0.0, d1 = 0.0;    ///< kContrastiveMargin: norm, margin
+  int i0 = 0, i1 = 0;           ///< pool offsets / lengths / labels / flags
+};
+
+/// Bump-pointer arena behind a Tape: owns the Tensor slots plus int, double
+/// and scratch-Matrix pools. Reset() rewinds the cursors but keeps every
+/// allocation, so replaying an identical op sequence re-uses the same
+/// storage and performs no heap allocation after the first (warm-up) pass.
+class TapeArena {
+ public:
+  TapeArena() = default;
+  TapeArena(const TapeArena&) = delete;
+  TapeArena& operator=(const TapeArena&) = delete;
+  ~TapeArena();
+
+  /// Returns the next Tensor slot (address-stable across Reset and growth).
+  Tensor* NewTensor();
+
+  /// Reserves `n` ints in the pool; returns the pool offset. Pointers from
+  /// Ints() are invalidated by the next AllocInts call (growth may move the
+  /// pool), which is why records store offsets, not pointers.
+  size_t AllocInts(size_t n);
+  int* Ints(size_t off) { return ints_.data() + off; }
+  const int* Ints(size_t off) const { return ints_.data() + off; }
+
+  /// Same contract as AllocInts, for doubles.
+  size_t AllocDoubles(size_t n);
+  double* Doubles(size_t off) { return doubles_.data() + off; }
+  const double* Doubles(size_t off) const { return doubles_.data() + off; }
+
+  /// Returns a forward-only temporary shaped rows x cols. The contents are
+  /// NOT zeroed — callers must fully overwrite. Valid until Reset().
+  Matrix* Scratch(int rows, int cols);
+
+  /// Shapes `m` to rows x cols, optionally zero-filling. Growth beyond the
+  /// retained capacity is counted in the arena stats.
+  void Shape(Matrix* m, int rows, int cols, bool zero);
+
+  /// Rewinds all cursors; capacity (and therefore all retained float/int/
+  /// double storage) is kept for the next identical-shape pass.
+  void Reset();
+
+  size_t nodes() const { return tensor_cursor_; }
+  size_t bytes_retained() const { return bytes_retained_; }
+  size_t growth_allocs() const { return growth_allocs_; }
+
+  /// Process-wide bytes retained across all live arenas (for obs export).
+  static size_t TotalBytesRetained();
+
+  /// Counts a capacity change of an external buffer (op records, CSR refs)
+  /// into this arena's growth stats. Internal to the tape machinery.
+  void CountGrowth(size_t old_cap_bytes, size_t new_cap_bytes);
+
+ private:
+  static constexpr size_t kChunk = 128;  ///< tensors per chunk
+  std::vector<std::unique_ptr<Tensor[]>> chunks_;
+  size_t tensor_cursor_ = 0;
+  std::vector<std::unique_ptr<Matrix>> scratch_;
+  size_t scratch_cursor_ = 0;
+  std::vector<int> ints_;
+  size_t int_cursor_ = 0;
+  std::vector<double> doubles_;
+  size_t double_cursor_ = 0;
+  size_t bytes_retained_ = 0;
+  size_t growth_allocs_ = 0;
+};
+
 /// Reverse-mode autograd tape. All tensors created through a tape are owned
-/// by it; Backward() runs the recorded closures in reverse creation order
-/// (creation order is already a topological order).
+/// by its arena; Backward() replays the op records in reverse creation
+/// order (creation order is already a topological order). Reset() rewinds
+/// the tape for re-use — after one warm-up pass over a given op sequence,
+/// subsequent identical passes allocate nothing.
 class Tape {
  public:
   /// Per-tape gradient buffer keyed by parameter (see set_grad_sink).
   using GradSink = std::unordered_map<Parameter*, Matrix>;
 
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
   /// Creates a tensor from a value (no gradient tracking unless
-  /// set_track_constants(true) was called on this tape).
-  Tensor* Constant(Matrix value);
+  /// set_track_constants(true) was called on this tape). The value is
+  /// copied into arena-retained storage.
+  Tensor* Constant(const Matrix& value);
 
   /// When enabled, subsequent Constant() tensors are gradient-tracked and
   /// recorded in creation order (see tracked_constants()). Model inputs
@@ -166,7 +300,8 @@ class Tape {
   /// reads param->value, the backward pass accumulates into param->grad.
   Tensor* Leaf(Parameter* param);
 
-  /// Allocates an intermediate tensor.
+  /// Allocates an intermediate tensor (value zero-filled; grad zero-filled
+  /// when requires_grad).
   Tensor* New(int rows, int cols, bool requires_grad);
 
   /// Runs backward from `loss` (must be 1x1).
@@ -179,14 +314,60 @@ class Tape {
   /// for any thread count. Set before the first Leaf-touching Backward().
   void set_grad_sink(GradSink* sink) { grad_sink_ = sink; }
 
-  size_t size() const { return nodes_.size(); }
+  size_t size() const { return arena_.nodes(); }
+
+  /// Rewinds the tape for re-use: node/record cursors to zero, per-pass
+  /// state (sink pointer, modes, tracked constants, CSR refs) cleared,
+  /// all storage capacity retained. Also publishes arena stats to obs.
+  void Reset();
+
+  struct Stats {
+    size_t nodes = 0;           ///< tensors on the tape
+    size_t records = 0;         ///< backward op records
+    size_t bytes_retained = 0;  ///< arena bytes held across Reset()
+    size_t growth_allocs = 0;   ///< cumulative arena growth events
+  };
+  Stats stats() const;
+
+  // ---- Internal API for the op implementations -----------------------
+  TapeArena* arena() { return &arena_; }
+  void Record(const OpRecord& r);
+  /// Keeps a CSR view alive for the lifetime of the pass (kSpMM borrows a
+  /// raw pointer in its record).
+  void RetainCsr(std::shared_ptr<const SparseMatrix::Csr> csr);
 
  private:
-  std::vector<std::unique_ptr<Tensor>> nodes_;
+  void RunBackward(const OpRecord& r);
+
+  TapeArena arena_;
+  std::vector<OpRecord> records_;
+  std::vector<std::shared_ptr<const SparseMatrix::Csr>> csr_refs_;
   GradSink* grad_sink_ = nullptr;
   bool track_constants_ = false;
   bool freeze_leaves_ = false;
   std::vector<Tensor*> tracked_constants_;
+  size_t growth_published_ = 0;  ///< growth_allocs already sent to obs
+};
+
+/// RAII lease of a thread-local pooled Tape: acquires a warm tape (or
+/// creates one on first use), and Reset()s it back into the pool on scope
+/// exit. Stack-ordered acquire/release makes nesting safe (e.g. the
+/// explainer opening a tape while the detector's is live). This is how the
+/// trainer, detector, session and explainer get zero-malloc tapes after
+/// each worker thread's first pass.
+class ScopedTape {
+ public:
+  ScopedTape();
+  ~ScopedTape();
+  ScopedTape(const ScopedTape&) = delete;
+  ScopedTape& operator=(const ScopedTape&) = delete;
+
+  Tape* get() const { return tape_; }
+  Tape* operator->() const { return tape_; }
+  Tape& operator*() const { return *tape_; }
+
+ private:
+  Tape* tape_;
 };
 
 // ---- Ops (all append to the tape; gradients flow where inputs track) -----
@@ -216,13 +397,15 @@ Tensor* MeanRows(Tape* t, Tensor* a);
 /// 1 x cols max over rows (max readout).
 Tensor* MaxRows(Tape* t, Tensor* a);
 /// Select a subset of rows (graph pooling): out[i] = a[idx[i]].
-Tensor* GatherRows(Tape* t, Tensor* a, std::vector<int> idx);
+Tensor* GatherRows(Tape* t, Tensor* a, const std::vector<int>& idx);
 /// Sparse-dense product: C = S * A (S untracked).
 Tensor* SpMM(Tape* t, const SparseMatrix& s, Tensor* a);
 /// Scale each row i of A by the scalar in column vector g (n x 1).
 Tensor* RowScale(Tape* t, Tensor* a, Tensor* g);
 /// Sum of all entries (1x1).
 Tensor* SumAll(Tape* t, Tensor* a);
+/// C = A^T.
+Tensor* Transpose(Tape* t, Tensor* a);
 /// Weighted softmax cross-entropy over logits (1 x k) with integer label;
 /// returns 1x1 loss. `weight` scales the sample's loss (class weighting).
 Tensor* SoftmaxCrossEntropy(Tape* t, Tensor* logits, int label, float weight);
@@ -244,6 +427,11 @@ Tensor* ScaleByEntry(Tape* t, Tensor* a, Tensor* s, int idx);
 
 /// Softmax probabilities of a 1 x k logits row (forward only helper).
 std::vector<double> SoftmaxRow(const Tensor* logits);
+
+/// Allocation-free SoftmaxRow: writes the probabilities into `p`, which
+/// must hold logits->value.data.size() doubles. Identical operation order
+/// to SoftmaxRow, so the results are bit-identical.
+void SoftmaxRowInto(const Tensor* logits, double* p);
 
 /// Adam update over a set of parameters (skips frozen ones) and zeroes
 /// gradients.

@@ -10,12 +10,17 @@ namespace glint::gnn {
 
 namespace {
 
-/// Merges per-sample gradient sinks into the parameters. Iterates samples
-/// in order and parameters in their registration order (never the
-/// unordered_map), so the reduction is deterministic for any thread count.
-void MergeGradSinks(const std::vector<Parameter*>& params,
+/// Merges the first `active` per-sample gradient sinks into the parameters.
+/// Iterates samples in order and parameters in their registration order
+/// (never the unordered_map), so the reduction is deterministic for any
+/// thread count. Sink matrices are zeroed rather than erased so the map
+/// nodes and their storage survive to the next batch; only the active
+/// prefix is merged so short final batches never depend on the subtle
+/// claim that adding a zeroed stale sink is a bitwise no-op.
+void MergeGradSinks(const std::vector<Parameter*>& params, size_t active,
                     std::vector<Tape::GradSink>* sinks) {
-  for (auto& sink : *sinks) {
+  for (size_t s = 0; s < active; ++s) {
+    auto& sink = (*sinks)[s];
     for (Parameter* p : params) {
       auto it = sink.find(p);
       if (it == sink.end()) continue;
@@ -23,7 +28,7 @@ void MergeGradSinks(const std::vector<Parameter*>& params,
         p->grad.data[i] += it->second.data[i];
       }
     }
-    sink.clear();
+    for (auto& [p, m] : sink) std::fill(m.data.begin(), m.data.end(), 0.f);
   }
 }
 
@@ -96,7 +101,8 @@ void Trainer::TrainSupervised(GraphModel* model,
           [&](int64_t lo, int64_t hi) {
             for (int64_t oi = lo; oi < hi; ++oi) {
               const GnnGraph& g = train[order[static_cast<size_t>(oi)]];
-              Tape tape;
+              ScopedTape lease;  // worker-local tape, reused across samples
+              Tape& tape = *lease;
               tape.set_grad_sink(&sinks[static_cast<size_t>(oi) - start]);
               ForwardResult r = model->Forward(&tape, g);
               Tensor* loss = SoftmaxCrossEntropy(&tape, r.logits, g.label,
@@ -125,7 +131,7 @@ void Trainer::TrainSupervised(GraphModel* model,
             }
           });
       for (size_t i = 0; i < stop - start; ++i) total_loss += losses[i];
-      MergeGradSinks(params, &sinks);
+      MergeGradSinks(params, stop - start, &sinks);
       adam.Step(params);
     }
     if (config_.verbose) {
@@ -187,7 +193,8 @@ void Trainer::TrainContrastive(GraphModel* model,
                   [&](int64_t lo, int64_t hi) {
                     for (int64_t k = lo; k < hi; ++k) {
                       const Pair& p = batch[static_cast<size_t>(k)];
-                      Tape tape;
+                      ScopedTape lease;  // reused across pairs and epochs
+                      Tape& tape = *lease;
                       tape.set_grad_sink(&sinks[static_cast<size_t>(k)]);
                       Tensor* za =
                           model->Forward(&tape, train[p.ia]).embedding;
@@ -201,7 +208,7 @@ void Trainer::TrainContrastive(GraphModel* model,
                     }
                   });
       for (size_t k = 0; k < batch.size(); ++k) total_loss += losses[k];
-      MergeGradSinks(params, &sinks);
+      MergeGradSinks(params, batch.size(), &sinks);
       adam.Step(params);
     }
     if (config_.verbose) {
@@ -213,10 +220,11 @@ void Trainer::TrainContrastive(GraphModel* model,
 }
 
 int Trainer::Predict(GraphModel* model, const GnnGraph& g) {
-  Tape tape;
-  tape.set_freeze_leaves(true);  // inference only: skip grad bookkeeping
-  ForwardResult r = model->Forward(&tape, g);
-  auto p = SoftmaxRow(r.logits);
+  ScopedTape tape;  // worker-local tape, reused across calls
+  tape->set_freeze_leaves(true);  // inference only: skip grad bookkeeping
+  ForwardResult r = model->Forward(tape.get(), g);
+  double p[2];
+  SoftmaxRowInto(r.logits, p);
   return p[1] > p[0] ? 1 : 0;
 }
 
@@ -238,9 +246,9 @@ ml::Metrics Trainer::Evaluate(GraphModel* model,
 
 FloatVec Trainer::Embed(GraphModel* model, const GnnGraph& g) {
   GLINT_OBS_TIMER(timer, "glint.gnn.embed_ms");
-  Tape tape;
-  tape.set_freeze_leaves(true);  // inference only: skip grad bookkeeping
-  ForwardResult r = model->Forward(&tape, g);
+  ScopedTape tape;  // worker-local tape, reused across calls
+  tape->set_freeze_leaves(true);  // inference only: skip grad bookkeeping
+  ForwardResult r = model->Forward(tape.get(), g);
   return FloatVec(r.embedding->value.data.begin(),
                   r.embedding->value.data.end());
 }

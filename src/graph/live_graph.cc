@@ -167,9 +167,14 @@ std::vector<rules::Rule> LiveGraph::CurrentRules() const {
 
 std::vector<uint64_t> LiveGraph::IdentityHashes() const {
   std::vector<uint64_t> out;
-  out.reserve(entries_.size());
-  for (const auto& e : entries_) out.push_back(e.identity_hash);
+  IdentityHashesInto(&out);
   return out;
+}
+
+void LiveGraph::IdentityHashesInto(std::vector<uint64_t>* out) const {
+  out->clear();
+  out->reserve(entries_.size());
+  for (const auto& e : entries_) out->push_back(e.identity_hash);
 }
 
 std::vector<Edge> LiveGraph::StaticEdges() const {

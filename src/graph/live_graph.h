@@ -67,6 +67,10 @@ class LiveGraph {
   /// node order; used by sessions to key verdict/tensor caches.
   std::vector<uint64_t> IdentityHashes() const;
 
+  /// Allocation-reusing variant: overwrites *out with the identity hashes
+  /// so a warm session keys its caches without a fresh vector per Inspect.
+  void IdentityHashesInto(std::vector<uint64_t>* out) const;
+
   /// Directed edges of the static graph, in BuildFromRules insertion order.
   std::vector<Edge> StaticEdges() const;
 

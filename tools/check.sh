@@ -32,4 +32,15 @@ cmake --build build-tsan -j"${JOBS}" --target threadpool_stress obs_stress
 ./build-tsan/tests/threadpool_stress
 ./build-tsan/tests/obs_stress
 
+# Arena lifetime / aliasing check: the tape tests under ASan. Guards the
+# bump-pointer arena (slot reuse after Reset, offset-based pools whose
+# growth moves storage, scratch-matrix aliasing in MatMul's transposed-B
+# kernel) against use-after-free and out-of-bounds regressions.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGLINT_ASAN=ON
+cmake --build build-asan -j"${JOBS}" --target \
+  gnn_tensor_test gnn_tape_reuse_test gnn_layers_test
+./build-asan/tests/gnn_tensor_test
+./build-asan/tests/gnn_tape_reuse_test
+./build-asan/tests/gnn_layers_test
+
 echo "check.sh: all stages passed"
