@@ -9,15 +9,19 @@
 //   --smoke  tiny home / fewer reps and a {1, current} thread sweep; used
 //            by tools/check.sh under GLINT_THREADS=2.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/glint.h"
+#include "core/journal.h"
 #include "core/serving.h"
 #include "core/session.h"
 #include "util/thread_pool.h"
@@ -130,6 +134,88 @@ int Run(bool smoke) {
       session.Inspect(now).Render() ==
       glint.Inspect(session.CurrentRules(), log, now).Render();
 
+  // Durability tax: the identical 1-rule-delta warm loop through a
+  // ServingEngine with and without a WAL attached. The journaled run pays
+  // one record encode + buffered fwrite + fflush per mutation; the gate
+  // below holds it to <10% of the warm path (plus 0.5 ms absolute slack so
+  // a noisy shared box cannot flake a sub-millisecond comparison). The two
+  // engines are sampled in the same loop, alternating reps, so box-level
+  // drift hits both distributions equally.
+  auto warm_engine_rep = [&](core::ServingEngine* eng, int r) {
+    const auto cur = eng->home(0).CurrentRules();
+    const rules::Rule rotated = cur[static_cast<size_t>(r) % cur.size()];
+    auto t0 = std::chrono::steady_clock::now();
+    if (!eng->TryRemoveRule(0, rotated.id).ok() ||
+        !eng->TryAddRule(0, rotated).ok() ||
+        !eng->TryInspect(0, now).ok()) {
+      std::fprintf(stderr, "warm engine loop op failed\n");
+      std::exit(1);
+    }
+    return Seconds(t0) * 1e3;
+  };
+  core::ServingEngine plain_engine(&glint.detector());
+  plain_engine.AddHome(deployed);
+  for (const auto& e : log.events()) plain_engine.OnEvent(0, e);
+
+  char state_dir[] = "/tmp/glint_bench_wal_XXXXXX";
+  if (mkdtemp(state_dir) == nullptr) {
+    std::fprintf(stderr, "cannot create bench state dir\n");
+    return 1;
+  }
+  core::ServingEngine durable_engine(&glint.detector());
+  if (!durable_engine.Recover(state_dir).ok()) {
+    std::fprintf(stderr, "bench recovery failed\n");
+    return 1;
+  }
+  durable_engine.AddHome(deployed);
+  for (const auto& e : log.events()) durable_engine.OnEvent(0, e);
+
+  std::vector<double> plain_ms, durable_ms;
+  for (int r = 0; r < reps; ++r) {
+    plain_ms.push_back(warm_engine_rep(&plain_engine, r));
+    durable_ms.push_back(warm_engine_rep(&durable_engine, r));
+  }
+  const double warm_engine_p50 = Percentile(plain_ms, 0.50);
+  const double warm_durable_p50 = Percentile(durable_ms, 0.50);
+  const bool durable_gate_ok =
+      warm_durable_p50 <= warm_engine_p50 * 1.10 + 0.5;
+
+  // Raw WAL append latency, measured directly on the journal with a
+  // typical event-record payload.
+  std::vector<double> append_us;
+  {
+    char wal_dir[] = "/tmp/glint_bench_append_XXXXXX";
+    if (mkdtemp(wal_dir) == nullptr) {
+      std::fprintf(stderr, "cannot create append bench dir\n");
+      return 1;
+    }
+    core::Journal journal((std::string(wal_dir)));
+    core::Journal::RecoveryInfo info;
+    auto nop_snapshot = [](const std::vector<char>&) {
+      return Status::OK();
+    };
+    auto nop_record = [](uint64_t, const std::vector<char>&) {
+      return Status::OK();
+    };
+    if (!journal.Recover(nop_snapshot, nop_record, &info).ok()) {
+      std::fprintf(stderr, "append bench recovery failed\n");
+      return 1;
+    }
+    const std::vector<char> payload(48, 'e');  // ~one encoded event op
+    const int appends = smoke ? 500 : 2000;
+    append_us.reserve(static_cast<size_t>(appends));
+    for (int i = 0; i < appends; ++i) {
+      auto t0 = std::chrono::steady_clock::now();
+      if (!journal.Append(static_cast<uint64_t>(i) + 1, payload).ok()) {
+        std::fprintf(stderr, "bench append failed\n");
+        return 1;
+      }
+      append_us.push_back(Seconds(t0) * 1e6);
+    }
+  }
+  const double wal_append_us_p50 = Percentile(append_us, 0.50);
+  const double wal_append_us_p95 = Percentile(append_us, 0.95);
+
   const double cold_p50 = Percentile(cold_ms, 0.50);
   const double cold_p95 = Percentile(cold_ms, 0.95);
   const double warm_p50 = Percentile(warm_ms, 0.50);
@@ -146,6 +232,13 @@ int Run(bool smoke) {
               hit_p50, Percentile(hit_ms, 0.95));
   std::printf("cold/warm p50 speedup: %.1fx   warm==cold: %s\n", speedup,
               equivalent ? "yes" : "NO — DETERMINISM BUG");
+  std::printf("%-34s %10.2f %10s\n", "warm engine (no WAL)", warm_engine_p50,
+              "");
+  std::printf("%-34s %10.2f %10s\n", "warm engine (journaled)",
+              warm_durable_p50, "");
+  std::printf("wal append p50: %.1f us  p95: %.1f us  durability gate: %s\n",
+              wal_append_us_p50, wal_append_us_p95,
+              durable_gate_ok ? "ok" : "FAIL (>10% warm-path regression)");
 
   // Fleet throughput: ServingEngine with `homes` sessions, one 1-rule
   // delta per home per round, InspectAll across the thread sweep.
@@ -200,9 +293,15 @@ int Run(bool smoke) {
   json.Num("nochange_p50_ms", hit_p50, 4);
   json.Num("speedup_p50", speedup, 2);
   json.Bool("equivalent", equivalent);
+  json.Num("warm_engine_p50_ms", warm_engine_p50);
+  json.Num("warm_durable_p50_ms", warm_durable_p50);
+  json.Num("wal_append_us_p50", wal_append_us_p50, 1);
+  json.Num("wal_append_us_p95", wal_append_us_p95, 1);
+  json.Bool("durable_gate_ok", durable_gate_ok);
   json.Ints("threads", sweep);
   json.Nums("rules_per_sec", rates);
   std::printf("BENCH_JSON %s\n", json.Render().c_str());
+  if (!durable_gate_ok) return 1;
   return equivalent ? 0 : 1;
 }
 

@@ -1,15 +1,25 @@
 // Online-stage demo (the paper's Fig. 3 experience in a terminal): a
-// simulated smart home streams event logs into a DeploymentSession, which
-// maintains the interaction graph incrementally — each rule embedded once,
-// pairwise correlations evaluated once, edge liveness updated in place —
-// checks for drift, and raises threat warnings with the culprit rules
-// highlighted, including when an attacker strikes. At the end the user
-// retires a culprit rule (an O(n) delta, not a rebuild) and re-inspects.
+// simulated smart home streams event logs into a durable ServingEngine,
+// which maintains the interaction graph incrementally — each rule embedded
+// once, pairwise correlations evaluated once, edge liveness updated in
+// place — checks for drift, and raises threat warnings with the culprit
+// rules highlighted, including when an attacker strikes. At the end the
+// user retires a culprit rule (an O(n) delta, not a rebuild), re-inspects,
+// and the engine's state survives a simulated restart: a second engine
+// recovers from the write-ahead log + snapshot and renders the identical
+// warning.
+//
+// Every input that would come from an untrusted frontend in production
+// (home indices, inspection times) goes through the validating Try* API —
+// a bad index is a Status, never an abort.
+
+#include <unistd.h>
 
 #include <cstdio>
+#include <string>
 
 #include "core/glint.h"
-#include "core/session.h"
+#include "core/serving.h"
 #include "testbed/attacks.h"
 #include "testbed/scenarios.h"
 
@@ -67,17 +77,40 @@ int main() {
     deployed.push_back(night_lock);
   }
 
-  // The deployment session: the home's live half of the split. Rules are
-  // embedded and pairwise-classified once here, not on every inspection.
-  core::DeploymentSession session(&glint.detector());
-  for (const auto& r : deployed) session.AddRule(r);
-  std::printf("deployed %d rules into the session\n\n", session.num_rules());
+  // A durable serving engine: every mutation is journaled to the state dir
+  // before it is applied, so a crash at any point loses at most the final
+  // in-flight operation.
+  char state_dir[] = "/tmp/glint_monitor_XXXXXX";
+  if (mkdtemp(state_dir) == nullptr) {
+    std::fprintf(stderr, "cannot create state dir\n");
+    return 1;
+  }
+  core::ServingEngine engine(&glint.detector());
+  if (Status st = engine.Recover(state_dir); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  Result<int> added = engine.TryAddHome(deployed);
+  if (!added.ok()) {
+    std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
+    return 1;
+  }
+  const int h = added.value();
+  std::printf("deployed %d rules into home %d (journal: %s)\n\n",
+              engine.home(h).num_rules(), h, state_dir);
+
+  // The validating API turns a frontend's bad home index into a Status
+  // instead of a crash:
+  graph::Event bogus;
+  Status bad = engine.TryOnEvent(42, bogus);
+  std::printf("routing an event to unknown home 42: %s\n\n",
+              bad.ToString().c_str());
 
   testbed::SmartHome::Config home_cfg;
   home_cfg.seed = 2026;
   home_cfg.start_hour = 18.0;
   testbed::SmartHome home(home_cfg, deployed);
-  size_t cursor = 0;  // events already streamed into the session
+  size_t cursor = 0;  // events already streamed into the engine
 
   Rng rng(7);
   const struct {
@@ -108,22 +141,67 @@ int main() {
 
     // Stream the new events, then inspect incrementally (Fig. 3a/3c).
     const auto& events = home.log().events();
-    for (; cursor < events.size(); ++cursor) session.OnEvent(events[cursor]);
-    auto warning = session.Inspect(home.now());
-    std::printf("%s\n", warning.Render().c_str());
+    for (; cursor < events.size(); ++cursor) {
+      if (Status st = engine.TryOnEvent(h, events[cursor]); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    auto warning = engine.TryInspect(h, home.now());
+    if (!warning.ok()) {
+      std::fprintf(stderr, "%s\n", warning.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", warning.value().Render().c_str());
   }
 
   // Steps 7-8 of Fig. 2, the remediation: the user retires the smoke-unlock
   // rule. One O(n) delta on the live graph — no rebuild — and the threat
   // chain is gone at the next inspection.
   std::printf("---- user retires rule #100 (smoke -> unlock) ----\n");
-  session.RemoveRule(100);
-  auto after = session.Inspect(home.now());
-  std::printf("%s\n", after.Render().c_str());
+  bool removed = false;
+  if (Status st = engine.TryRemoveRule(h, 100, &removed); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto after = engine.TryInspect(h, home.now());
+  if (!after.ok()) {
+    std::fprintf(stderr, "%s\n", after.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", after.value().Render().c_str());
 
+  // Simulated restart: snapshot, then recover a *fresh* engine from the
+  // state dir and verify it renders the identical warning — the crash-safe
+  // serving guarantee end to end.
+  std::printf("---- simulated restart: recovering from %s ----\n", state_dir);
+  if (Status st = engine.Snapshot(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  core::ServingEngine recovered(&glint.detector());
+  if (Status st = recovered.Recover(state_dir); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto again = recovered.TryInspect(h, home.now());
+  if (!again.ok()) {
+    std::fprintf(stderr, "%s\n", again.status().ToString().c_str());
+    return 1;
+  }
+  const bool identical =
+      again.value().Render() == after.value().Render();
+  std::printf("recovered %zu home(s), seq=%llu; warning identical: %s\n",
+              recovered.num_homes(),
+              static_cast<unsigned long long>(recovered.journal_seq()),
+              identical ? "yes" : "NO (bug!)");
+
+  const auto stats = engine.AggregateStats();
   std::printf(
-      "session stats: %zu inspections, %zu verdict-cache hits, "
-      "%zu tensor-cache hits\n",
-      session.inspect_count(), session.verdict_hits(), session.tensor_hits());
-  return 0;
+      "session stats: %llu inspections, %llu verdict-cache hits, "
+      "%llu tensor-cache hits\n",
+      static_cast<unsigned long long>(stats.inspects),
+      static_cast<unsigned long long>(stats.verdict_hits),
+      static_cast<unsigned long long>(stats.tensor_hits));
+  return identical ? 0 : 1;
 }

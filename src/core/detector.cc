@@ -1,5 +1,10 @@
 #include "core/detector.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+
 #include "core/explain.h"
 #include "gnn/model_io.h"
 #include "graph/threat_analyzer.h"
@@ -138,10 +143,18 @@ void TrainedDetector::FineTune(
 
 Status TrainedDetector::SaveModels(const std::string& dir) const {
   GLINT_CHECK(ready_);
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("cannot create model dir " + dir + ": " +
+                           std::strerror(errno));
+  }
   GLINT_RETURN_IF_ERROR(
       gnn::SaveModel(classifier_.get(), dir + "/itgnn_s.bin"));
   GLINT_RETURN_IF_ERROR(
       gnn::SaveModel(contrastive_.get(), dir + "/itgnn_c.bin"));
+  // Drift statistics are fitted at training time, not derivable from the
+  // weights alone; without them a loaded detector would abort at its first
+  // drift check.
+  GLINT_RETURN_IF_ERROR(gnn::SaveDriftStats(drift_, dir + "/drift.bin"));
   return Status::OK();
 }
 
@@ -158,6 +171,8 @@ Status TrainedDetector::LoadModels(const std::string& dir) {
       gnn::LoadModel(classifier_.get(), dir + "/itgnn_s.bin"));
   GLINT_RETURN_IF_ERROR(
       gnn::LoadModel(contrastive_.get(), dir + "/itgnn_c.bin"));
+  drift_ = gnn::DriftDetector({options_.t_mad});
+  GLINT_RETURN_IF_ERROR(gnn::LoadDriftStats(&drift_, dir + "/drift.bin"));
   ready_ = true;
   return Status::OK();
 }

@@ -1,0 +1,325 @@
+#include "core/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/obs.h"
+#include "util/binio.h"
+#include "util/crc32c.h"
+#include "util/fault.h"
+
+namespace glint::core {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4c415747;   // "GWAL"
+constexpr uint32_t kSnapMagic = 0x504e5347;  // "GSNP"
+constexpr uint32_t kVersion = 1;
+constexpr size_t kWalHeaderBytes = 2 * sizeof(uint32_t);
+/// Per-record frame ahead of the payload: length + checksum.
+constexpr size_t kRecordFrameBytes = 2 * sizeof(uint32_t);
+/// Refuse absurd record lengths so a corrupt length field cannot drive a
+/// multi-gigabyte allocation.
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status FsyncFile(std::FILE* f, const std::string& path) {
+  if (::fsync(fileno(f)) != 0) return ErrnoStatus("cannot fsync", path);
+  return Status::OK();
+}
+
+/// fsyncs a directory so a rename inside it is durable.
+Status FsyncDir(const std::string& dir) {
+  GLINT_FAULT_POINT("journal.dirsync");
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("cannot open dir", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("cannot fsync dir", dir);
+  return Status::OK();
+}
+
+}  // namespace
+
+Journal::Journal(std::string dir) : Journal(std::move(dir), Config()) {}
+
+Journal::Journal(std::string dir, Config config)
+    : dir_(std::move(dir)), config_(config) {}
+
+Journal::~Journal() {
+  if (wal_ != nullptr) {
+    std::fflush(wal_);
+    std::fclose(wal_);
+  }
+}
+
+Status Journal::CloseWal() {
+  if (wal_ != nullptr) {
+    std::fclose(wal_);
+    wal_ = nullptr;
+  }
+  return Status::OK();
+}
+
+Status Journal::OpenWal(bool truncate) {
+  CloseWal();
+  GLINT_FAULT_POINT("wal.open");
+  wal_ = std::fopen(wal_path().c_str(), truncate ? "wb" : "ab");
+  if (wal_ == nullptr) {
+    return ErrnoStatus("cannot open WAL", wal_path());
+  }
+  std::fseek(wal_, 0, SEEK_END);
+  long size = std::ftell(wal_);
+  if (size < 0) size = 0;
+  if (truncate || static_cast<size_t>(size) < kWalHeaderBytes) {
+    GLINT_FAULT_POINT("wal.header.write");
+    const uint32_t header[2] = {kWalMagic, kVersion};
+    if (std::fwrite(header, sizeof header, 1, wal_) != 1) {
+      return ErrnoStatus("cannot write WAL header", wal_path());
+    }
+    GLINT_FAULT_POINT("wal.header.flush");
+    if (std::fflush(wal_) != 0) {
+      return ErrnoStatus("cannot flush WAL header", wal_path());
+    }
+  }
+  return Status::OK();
+}
+
+Status Journal::Append(uint64_t seq, const std::vector<char>& payload) {
+  GLINT_CHECK(recovered_);  // Recover() opens the WAL
+  if (wal_ == nullptr) {
+    // A previous post-snapshot reopen failed; refuse instead of writing
+    // through a dead handle.
+    return Status::IOError("WAL not open: " + wal_path());
+  }
+  GLINT_OBS_COUNT("glint.journal.appends", 1);
+  util::ByteWriter frame;
+  const uint32_t body_len =
+      static_cast<uint32_t>(sizeof(uint64_t) + payload.size());
+  util::ByteWriter body;
+  body.U64(seq);
+  body.Raw(payload.data(), payload.size());
+  frame.U32(body_len);
+  frame.U32(util::Crc32c(body.buffer().data(), body.buffer().size()));
+
+  // The stdio buffer is empty here (every append ends with a flush), so
+  // ftell is the true record boundary; a failed append is rolled back to
+  // it so the next append cannot emit a duplicate-seq or interleaved
+  // record after a transient failure.
+  const long start_off = std::ftell(wal_);
+
+  Status st = [&]() -> Status {
+    GLINT_FAULT_POINT("wal.append.write");
+    if (std::fwrite(frame.buffer().data(), 1, frame.size(), wal_) !=
+        frame.size()) {
+      return ErrnoStatus("cannot append WAL frame", wal_path());
+    }
+    if (fault::Registry::Armed()) {
+      // Push the frame to the OS before the tear point so a crash here
+      // leaves a frame-without-body torn record on disk — the torn-write
+      // shape recovery must detect and truncate. Unarmed appends stay one
+      // buffered write + one flush.
+      std::fflush(wal_);
+      GLINT_FAULT_POINT("wal.append.tear");
+    }
+    if (std::fwrite(body.buffer().data(), 1, body.size(), wal_) !=
+        body.size()) {
+      return ErrnoStatus("cannot append WAL record", wal_path());
+    }
+    GLINT_FAULT_POINT("wal.append.flush");
+    if (std::fflush(wal_) != 0) {
+      return ErrnoStatus("cannot flush WAL", wal_path());
+    }
+    return Status::OK();
+  }();
+  if (!st.ok()) {
+    if (start_off >= 0) {
+      std::fflush(wal_);
+      if (::ftruncate(fileno(wal_), static_cast<off_t>(start_off)) == 0) {
+        std::fseek(wal_, 0, SEEK_END);
+      }
+    }
+    return st;
+  }
+  if (config_.sync_each_append) return Sync();
+  return Status::OK();
+}
+
+Status Journal::Sync() {
+  GLINT_CHECK(recovered_);
+  GLINT_FAULT_POINT("wal.sync");
+  return FsyncFile(wal_, wal_path());
+}
+
+Status Journal::WriteSnapshot(uint64_t seq,
+                              const std::vector<char>& payload) {
+  GLINT_CHECK(recovered_);
+  GLINT_OBS_COUNT("glint.journal.snapshots", 1);
+  GLINT_OBS_TIMER(timer, "glint.journal.snapshot_ms");
+  const std::string tmp = snapshot_path() + ".tmp";
+
+  GLINT_FAULT_POINT("snapshot.open");
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return ErrnoStatus("cannot open snapshot", tmp);
+
+  util::ByteWriter header;
+  header.U32(kSnapMagic);
+  header.U32(kVersion);
+  header.U64(seq);
+  header.U32(static_cast<uint32_t>(payload.size()));
+  header.U32(util::Crc32c(payload.data(), payload.size()));
+
+  auto write_all = [&]() -> Status {
+    GLINT_FAULT_POINT("snapshot.write");
+    if (std::fwrite(header.buffer().data(), 1, header.size(), f) !=
+            header.size() ||
+        std::fwrite(payload.data(), 1, payload.size(), f) != payload.size()) {
+      return ErrnoStatus("cannot write snapshot", tmp);
+    }
+    GLINT_FAULT_POINT("snapshot.sync");
+    if (std::fflush(f) != 0) return ErrnoStatus("cannot flush snapshot", tmp);
+    return FsyncFile(f, tmp);
+  };
+  Status st = write_all();
+  std::fclose(f);
+  if (!st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
+  }
+
+  GLINT_FAULT_POINT("snapshot.rename");
+  if (std::rename(tmp.c_str(), snapshot_path().c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return ErrnoStatus("cannot rename snapshot", tmp);
+  }
+  GLINT_RETURN_IF_ERROR(FsyncDir(dir_));
+
+  // The snapshot is durable; the logged ops it covers are dead weight.
+  // A crash before this truncate double-covers them, which replay's seq
+  // filter makes harmless.
+  GLINT_FAULT_POINT("wal.truncate");
+  return OpenWal(/*truncate=*/true);
+}
+
+Status Journal::Recover(
+    const std::function<Status(const std::vector<char>&)>& apply_snapshot,
+    const std::function<Status(uint64_t, const std::vector<char>&)>&
+        apply_record,
+    RecoveryInfo* info) {
+  GLINT_CHECK(!recovered_);
+  *info = RecoveryInfo();
+
+  GLINT_FAULT_POINT("journal.mkdir");
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoStatus("cannot create state dir", dir_);
+  }
+
+  // ---- Snapshot --------------------------------------------------------
+  {
+    GLINT_FAULT_POINT("snapshot.read");
+    std::FILE* f = std::fopen(snapshot_path().c_str(), "rb");
+    if (f != nullptr) {
+      uint32_t magic = 0, version = 0, len = 0, crc = 0;
+      uint64_t seq = 0;
+      std::vector<char> payload;
+      bool ok = std::fread(&magic, sizeof magic, 1, f) == 1 &&
+                magic == kSnapMagic &&
+                std::fread(&version, sizeof version, 1, f) == 1 &&
+                version == kVersion &&
+                std::fread(&seq, sizeof seq, 1, f) == 1 &&
+                std::fread(&len, sizeof len, 1, f) == 1 &&
+                std::fread(&crc, sizeof crc, 1, f) == 1 &&
+                len <= kMaxRecordBytes;
+      if (ok) {
+        payload.resize(len);
+        ok = std::fread(payload.data(), 1, len, f) == len &&
+             util::Crc32c(payload.data(), len) == crc;
+      }
+      std::fclose(f);
+      if (!ok) {
+        // A snapshot is replaced atomically, so a bad one means external
+        // corruption of the authoritative state — refuse to guess.
+        return Status::IOError("corrupt snapshot: " + snapshot_path());
+      }
+      GLINT_RETURN_IF_ERROR(apply_snapshot(payload));
+      info->snapshot_loaded = true;
+      info->snapshot_seq = seq;
+      GLINT_OBS_COUNT("glint.recovery.snapshots_loaded", 1);
+    }
+  }
+
+  // ---- WAL tail --------------------------------------------------------
+  GLINT_FAULT_POINT("wal.recover.read");
+  std::FILE* f = std::fopen(wal_path().c_str(), "rb");
+  if (f != nullptr) {
+    size_t valid_end = 0;  // file offset after the last valid record
+    uint32_t header[2] = {0, 0};
+    if (std::fread(header, sizeof header, 1, f) == 1 &&
+        header[0] == kWalMagic && header[1] == kVersion) {
+      valid_end = kWalHeaderBytes;
+      std::vector<char> body;
+      for (;;) {
+        uint32_t len = 0, crc = 0;
+        if (std::fread(&len, sizeof len, 1, f) != 1 ||
+            std::fread(&crc, sizeof crc, 1, f) != 1) {
+          break;  // clean end or torn frame
+        }
+        if (len < sizeof(uint64_t) || len > kMaxRecordBytes) break;
+        body.resize(len);
+        if (std::fread(body.data(), 1, len, f) != len) break;  // torn body
+        if (util::Crc32c(body.data(), len) != crc) break;      // corrupt
+        util::ByteReader r(body.data(), body.size());
+        uint64_t seq = 0;
+        r.U64(&seq);
+        if (seq <= info->snapshot_seq) {
+          // Already folded into the snapshot (crash landed between the
+          // snapshot rename and the WAL truncate).
+          ++info->skipped_records;
+        } else {
+          std::vector<char> payload(body.begin() + sizeof(uint64_t),
+                                    body.end());
+          Status st = apply_record(seq, payload);
+          if (!st.ok()) {
+            std::fclose(f);
+            return st;
+          }
+          ++info->tail_records;
+        }
+        valid_end += kRecordFrameBytes + len;
+      }
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long file_size = std::ftell(f);
+    std::fclose(f);
+    if (file_size > 0 && static_cast<size_t>(file_size) > valid_end) {
+      info->truncated_bytes = static_cast<size_t>(file_size) - valid_end;
+      info->tail_torn = true;
+      GLINT_OBS_COUNT("glint.recovery.torn_tails", 1);
+      GLINT_OBS_COUNT("glint.recovery.truncated_bytes",
+                      static_cast<int64_t>(info->truncated_bytes));
+      GLINT_FAULT_POINT("wal.recover.truncate");
+      if (::truncate(wal_path().c_str(),
+                     static_cast<off_t>(valid_end)) != 0) {
+        return ErrnoStatus("cannot truncate torn WAL tail", wal_path());
+      }
+    }
+    GLINT_OBS_COUNT("glint.recovery.records_replayed",
+                    static_cast<int64_t>(info->tail_records));
+  }
+
+  // Recovery never rewrites history: reopen for append (creating the file
+  // and header if this is a fresh directory).
+  recovered_ = true;
+  Status st = OpenWal(/*truncate=*/false);
+  if (!st.ok()) recovered_ = false;
+  return st;
+}
+
+}  // namespace glint::core

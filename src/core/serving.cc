@@ -1,24 +1,300 @@
 #include "core/serving.h"
 
 #include <string>
+#include <utility>
 
+#include "graph/event_log.h"
 #include "obs/obs.h"
+#include "rules/rule_io.h"
+#include "util/binio.h"
 #include "util/thread_pool.h"
 
 namespace glint::core {
+
+ServingEngine::ServingEngine(const TrainedDetector* detector)
+    : ServingEngine(detector, Config()) {}
 
 ServingEngine::ServingEngine(const TrainedDetector* detector, Config config)
     : detector_(detector), config_(config) {
   GLINT_CHECK(detector_ != nullptr);
 }
 
-int ServingEngine::AddHome(const std::vector<rules::Rule>& deployed) {
-  auto session =
-      std::make_unique<DeploymentSession>(detector_, config_.session);
-  for (const auto& r : deployed) session->AddRule(r);
+std::unique_ptr<DeploymentSession> ServingEngine::MakeSession() const {
+  return std::make_unique<DeploymentSession>(detector_, config_.session);
+}
+
+// ---- Durability --------------------------------------------------------
+
+Status ServingEngine::Recover(const std::string& dir) {
+  GLINT_OBS_SPAN(span, "glint.recovery.recover_ms");
+  GLINT_CHECK(sessions_.empty());  // recovery targets a fresh engine
+  GLINT_CHECK(journal_ == nullptr);
+  auto journal = std::make_unique<Journal>(
+      dir, Journal::Config{config_.sync_each_append});
+  Journal::RecoveryInfo info;
+  Status st = journal->Recover(
+      [this](const std::vector<char>& payload) {
+        return ApplySnapshot(payload);
+      },
+      [this](uint64_t seq, const std::vector<char>& payload) {
+        Status apply_st = ApplyRecord(payload);
+        if (apply_st.ok()) seq_ = seq;
+        return apply_st;
+      },
+      &info);
+  if (!st.ok()) {
+    // Leave the engine non-durable and empty-ish state visible to the
+    // caller; recovery failures are surfaced, never papered over.
+    sessions_.clear();
+    seq_ = 0;
+    return st;
+  }
+  if (info.snapshot_loaded && info.tail_records == 0) {
+    seq_ = info.snapshot_seq;
+  } else if (info.snapshot_loaded && seq_ < info.snapshot_seq) {
+    seq_ = info.snapshot_seq;
+  }
+  recovery_info_ = info;
+  journal_ = std::move(journal);
+  ops_since_snapshot_ = info.tail_records;
+  return Status::OK();
+}
+
+Status ServingEngine::Snapshot() {
+  GLINT_CHECK(durable());
+  GLINT_OBS_SPAN(span, "glint.recovery.snapshot_ms");
+  GLINT_RETURN_IF_ERROR(journal_->WriteSnapshot(seq_, EncodeSnapshot()));
+  ops_since_snapshot_ = 0;
+  return Status::OK();
+}
+
+std::vector<char> ServingEngine::EncodeSnapshot() const {
+  util::ByteWriter w;
+  w.U32(static_cast<uint32_t>(sessions_.size()));
+  for (const auto& s : sessions_) s->SerializeTo(&w);
+  return w.TakeBuffer();
+}
+
+Status ServingEngine::ApplySnapshot(const std::vector<char>& payload) {
+  util::ByteReader r(payload);
+  uint32_t homes = 0;
+  if (!r.U32(&homes)) {
+    return Status::InvalidArgument("snapshot: truncated home count");
+  }
+  for (uint32_t h = 0; h < homes; ++h) {
+    auto session = MakeSession();
+    GLINT_RETURN_IF_ERROR(session->RestoreFrom(&r));
+    sessions_.push_back(std::move(session));
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("snapshot: trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status ServingEngine::JournalAppend(const std::vector<char>& payload) {
+  if (journal_ == nullptr) {
+    ++seq_;
+    return Status::OK();
+  }
+  GLINT_OBS_TIMER(timer, "glint.serving.wal_append_ms");
+  GLINT_RETURN_IF_ERROR(journal_->Append(seq_ + 1, payload));
+  ++seq_;
+  ++ops_since_snapshot_;
+  return Status::OK();
+}
+
+Status ServingEngine::MaybeAutoSnapshot() {
+  if (journal_ == nullptr || config_.snapshot_every_ops == 0 ||
+      ops_since_snapshot_ < config_.snapshot_every_ops) {
+    return Status::OK();
+  }
+  return Snapshot();
+}
+
+Status ServingEngine::ApplyRecord(const std::vector<char>& payload) {
+  util::ByteReader r(payload);
+  uint8_t op = 0;
+  if (!r.U8(&op)) return Status::InvalidArgument("WAL record: missing op");
+  switch (op) {
+    case kOpAddHome: {
+      uint32_t n = 0;
+      if (!r.U32(&n) || n > r.remaining()) {
+        return Status::InvalidArgument("WAL AddHome: truncated rule count");
+      }
+      auto session = MakeSession();
+      for (uint32_t i = 0; i < n; ++i) {
+        rules::Rule rule;
+        if (!rules::ReadRule(&r, &rule)) {
+          return Status::InvalidArgument("WAL AddHome: truncated rule");
+        }
+        session->AddRule(rule);
+      }
+      sessions_.push_back(std::move(session));
+      break;
+    }
+    case kOpAddRule: {
+      uint32_t h = 0;
+      rules::Rule rule;
+      if (!r.U32(&h) || !rules::ReadRule(&r, &rule)) {
+        return Status::InvalidArgument("WAL AddRule: truncated record");
+      }
+      if (h >= sessions_.size()) {
+        return Status::InvalidArgument("WAL AddRule: bad home index");
+      }
+      sessions_[h]->AddRule(rule);
+      break;
+    }
+    case kOpRemoveRule: {
+      uint32_t h = 0;
+      int32_t rule_id = 0;
+      if (!r.U32(&h) || !r.I32(&rule_id)) {
+        return Status::InvalidArgument("WAL RemoveRule: truncated record");
+      }
+      if (h >= sessions_.size()) {
+        return Status::InvalidArgument("WAL RemoveRule: bad home index");
+      }
+      sessions_[h]->RemoveRule(rule_id);
+      break;
+    }
+    case kOpEvent: {
+      uint32_t h = 0;
+      graph::Event e;
+      if (!r.U32(&h) || !graph::ReadEvent(&r, &e)) {
+        return Status::InvalidArgument("WAL Event: truncated record");
+      }
+      if (h >= sessions_.size()) {
+        return Status::InvalidArgument("WAL Event: bad home index");
+      }
+      sessions_[h]->OnEvent(e);
+      break;
+    }
+    default:
+      return Status::InvalidArgument("WAL record: unknown op " +
+                                     std::to_string(op));
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("WAL record: trailing bytes");
+  }
+  return Status::OK();
+}
+
+// ---- Deployment mutations ----------------------------------------------
+
+Result<int> ServingEngine::TryAddHome(
+    const std::vector<rules::Rule>& deployed) {
+  if (journal_ != nullptr) {
+    util::ByteWriter w;
+    w.U8(kOpAddHome);
+    w.U32(static_cast<uint32_t>(deployed.size()));
+    for (const auto& rule : deployed) rules::WriteRule(&w, rule);
+    GLINT_RETURN_IF_ERROR(JournalAppend(w.buffer()));
+  } else {
+    ++seq_;
+  }
+  auto session = MakeSession();
+  for (const auto& rule : deployed) session->AddRule(rule);
   sessions_.push_back(std::move(session));
+  GLINT_RETURN_IF_ERROR(MaybeAutoSnapshot());
   return static_cast<int>(sessions_.size()) - 1;
 }
+
+int ServingEngine::AddHome(const std::vector<rules::Rule>& deployed) {
+  Result<int> h = TryAddHome(deployed);
+  if (!h.ok()) {
+    std::fprintf(stderr, "ServingEngine::AddHome: %s\n",
+                 h.status().ToString().c_str());
+  }
+  GLINT_CHECK(h.ok());
+  return h.value();
+}
+
+Status ServingEngine::TryAddRule(int h, const rules::Rule& rule) {
+  DeploymentSession* session = FindHome(h);
+  if (session == nullptr) {
+    GLINT_OBS_COUNT("glint.serving.bad_home_index", 1);
+    return Status::InvalidArgument(
+        "no home with index " + std::to_string(h) + " (have " +
+        std::to_string(sessions_.size()) + ")");
+  }
+  if (journal_ != nullptr) {
+    util::ByteWriter w;
+    w.U8(kOpAddRule);
+    w.U32(static_cast<uint32_t>(h));
+    rules::WriteRule(&w, rule);
+    GLINT_RETURN_IF_ERROR(JournalAppend(w.buffer()));
+  } else {
+    ++seq_;
+  }
+  session->AddRule(rule);
+  return MaybeAutoSnapshot();
+}
+
+Status ServingEngine::TryRemoveRule(int h, int rule_id, bool* removed) {
+  DeploymentSession* session = FindHome(h);
+  if (session == nullptr) {
+    GLINT_OBS_COUNT("glint.serving.bad_home_index", 1);
+    return Status::InvalidArgument(
+        "no home with index " + std::to_string(h) + " (have " +
+        std::to_string(sessions_.size()) + ")");
+  }
+  // Probe first so a no-op removal does not pollute the WAL. CurrentRules
+  // is node-ordered, so id lookup mirrors RemoveRule's scan.
+  bool present = false;
+  for (const auto& rule : session->CurrentRules()) {
+    if (rule.id == rule_id) {
+      present = true;
+      break;
+    }
+  }
+  if (removed != nullptr) *removed = present;
+  if (!present) return Status::OK();
+  if (journal_ != nullptr) {
+    util::ByteWriter w;
+    w.U8(kOpRemoveRule);
+    w.U32(static_cast<uint32_t>(h));
+    w.I32(rule_id);
+    GLINT_RETURN_IF_ERROR(JournalAppend(w.buffer()));
+  } else {
+    ++seq_;
+  }
+  session->RemoveRule(rule_id);
+  return MaybeAutoSnapshot();
+}
+
+void ServingEngine::OnEvent(int h, const graph::Event& e) {
+  GLINT_CHECK(has_home(h));
+  Status st = TryOnEvent(h, e);
+  if (!st.ok()) {
+    std::fprintf(stderr, "ServingEngine::OnEvent: %s\n",
+                 st.ToString().c_str());
+  }
+  GLINT_CHECK(st.ok());
+}
+
+Status ServingEngine::TryOnEvent(int h, const graph::Event& e) {
+  DeploymentSession* session = FindHome(h);
+  if (session == nullptr) {
+    GLINT_OBS_COUNT("glint.serving.bad_home_index", 1);
+    return Status::InvalidArgument(
+        "no home with index " + std::to_string(h) + " (have " +
+        std::to_string(sessions_.size()) + ")");
+  }
+  if (journal_ != nullptr) {
+    util::ByteWriter w;
+    w.U8(kOpEvent);
+    w.U32(static_cast<uint32_t>(h));
+    graph::WriteEvent(&w, e);
+    GLINT_RETURN_IF_ERROR(JournalAppend(w.buffer()));
+  } else {
+    ++seq_;
+  }
+  GLINT_OBS_COUNT("glint.serving.events", 1);
+  session->OnEvent(e);
+  return MaybeAutoSnapshot();
+}
+
+// ---- Lookups & inspection ----------------------------------------------
 
 DeploymentSession& ServingEngine::home(int h) {
   GLINT_CHECK(has_home(h));
@@ -38,25 +314,6 @@ const DeploymentSession* ServingEngine::FindHome(int h) const {
   return has_home(h) ? sessions_[static_cast<size_t>(h)].get() : nullptr;
 }
 
-void ServingEngine::OnEvent(int h, const graph::Event& e) {
-  GLINT_CHECK(has_home(h));
-  GLINT_OBS_COUNT("glint.serving.events", 1);
-  sessions_[static_cast<size_t>(h)]->OnEvent(e);
-}
-
-Status ServingEngine::TryOnEvent(int h, const graph::Event& e) {
-  DeploymentSession* session = FindHome(h);
-  if (session == nullptr) {
-    GLINT_OBS_COUNT("glint.serving.bad_home_index", 1);
-    return Status::InvalidArgument(
-        "no home with index " + std::to_string(h) + " (have " +
-        std::to_string(sessions_.size()) + ")");
-  }
-  GLINT_OBS_COUNT("glint.serving.events", 1);
-  session->OnEvent(e);
-  return Status::OK();
-}
-
 std::vector<ThreatWarning> ServingEngine::InspectAll(double now_hours) {
   GLINT_OBS_SPAN(span, "glint.serving.inspect_all_ms");
   std::vector<ThreatWarning> out(sessions_.size());
@@ -70,6 +327,17 @@ std::vector<ThreatWarning> ServingEngine::InspectAll(double now_hours) {
                 }
               });
   return out;
+}
+
+Result<ThreatWarning> ServingEngine::TryInspect(int h, double now_hours) {
+  DeploymentSession* session = FindHome(h);
+  if (session == nullptr) {
+    GLINT_OBS_COUNT("glint.serving.bad_home_index", 1);
+    return Status::InvalidArgument(
+        "no home with index " + std::to_string(h) + " (have " +
+        std::to_string(sessions_.size()) + ")");
+  }
+  return session->TryInspect(now_hours);
 }
 
 size_t ServingEngine::total_rules() const {

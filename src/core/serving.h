@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/journal.h"
 #include "core/session.h"
 #include "util/status.h"
 
@@ -16,17 +19,79 @@ namespace glint::core {
 /// Determinism: sessions are independent (each mutates only its own state;
 /// the detector's memo caches store pure-function results), so InspectAll
 /// returns bit-identical warnings for any thread count, in home order.
+///
+/// Durability (optional): Recover(dir) attaches a write-ahead log. Every
+/// state-changing operation routed through the engine (TryAddHome /
+/// TryAddRule / TryRemoveRule / TryOnEvent and their checked twins) is
+/// appended to the WAL *before* it is applied; Snapshot() serializes every
+/// session and truncates the log. After a crash, a fresh engine calling
+/// Recover(dir) replays snapshot + tail and reaches a state whose
+/// InspectAll output is bit-identical to the uninterrupted run's (the
+/// recovery extension of the session-vs-cold determinism proof). Direct
+/// home(h) mutation bypasses the WAL — durable deployments must mutate
+/// through the engine.
 class ServingEngine {
  public:
   struct Config {
     DeploymentSession::Config session;
+    /// Automatic snapshot cadence for durable engines: snapshot after this
+    /// many journaled ops (0 = manual Snapshot() only).
+    uint64_t snapshot_every_ops = 0;
+    /// fsync the WAL on every append (see Journal::Config).
+    bool sync_each_append = false;
   };
 
-  explicit ServingEngine(const TrainedDetector* detector,
-                         Config config = Config());
+  explicit ServingEngine(const TrainedDetector* detector);
+  ServingEngine(const TrainedDetector* detector, Config config);
+
+  // ---- Durability ------------------------------------------------------
+
+  /// Attaches the state directory `dir` (created if missing): restores the
+  /// snapshot + WAL tail into this (required empty) engine, truncates any
+  /// torn tail, and journals every subsequent engine-routed mutation. On a
+  /// fresh directory this is simply "enable durability".
+  Status Recover(const std::string& dir);
+
+  /// Serializes every session and truncates the WAL. Durable engines only.
+  Status Snapshot();
+
+  bool durable() const { return journal_ != nullptr; }
+  /// Sequence number of the last journaled (and applied) operation.
+  uint64_t journal_seq() const { return seq_; }
+  /// What the last Recover() found (zero-initialized when never called).
+  const Journal::RecoveryInfo& recovery_info() const {
+    return recovery_info_;
+  }
+
+  // ---- Deployment mutations -------------------------------------------
 
   /// Registers a home with its deployed rules; returns the home index.
+  /// Journaled when durable; IOError if the WAL append fails (the home is
+  /// then not registered).
+  Result<int> TryAddHome(const std::vector<rules::Rule>& deployed);
+
+  /// Checked twin of TryAddHome: aborts on journal failure (for callers
+  /// without an error path; non-durable engines cannot fail).
   int AddHome(const std::vector<rules::Rule>& deployed);
+
+  /// Deploys one rule into home `h` (journaled). InvalidArgument on a bad
+  /// index, IOError on a WAL failure; on error nothing is applied.
+  Status TryAddRule(int h, const rules::Rule& rule);
+
+  /// Retires rule `rule_id` from home `h` (journaled). `*removed` (when
+  /// non-null) reports whether the rule existed. A no-op removal is not
+  /// journaled.
+  Status TryRemoveRule(int h, int rule_id, bool* removed = nullptr);
+
+  /// Routes one event to a home's session (journaled). Aborts on an
+  /// invalid index or journal failure.
+  void OnEvent(int h, const graph::Event& e);
+
+  /// Validating variant: InvalidArgument instead of aborting when `h` does
+  /// not name a registered home, IOError on a WAL failure.
+  Status TryOnEvent(int h, const graph::Event& e);
+
+  // ---- Lookups & inspection -------------------------------------------
 
   size_t num_homes() const { return sessions_.size(); }
   bool has_home(int h) const {
@@ -35,7 +100,8 @@ class ServingEngine {
 
   /// Checked accessors: an out-of-range home index is a programmer error
   /// and aborts loudly (GLINT_CHECK). Callers routing *untrusted* indices
-  /// (CLI input, network frontends) use FindHome / TryOnEvent instead.
+  /// (CLI input, network frontends) use FindHome / TryOnEvent /
+  /// TryInspect instead.
   DeploymentSession& home(int h);
   const DeploymentSession& home(int h) const;
 
@@ -43,15 +109,13 @@ class ServingEngine {
   DeploymentSession* FindHome(int h);
   const DeploymentSession* FindHome(int h) const;
 
-  /// Routes one event to a home's session. Aborts on an invalid index.
-  void OnEvent(int h, const graph::Event& e);
-
-  /// Validating variant: InvalidArgument instead of aborting when `h` does
-  /// not name a registered home.
-  Status TryOnEvent(int h, const graph::Event& e);
-
   /// Inspects every home at `now` in parallel; result i belongs to home i.
   std::vector<ThreatWarning> InspectAll(double now_hours);
+
+  /// Validating single-home inspection: InvalidArgument when `h` is out of
+  /// range or `now` precedes the home's event watermark — nothing an
+  /// untrusted caller passes here can abort the process.
+  Result<ThreatWarning> TryInspect(int h, double now_hours);
 
   /// Total rules deployed across all homes.
   size_t total_rules() const;
@@ -62,10 +126,33 @@ class ServingEngine {
   DeploymentSession::CacheStats AggregateStats() const;
 
  private:
+  /// WAL record operation tags (payload byte 0).
+  enum Op : uint8_t {
+    kOpAddHome = 1,
+    kOpAddRule = 2,
+    kOpRemoveRule = 3,
+    kOpEvent = 4,
+  };
+
+  std::unique_ptr<DeploymentSession> MakeSession() const;
+  /// Appends `payload` as the next journaled op (no-op when not durable);
+  /// on success bumps seq_. The caller applies the op only on OK.
+  Status JournalAppend(const std::vector<char>& payload);
+  /// Decodes and applies one WAL record during recovery.
+  Status ApplyRecord(const std::vector<char>& payload);
+  /// Serializes every session into a snapshot payload.
+  std::vector<char> EncodeSnapshot() const;
+  Status ApplySnapshot(const std::vector<char>& payload);
+  Status MaybeAutoSnapshot();
+
   const TrainedDetector* detector_;
   Config config_;
   /// unique_ptr for stable addresses across AddHome growth.
   std::vector<std::unique_ptr<DeploymentSession>> sessions_;
+  std::unique_ptr<Journal> journal_;
+  uint64_t seq_ = 0;
+  uint64_t ops_since_snapshot_ = 0;
+  Journal::RecoveryInfo recovery_info_;
 };
 
 }  // namespace glint::core

@@ -52,6 +52,16 @@ ThreatWarning DeploymentSession::Inspect(double now_hours) {
   return Render(live_.RealTimeEdges(now_hours));
 }
 
+Result<ThreatWarning> DeploymentSession::TryInspect(double now_hours) {
+  if (now_hours + 1e-9 < live_.latest_event_hours()) {
+    return Status::InvalidArgument(
+        "inspection time " + std::to_string(now_hours) +
+        "h precedes the latest ingested event at " +
+        std::to_string(live_.latest_event_hours()) + "h");
+  }
+  return Inspect(now_hours);
+}
+
 ThreatWarning DeploymentSession::InspectStatic() {
   return Render(live_.StaticEdges());
 }

@@ -59,6 +59,20 @@ class DeploymentSession {
   /// Initial-setup inspection over the static (unpruned) graph.
   ThreatWarning InspectStatic();
 
+  /// Validating inspection: InvalidArgument (instead of the RealTimeEdges
+  /// monotonicity CHECK) when `now` precedes the latest ingested event —
+  /// the untrusted-input variant for CLI / frontend callers.
+  Result<ThreatWarning> TryInspect(double now_hours);
+
+  /// Serializes the session's logical state (the LiveGraph: deployed rules
+  /// in node order, retained events, watermark) into a snapshot payload.
+  void SerializeTo(util::ByteWriter* w) const { live_.SerializeTo(w); }
+
+  /// Rebuilds a fresh session from a SerializeTo payload. Inspect output
+  /// after restore is bit-identical to the serialized session's (caches
+  /// start cold, but they are exact-key and cannot change verdicts).
+  Status RestoreFrom(util::ByteReader* r) { return live_.Restore(r); }
+
   int num_rules() const { return live_.num_rules(); }
   std::vector<rules::Rule> CurrentRules() const {
     return live_.CurrentRules();

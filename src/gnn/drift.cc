@@ -74,6 +74,38 @@ void DriftDetector::FitFromModel(GraphModel* model,
   Fit(embeddings, labels);
 }
 
+void DriftDetector::SerializeTo(util::ByteWriter* w) const {
+  w->U32(static_cast<uint32_t>(centroids_.size()));
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    w->U32(static_cast<uint32_t>(centroids_[c].size()));
+    w->Raw(centroids_[c].data(), sizeof(float) * centroids_[c].size());
+    w->F64(median_dist_[c]);
+    w->F64(mad_[c]);
+  }
+}
+
+bool DriftDetector::RestoreFrom(util::ByteReader* r) {
+  uint32_t classes = 0;
+  if (!r->U32(&classes) || classes == 0 || classes > 16) return false;
+  std::vector<FloatVec> centroids(classes);
+  std::vector<double> median(classes, 0.0);
+  std::vector<double> mad(classes, 1.0);
+  for (uint32_t c = 0; c < classes; ++c) {
+    uint32_t dim = 0;
+    // Cap the embedding dimension so a corrupt length field cannot drive a
+    // multi-gigabyte allocation before the payload runs out.
+    if (!r->U32(&dim) || dim == 0 || dim > (1u << 24)) return false;
+    centroids[c].resize(dim);
+    if (!r->Raw(centroids[c].data(), sizeof(float) * dim)) return false;
+    if (!r->F64(&median[c]) || !r->F64(&mad[c])) return false;
+    if (!(mad[c] > 0.0)) return false;  // division guard (also rejects NaN)
+  }
+  centroids_ = std::move(centroids);
+  median_dist_ = std::move(median);
+  mad_ = std::move(mad);
+  return true;
+}
+
 std::vector<bool> DriftDetector::DetectDrifting(
     GraphModel* model, const std::vector<GnnGraph>& unlabeled) const {
   std::vector<bool> out;

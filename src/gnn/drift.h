@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "gnn/trainer.h"
+#include "util/binio.h"
 
 namespace glint::gnn {
 
@@ -43,6 +44,19 @@ class DriftDetector {
   std::vector<bool> DetectDrifting(GraphModel* model,
                                    const std::vector<GnnGraph>& unlabeled)
       const;
+
+  /// Appends the fitted statistics (centroids, medians, MADs) to `w` in the
+  /// layout RestoreFrom reads back. The t_mad threshold is configuration,
+  /// not fitted state, and is not serialized.
+  void SerializeTo(util::ByteWriter* w) const;
+
+  /// Restores statistics written by SerializeTo. Returns false on a
+  /// truncated or structurally invalid payload, leaving the detector
+  /// unchanged.
+  bool RestoreFrom(util::ByteReader* r);
+
+  /// True once Fit/FitFromModel/RestoreFrom has populated the statistics.
+  bool fitted() const { return !centroids_.empty(); }
 
   const FloatVec& centroid(int cls) const { return centroids_[static_cast<size_t>(cls)]; }
 

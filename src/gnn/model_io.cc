@@ -1,69 +1,187 @@
 #include "gnn/model_io.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "util/binio.h"
+#include "util/crc32c.h"
+#include "util/fault.h"
 
 namespace glint::gnn {
 
 namespace {
-constexpr uint32_t kMagic = 0x474d444cu;  // "GMDL"
+
+constexpr uint32_t kModelMagic = 0x474d444cu;  // "GMDL"
+constexpr uint32_t kDriftMagic = 0x46524447u;  // "GDRF"
+constexpr uint32_t kVersion = 2;
+// magic | version | payload_len | crc32c(payload)
+constexpr size_t kHeaderBytes = 4 * sizeof(uint32_t);
+/// Reject corrupt length fields before they drive a huge allocation.
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
 }
 
-Status SaveModel(GraphModel* model, const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+void EncodeParams(GraphModel* model, util::ByteWriter* w) {
   auto params = model->Parameters();
-  const uint32_t count = static_cast<uint32_t>(params.size());
-  std::fwrite(&kMagic, sizeof kMagic, 1, f);
-  std::fwrite(&count, sizeof count, 1, f);
+  w->U32(static_cast<uint32_t>(params.size()));
   for (Parameter* p : params) {
-    const int32_t rows = p->value.rows;
-    const int32_t cols = p->value.cols;
-    std::fwrite(&rows, sizeof rows, 1, f);
-    std::fwrite(&cols, sizeof cols, 1, f);
-    std::fwrite(p->value.data.data(), sizeof(float), p->value.data.size(), f);
+    w->I32(p->value.rows);
+    w->I32(p->value.cols);
+    w->Raw(p->value.data.data(), sizeof(float) * p->value.data.size());
   }
+}
+
+/// Writes `payload` under the magic/version/len/crc header, staged to a
+/// temp file and renamed so a crash mid-save never leaves a half-written
+/// file where a good one used to be.
+Status SaveContainer(uint32_t magic, const util::ByteWriter& payload,
+                     const std::string& path) {
+  util::ByteWriter header;
+  header.U32(magic);
+  header.U32(kVersion);
+  header.U32(static_cast<uint32_t>(payload.size()));
+  header.U32(util::Crc32c(payload.buffer().data(), payload.size()));
+
+  const std::string tmp = path + ".tmp";
+  GLINT_FAULT_POINT("model.save.open");
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return ErrnoStatus("cannot open for write", tmp);
+  auto write_all = [&]() -> Status {
+    GLINT_FAULT_POINT("model.save.write");
+    if (std::fwrite(header.buffer().data(), 1, header.size(), f) !=
+            header.size() ||
+        std::fwrite(payload.buffer().data(), 1, payload.size(), f) !=
+            payload.size()) {
+      return ErrnoStatus("cannot write model", tmp);
+    }
+    GLINT_FAULT_POINT("model.save.flush");
+    if (std::fflush(f) != 0) return ErrnoStatus("cannot flush model", tmp);
+    return Status::OK();
+  };
+  Status st = write_all();
   std::fclose(f);
+  if (!st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
+  }
+  GLINT_FAULT_POINT("model.save.rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return ErrnoStatus("cannot rename model", tmp);
+  }
   return Status::OK();
 }
 
-Status LoadModel(GraphModel* model, const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
-  auto params = model->Parameters();
-  uint32_t magic = 0, count = 0;
-  if (std::fread(&magic, sizeof magic, 1, f) != 1 || magic != kMagic) {
+/// Reads and authenticates a container written by SaveContainer. On OK the
+/// payload bytes passed the CRC; structural validation is the caller's.
+Status LoadContainer(uint32_t magic, const std::string& path,
+                     std::vector<char>* payload) {
+  GLINT_FAULT_POINT("model.load.open");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return ErrnoStatus("cannot open for read", path);
+
+  uint32_t file_magic = 0, version = 0, len = 0, crc = 0;
+  GLINT_FAULT_POINT("model.load.read");
+  bool header_ok = std::fread(&file_magic, sizeof file_magic, 1, f) == 1 &&
+                   std::fread(&version, sizeof version, 1, f) == 1 &&
+                   std::fread(&len, sizeof len, 1, f) == 1 &&
+                   std::fread(&crc, sizeof crc, 1, f) == 1;
+  if (!header_ok || file_magic != magic) {
     std::fclose(f);
-    return Status::InvalidArgument("bad model file magic: " + path);
+    return Status::IOError("bad model file magic: " + path);
   }
-  if (std::fread(&count, sizeof count, 1, f) != 1 ||
-      count != params.size()) {
+  if (version != kVersion) {
     std::fclose(f);
-    return Status::InvalidArgument("model architecture mismatch: " + path);
+    return Status::FailedPrecondition(
+        "model format version " + std::to_string(version) + " (want " +
+        std::to_string(kVersion) + "): " + path);
+  }
+  if (len > kMaxPayloadBytes) {
+    std::fclose(f);
+    return Status::IOError("absurd model payload length: " + path);
+  }
+  payload->resize(len);
+  const bool body_ok = std::fread(payload->data(), 1, len, f) == len;
+  // A trailing byte means the file is not what SaveContainer wrote.
+  const bool at_eof = std::fgetc(f) == EOF;
+  std::fclose(f);
+  if (!body_ok || !at_eof) {
+    return Status::IOError("truncated or oversized model file: " + path);
+  }
+  if (util::Crc32c(payload->data(), payload->size()) != crc) {
+    return Status::IOError("model checksum mismatch: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveModel(GraphModel* model, const std::string& path) {
+  util::ByteWriter payload;
+  EncodeParams(model, &payload);
+  return SaveContainer(kModelMagic, payload, path);
+}
+
+Status LoadModel(GraphModel* model, const std::string& path) {
+  std::vector<char> payload;
+  GLINT_RETURN_IF_ERROR(LoadContainer(kModelMagic, path, &payload));
+
+  // The bytes are authentic; shape errors from here are a model/file
+  // architecture disagreement, not corruption.
+  util::ByteReader r(payload);
+  auto params = model->Parameters();
+  uint32_t count = 0;
+  if (!r.U32(&count) || count != params.size()) {
+    return Status::FailedPrecondition(
+        "model architecture mismatch (" + std::to_string(count) + " vs " +
+        std::to_string(params.size()) + " parameters): " + path);
   }
   for (Parameter* p : params) {
     int32_t rows = 0, cols = 0;
-    if (std::fread(&rows, sizeof rows, 1, f) != 1 ||
-        std::fread(&cols, sizeof cols, 1, f) != 1 ||
-        rows != p->value.rows || cols != p->value.cols) {
-      std::fclose(f);
-      return Status::InvalidArgument("parameter shape mismatch: " + path);
+    if (!r.I32(&rows) || !r.I32(&cols) || rows != p->value.rows ||
+        cols != p->value.cols) {
+      return Status::FailedPrecondition("parameter shape mismatch: " + path);
     }
-    if (std::fread(p->value.data.data(), sizeof(float), p->value.data.size(),
-                   f) != p->value.data.size()) {
-      std::fclose(f);
-      return Status::IOError("truncated model file: " + path);
+    if (!r.Raw(p->value.data.data(),
+               sizeof(float) * p->value.data.size())) {
+      return Status::IOError("truncated model payload: " + path);
     }
   }
-  std::fclose(f);
+  if (!r.exhausted()) {
+    return Status::FailedPrecondition("trailing model payload bytes: " + path);
+  }
   return Status::OK();
 }
 
 size_t ModelBytes(GraphModel* model) {
-  size_t bytes = sizeof(uint32_t) * 2;
+  size_t bytes = kHeaderBytes + sizeof(uint32_t);  // header + param count
   for (Parameter* p : model->Parameters()) {
     bytes += sizeof(int32_t) * 2 + sizeof(float) * p->value.size();
   }
   return bytes;
+}
+
+Status SaveDriftStats(const DriftDetector& drift, const std::string& path) {
+  if (!drift.fitted()) {
+    return Status::FailedPrecondition("drift detector not fitted: " + path);
+  }
+  util::ByteWriter payload;
+  drift.SerializeTo(&payload);
+  return SaveContainer(kDriftMagic, payload, path);
+}
+
+Status LoadDriftStats(DriftDetector* drift, const std::string& path) {
+  std::vector<char> payload;
+  GLINT_RETURN_IF_ERROR(LoadContainer(kDriftMagic, path, &payload));
+  util::ByteReader r(payload);
+  if (!drift->RestoreFrom(&r) || !r.exhausted()) {
+    return Status::FailedPrecondition("malformed drift statistics: " + path);
+  }
+  return Status::OK();
 }
 
 }  // namespace glint::gnn

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "gnn/drift.h"
 #include "gnn/models.h"
 #include "util/status.h"
 
@@ -10,12 +11,31 @@ namespace glint::gnn {
 /// Serializes a model's parameter values to a binary file (used for the
 /// Sec. 4.8.2 model-size measurement and for shipping the cloud-trained
 /// public model to the hub).
+///
+/// File layout: u32 magic 'GMDL' | u32 format version | u32 payload_len |
+/// u32 crc32c(payload) | payload (param count + per-param rows/cols/f32
+/// data). The file is staged to `path`.tmp and renamed, so a crash mid-save
+/// never clobbers an existing good model.
 Status SaveModel(GraphModel* model, const std::string& path);
 
-/// Loads parameter values into a model of identical architecture.
+/// Loads parameter values into a model of identical architecture. Malformed
+/// input is a Status, never an abort: truncated/corrupt/bad-magic files are
+/// IOError, a version or architecture mismatch is FailedPrecondition.
 Status LoadModel(GraphModel* model, const std::string& path);
 
 /// Serialized size in bytes without writing a file.
 size_t ModelBytes(GraphModel* model);
+
+/// Persists a fitted drift detector's statistics (centroids + MAD bands)
+/// in the same hardened container as model files (magic 'GDRF', versioned,
+/// CRC-checked, staged to .tmp and renamed). Drift statistics are fitted
+/// during offline training, so a detector restored via LoadModel alone
+/// cannot score drift — this file completes the model directory.
+Status SaveDriftStats(const DriftDetector& drift, const std::string& path);
+
+/// Restores drift statistics written by SaveDriftStats. Same Status
+/// taxonomy as LoadModel: corrupt/truncated is IOError, a format version
+/// mismatch is FailedPrecondition; never aborts.
+Status LoadDriftStats(DriftDetector* drift, const std::string& path);
 
 }  // namespace glint::gnn

@@ -1,161 +1,22 @@
 #include "graph/dataset_store.h"
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
+
+#include "rules/rule_io.h"
+#include "util/binio.h"
 
 namespace glint::graph {
 namespace {
 
+using rules::ReadRule;
+using rules::WriteRule;
+using Reader = util::ByteReader;
+using Writer = util::ByteWriter;
+
 constexpr uint32_t kMagic = 0x474c4e54;  // "GLNT"
 constexpr uint32_t kVersion = 2;
-
-class Writer {
- public:
-  void U32(uint32_t v) { Raw(&v, sizeof v); }
-  void I32(int32_t v) { Raw(&v, sizeof v); }
-  void F64(double v) { Raw(&v, sizeof v); }
-  void F32(float v) { Raw(&v, sizeof v); }
-  void Str(const std::string& s) {
-    U32(static_cast<uint32_t>(s.size()));
-    Raw(s.data(), s.size());
-  }
-  void Raw(const void* p, size_t n) {
-    const char* c = static_cast<const char*>(p);
-    buf_.insert(buf_.end(), c, c + n);
-  }
-  const std::vector<char>& buffer() const { return buf_; }
-
- private:
-  std::vector<char> buf_;
-};
-
-class Reader {
- public:
-  Reader(const char* data, size_t size) : data_(data), size_(size) {}
-
-  bool U32(uint32_t* v) { return Raw(v, sizeof *v); }
-  bool I32(int32_t* v) { return Raw(v, sizeof *v); }
-  bool F64(double* v) { return Raw(v, sizeof *v); }
-  bool F32(float* v) { return Raw(v, sizeof *v); }
-  bool Str(std::string* s) {
-    uint32_t n;
-    if (!U32(&n) || pos_ + n > size_) return false;
-    s->assign(data_ + pos_, n);
-    pos_ += n;
-    return true;
-  }
-  bool Raw(void* p, size_t n) {
-    if (pos_ + n > size_) return false;
-    std::memcpy(p, data_ + pos_, n);
-    pos_ += n;
-    return true;
-  }
-
- private:
-  const char* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
-
-void WriteTrigger(Writer* w, const rules::TriggerSpec& t) {
-  w->I32(static_cast<int32_t>(t.channel));
-  w->I32(static_cast<int32_t>(t.device));
-  w->I32(static_cast<int32_t>(t.cmp));
-  w->F64(t.lo);
-  w->F64(t.hi);
-  w->Str(t.state);
-  w->I32(t.direction);
-  w->I32(t.has_time ? 1 : 0);
-  w->I32(t.hour_lo);
-  w->I32(t.hour_hi);
-}
-
-bool ReadTrigger(Reader* r, rules::TriggerSpec* t) {
-  int32_t ch, dev, cmp, dir, ht, hlo, hhi;
-  if (!r->I32(&ch) || !r->I32(&dev) || !r->I32(&cmp) || !r->F64(&t->lo) ||
-      !r->F64(&t->hi) || !r->Str(&t->state) || !r->I32(&dir) ||
-      !r->I32(&ht) || !r->I32(&hlo) || !r->I32(&hhi)) {
-    return false;
-  }
-  t->channel = static_cast<rules::Channel>(ch);
-  t->device = static_cast<rules::DeviceType>(dev);
-  t->cmp = static_cast<rules::Comparator>(cmp);
-  t->direction = dir;
-  t->has_time = ht != 0;
-  t->hour_lo = hlo;
-  t->hour_hi = hhi;
-  return true;
-}
-
-void WriteRule(Writer* w, const rules::Rule& rule) {
-  w->I32(rule.id);
-  w->I32(static_cast<int32_t>(rule.platform));
-  w->I32(static_cast<int32_t>(rule.location));
-  WriteTrigger(w, rule.trigger);
-  w->U32(static_cast<uint32_t>(rule.conditions.size()));
-  for (const auto& c : rule.conditions) {
-    rules::TriggerSpec t;
-    t.channel = c.channel;
-    t.device = c.device;
-    t.cmp = c.cmp;
-    t.lo = c.lo;
-    t.hi = c.hi;
-    t.state = c.state;
-    t.has_time = c.has_time;
-    t.hour_lo = c.hour_lo;
-    t.hour_hi = c.hour_hi;
-    WriteTrigger(w, t);
-  }
-  w->U32(static_cast<uint32_t>(rule.actions.size()));
-  for (const auto& a : rule.actions) {
-    w->I32(static_cast<int32_t>(a.device));
-    w->I32(static_cast<int32_t>(a.command));
-    w->F64(a.level);
-  }
-  w->Str(rule.text);
-  w->I32(rule.manual_mode_pin ? 1 : 0);
-}
-
-bool ReadRule(Reader* r, rules::Rule* rule) {
-  int32_t platform, location, pin;
-  if (!r->I32(&rule->id) || !r->I32(&platform) || !r->I32(&location) ||
-      !ReadTrigger(r, &rule->trigger)) {
-    return false;
-  }
-  rule->platform = static_cast<rules::Platform>(platform);
-  rule->location = static_cast<rules::Location>(location);
-  uint32_t nc;
-  if (!r->U32(&nc)) return false;
-  rule->conditions.resize(nc);
-  for (auto& c : rule->conditions) {
-    rules::TriggerSpec t;
-    if (!ReadTrigger(r, &t)) return false;
-    c.channel = t.channel;
-    c.device = t.device;
-    c.cmp = t.cmp;
-    c.lo = t.lo;
-    c.hi = t.hi;
-    c.state = t.state;
-    c.has_time = t.has_time;
-    c.hour_lo = t.hour_lo;
-    c.hour_hi = t.hour_hi;
-  }
-  uint32_t na;
-  if (!r->U32(&na)) return false;
-  rule->actions.resize(na);
-  for (auto& a : rule->actions) {
-    int32_t dev, cmd;
-    if (!r->I32(&dev) || !r->I32(&cmd) || !r->F64(&a.level)) return false;
-    a.device = static_cast<rules::DeviceType>(dev);
-    a.command = static_cast<rules::Command>(cmd);
-  }
-  if (!r->Str(&rule->text)) return false;
-  if (!r->I32(&pin)) return false;
-  rule->manual_mode_pin = pin != 0;
-  return true;
-}
 
 void SerializeDataset(const GraphDataset& ds, Writer* w) {
   w->U32(kMagic);

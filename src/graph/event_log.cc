@@ -78,4 +78,26 @@ bool EventFiresTrigger(const Event& e, const rules::Rule& r) {
   return false;
 }
 
+void WriteEvent(util::ByteWriter* w, const Event& e) {
+  w->F64(e.time_hours);
+  w->I32(static_cast<int32_t>(e.device));
+  w->I32(static_cast<int32_t>(e.location));
+  w->Str(e.state);
+  w->I32(static_cast<int32_t>(e.platform));
+  w->I32(e.source_rule_id);
+}
+
+bool ReadEvent(util::ByteReader* r, Event* e) {
+  int32_t device, location, platform;
+  if (!r->F64(&e->time_hours) || !r->I32(&device) || !r->I32(&location) ||
+      !r->Str(&e->state) || !r->I32(&platform) ||
+      !r->I32(&e->source_rule_id)) {
+    return false;
+  }
+  e->device = static_cast<rules::DeviceType>(device);
+  e->location = static_cast<rules::Location>(location);
+  e->platform = static_cast<rules::Platform>(platform);
+  return true;
+}
+
 }  // namespace glint::graph

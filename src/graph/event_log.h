@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "rules/rule.h"
+#include "util/binio.h"
 
 namespace glint::graph {
 
@@ -46,5 +47,10 @@ class EventLog {
 /// True when `e` can fire `trigger` of rule `r` (device/state/channel match
 /// in scope). Time-of-day triggers match when the event hour is in window.
 bool EventFiresTrigger(const Event& e, const rules::Rule& r);
+
+/// Binary codec for one Event (WAL records, serving snapshots). ReadEvent
+/// returns false on truncation.
+void WriteEvent(util::ByteWriter* w, const Event& e);
+bool ReadEvent(util::ByteReader* r, Event* e);
 
 }  // namespace glint::graph

@@ -8,6 +8,8 @@
 #include "graph/event_log.h"
 #include "graph/interaction_graph.h"
 #include "rules/rule.h"
+#include "util/binio.h"
+#include "util/status.h"
 
 namespace glint::graph {
 
@@ -92,6 +94,22 @@ class LiveGraph {
 
   /// Latest event time ingested (0 if none).
   double latest_event_hours() const { return latest_; }
+
+  /// Chronologically sorted events still inside the retained horizon —
+  /// together with CurrentRules() and latest_event_hours(), the complete
+  /// logical state of the graph (everything else is derived).
+  const std::vector<Event>& retained_events() const { return retained_; }
+
+  /// Serializes the logical state (deployed rules in node order, retained
+  /// events, watermark) — the serving snapshot payload of one home.
+  void SerializeTo(util::ByteWriter* w) const;
+
+  /// Rebuilds this graph from a SerializeTo payload by replaying AddRule /
+  /// OnEvent, restoring state bit-identical to the serialized instance
+  /// (same node order, same pair matrices, same observation times) given
+  /// the same edge predicate and node factory. Requires an empty graph;
+  /// returns InvalidArgument on a malformed payload.
+  Status Restore(util::ByteReader* r);
 
  private:
   struct Entry {

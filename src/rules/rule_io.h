@@ -1,0 +1,19 @@
+#pragma once
+
+// Binary codec for rules::Rule — the single serialization used everywhere a
+// rule crosses a process boundary (dataset store graphs, WAL records,
+// serving snapshots). Readers return false on truncation; callers convert
+// to Status at the file-format boundary.
+
+#include "rules/rule.h"
+#include "util/binio.h"
+
+namespace glint::rules {
+
+void WriteRule(util::ByteWriter* w, const Rule& rule);
+bool ReadRule(util::ByteReader* r, Rule* rule);
+
+void WriteTrigger(util::ByteWriter* w, const TriggerSpec& t);
+bool ReadTrigger(util::ByteReader* r, TriggerSpec* t);
+
+}  // namespace glint::rules

@@ -1,0 +1,79 @@
+#pragma once
+
+// Shared little-endian binary codec for Glint's on-disk formats (dataset
+// store, model files, WAL records, snapshots). ByteWriter appends into a
+// growable buffer; ByteReader consumes a borrowed buffer and reports
+// truncation via bool returns (callers convert to Status at the format
+// boundary). Neither owns a file: I/O and checksumming live with the
+// format, the codec is layout only.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace glint::util {
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { Raw(&v, sizeof v); }
+  void U32(uint32_t v) { Raw(&v, sizeof v); }
+  void U64(uint64_t v) { Raw(&v, sizeof v); }
+  void I32(int32_t v) { Raw(&v, sizeof v); }
+  void F32(float v) { Raw(&v, sizeof v); }
+  void F64(double v) { Raw(&v, sizeof v); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Raw(const void* p, size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+
+  const std::vector<char>& buffer() const { return buf_; }
+  std::vector<char> TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::vector<char> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<char>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  bool U8(uint8_t* v) { return Raw(v, sizeof *v); }
+  bool U32(uint32_t* v) { return Raw(v, sizeof *v); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof *v); }
+  bool I32(int32_t* v) { return Raw(v, sizeof *v); }
+  bool F32(float* v) { return Raw(v, sizeof *v); }
+  bool F64(double* v) { return Raw(v, sizeof *v); }
+  bool Str(std::string* s) {
+    uint32_t n;
+    if (!U32(&n) || n > size_ - pos_) return false;
+    s->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool Raw(void* p, size_t n) {
+    if (n > size_ - pos_) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace glint::util

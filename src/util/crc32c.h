@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace glint::util {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum used by the WAL / snapshot formats (the same choice as LevelDB,
+/// RocksDB, and ext4 metadata: better error-detection properties than
+/// CRC-32/zlib for short records, and hardware-accelerated on most CPUs,
+/// though this implementation is portable table-driven software).
+///
+/// `Crc32c(data, n)` computes the checksum of one buffer;
+/// `Crc32cExtend(crc, data, n)` continues a running checksum so a record
+/// can be checksummed in pieces.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace glint::util

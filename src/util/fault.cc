@@ -1,0 +1,155 @@
+#include "util/fault.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace glint::fault {
+
+std::atomic<bool> Registry::armed_{false};
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Registry::Registry() {
+  const char* spec = std::getenv("GLINT_FAULTS");
+  if (spec != nullptr && spec[0] != '\0') {
+    Status st = ArmFromSpec(spec);
+    if (!st.ok()) {
+      std::fprintf(stderr, "GLINT_FAULTS: %s\n", st.ToString().c_str());
+    }
+  }
+}
+
+bool Registry::RegisterPoint(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.try_emplace(name);
+  return true;
+}
+
+std::vector<std::string> Registry::Points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [name, state] : points_) out.push_back(name);
+  return out;
+}
+
+void Registry::Arm(const std::string& point, Mode mode, int nth,
+                   int delay_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& st = points_[point];
+  if (!st.armed) ++armed_count_;
+  st.armed = true;
+  st.mode = mode;
+  st.trigger_at = st.hits + static_cast<uint64_t>(nth < 1 ? 1 : nth);
+  st.delay_ms = delay_ms;
+  armed_.store(armed_count_ > 0, std::memory_order_relaxed);
+}
+
+void Registry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end() && it->second.armed) {
+    it->second.armed = false;
+    --armed_count_;
+  }
+  armed_.store(armed_count_ > 0, std::memory_order_relaxed);
+}
+
+void Registry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, st] : points_) {
+    st.armed = false;
+    st.hits = 0;
+  }
+  armed_count_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+Status Registry::ArmFromSpec(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec entry needs point=mode: '" +
+                                     entry + "'");
+    }
+    std::string point = entry.substr(0, eq);
+    std::string mode_str = entry.substr(eq + 1);
+    int nth = 1;
+    const size_t colon = point.rfind(':');
+    if (colon != std::string::npos) {
+      nth = std::atoi(point.c_str() + colon + 1);
+      if (nth < 1) {
+        return Status::InvalidArgument("bad hit count in '" + entry + "'");
+      }
+      point.resize(colon);
+    }
+    Mode mode;
+    int delay_ms = 0;
+    if (mode_str == "fail") {
+      mode = Mode::kFail;
+    } else if (mode_str == "crash") {
+      mode = Mode::kCrash;
+    } else if (mode_str.rfind("delay:", 0) == 0) {
+      mode = Mode::kDelay;
+      delay_ms = std::atoi(mode_str.c_str() + 6);
+      if (delay_ms < 0) delay_ms = 0;
+    } else {
+      return Status::InvalidArgument(
+          "unknown fault mode '" + mode_str +
+          "' (want fail, crash, or delay:MS) in '" + entry + "'");
+    }
+    Arm(point, mode, nth, delay_ms);
+  }
+  return Status::OK();
+}
+
+Status Registry::Hit(const char* point) {
+  Mode mode;
+  int delay_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PointState& st = points_[point];
+    ++st.hits;
+    if (!st.armed || st.hits != st.trigger_at) return Status::OK();
+    // One-shot: the point acts once, then passes through again.
+    st.armed = false;
+    --armed_count_;
+    armed_.store(armed_count_ > 0, std::memory_order_relaxed);
+    mode = st.mode;
+    delay_ms = st.delay_ms;
+  }
+  switch (mode) {
+    case Mode::kFail:
+      return Status::IOError(std::string("fault injected at ") + point);
+    case Mode::kCrash:
+      // Hard kill: no stdio flush, no atexit, no destructors — buffered
+      // but unflushed WAL bytes are lost exactly as in a real crash.
+      _exit(kCrashExitCode);
+    case Mode::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+uint64_t Registry::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+}  // namespace glint::fault

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 #include <string>
 #include <utility>
 
@@ -67,15 +68,61 @@ class Status {
   std::string message_;
 };
 
-/// Result<T>: a value or an error Status.
+/// Result<T>: a value or an error Status. Exactly one of the two is ever
+/// constructed (union storage), so T need not be default-constructible and
+/// the error path pays no T construction.
 template <typename T>
 class Result {
  public:
   Result(T value) : ok_(true), value_(std::move(value)) {}  // NOLINT
   Result(Status status) : ok_(false), status_(std::move(status)) {}  // NOLINT
 
+  Result(const Result& o) : ok_(o.ok_) {
+    if (ok_) {
+      new (&value_) T(o.value_);
+    } else {
+      new (&status_) Status(o.status_);
+    }
+  }
+  Result(Result&& o) noexcept : ok_(o.ok_) {
+    if (ok_) {
+      new (&value_) T(std::move(o.value_));
+    } else {
+      new (&status_) Status(std::move(o.status_));
+    }
+  }
+  Result& operator=(const Result& o) {
+    if (this != &o) {
+      Destroy();
+      ok_ = o.ok_;
+      if (ok_) {
+        new (&value_) T(o.value_);
+      } else {
+        new (&status_) Status(o.status_);
+      }
+    }
+    return *this;
+  }
+  Result& operator=(Result&& o) noexcept {
+    if (this != &o) {
+      Destroy();
+      ok_ = o.ok_;
+      if (ok_) {
+        new (&value_) T(std::move(o.value_));
+      } else {
+        new (&status_) Status(std::move(o.status_));
+      }
+    }
+    return *this;
+  }
+  ~Result() { Destroy(); }
+
   bool ok() const { return ok_; }
-  const Status& status() const { return status_; }
+  /// OK when a value is held, the stored error otherwise.
+  const Status& status() const {
+    static const Status ok_status;
+    return ok_ ? ok_status : status_;
+  }
   const T& value() const& { return value_; }
   T& value() & { return value_; }
   T&& value() && { return std::move(value_); }
@@ -92,9 +139,19 @@ class Result {
   }
 
  private:
+  void Destroy() {
+    if (ok_) {
+      value_.~T();
+    } else {
+      status_.~Status();
+    }
+  }
+
   bool ok_;
-  T value_{};
-  Status status_;
+  union {
+    T value_;
+    Status status_;
+  };
 };
 
 }  // namespace glint

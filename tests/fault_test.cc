@@ -1,0 +1,109 @@
+// Unit tests for the glint::fault injection framework: registration and
+// enumeration, hit counting, Nth-hit one-shot triggers, GLINT_FAULTS spec
+// parsing, delay mode, and the GLINT_FAULT_POINT macro's early-return
+// behavior inside a Status-returning function.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "util/fault.h"
+#include "util/status.h"
+
+namespace glint::fault {
+namespace {
+
+/// A Status-returning "I/O call" with one fault point, as the real WAL /
+/// snapshot / model-file code uses them.
+Status GuardedOp() {
+  GLINT_FAULT_POINT("fault_test.guarded_op");
+  return Status::OK();
+}
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::Global().Clear(); }
+  void TearDown() override { Registry::Global().Clear(); }
+};
+
+TEST_F(FaultTest, UnarmedPointPassesThroughAndRegisters) {
+  EXPECT_FALSE(Registry::Armed());
+  EXPECT_TRUE(GuardedOp().ok());
+  auto points = Registry::Global().Points();
+  bool found = false;
+  for (const auto& p : points) found |= (p == "fault_test.guarded_op");
+  EXPECT_TRUE(found);
+  // Unarmed hits are not counted (the site skips Hit() entirely).
+  EXPECT_EQ(Registry::Global().hits("fault_test.guarded_op"), 0u);
+}
+
+TEST_F(FaultTest, FailModeTriggersOnceOnNextHit) {
+  Registry::Global().Arm("fault_test.guarded_op", Mode::kFail);
+  EXPECT_TRUE(Registry::Armed());
+
+  Status st = GuardedOp();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find("fault_test.guarded_op"), std::string::npos);
+
+  // One-shot: the trigger disarms itself.
+  EXPECT_FALSE(Registry::Armed());
+  EXPECT_TRUE(GuardedOp().ok());
+}
+
+TEST_F(FaultTest, NthHitCountsArmedHitsOnly) {
+  Registry::Global().Arm("fault_test.guarded_op", Mode::kFail, /*nth=*/3);
+  EXPECT_TRUE(GuardedOp().ok());   // hit 1
+  EXPECT_TRUE(GuardedOp().ok());   // hit 2
+  EXPECT_FALSE(GuardedOp().ok());  // hit 3 fires
+  EXPECT_TRUE(GuardedOp().ok());   // disarmed again — hit not counted
+  EXPECT_EQ(Registry::Global().hits("fault_test.guarded_op"), 3u);
+}
+
+TEST_F(FaultTest, DisarmCancelsPendingTrigger) {
+  Registry::Global().Arm("fault_test.guarded_op", Mode::kFail);
+  Registry::Global().Disarm("fault_test.guarded_op");
+  EXPECT_FALSE(Registry::Armed());
+  EXPECT_TRUE(GuardedOp().ok());
+}
+
+TEST_F(FaultTest, DelayModeSleepsThenContinues) {
+  Registry::Global().Arm("fault_test.guarded_op", Mode::kDelay, /*nth=*/1,
+                         /*delay_ms=*/30);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(GuardedOp().ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_GE(elapsed, 25);
+  EXPECT_FALSE(Registry::Armed());
+}
+
+TEST_F(FaultTest, SpecParsesMultipleEntries) {
+  Status st = Registry::Global().ArmFromSpec(
+      "fault_test.a=fail,fault_test.b:3=crash,fault_test.c=delay:250");
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(Registry::Armed());
+  Registry::Global().Clear();
+}
+
+TEST_F(FaultTest, SpecRejectsMalformedEntries) {
+  EXPECT_FALSE(Registry::Global().ArmFromSpec("no_mode_here").ok());
+  EXPECT_FALSE(Registry::Global().ArmFromSpec("=fail").ok());
+  EXPECT_FALSE(Registry::Global().ArmFromSpec("p=explode").ok());
+  EXPECT_FALSE(Registry::Global().ArmFromSpec("p:0=fail").ok());
+  EXPECT_FALSE(Registry::Global().ArmFromSpec("p:x=fail").ok());
+}
+
+TEST_F(FaultTest, ClearResetsHitCounters) {
+  Registry::Global().Arm("fault_test.guarded_op", Mode::kFail, /*nth=*/5);
+  EXPECT_TRUE(GuardedOp().ok());
+  EXPECT_EQ(Registry::Global().hits("fault_test.guarded_op"), 1u);
+  Registry::Global().Clear();
+  EXPECT_EQ(Registry::Global().hits("fault_test.guarded_op"), 0u);
+  EXPECT_FALSE(Registry::Armed());
+}
+
+}  // namespace
+}  // namespace glint::fault

@@ -289,6 +289,75 @@ TEST_F(ModelTest, LoadRejectsWrongArchitecture) {
   std::remove(path.c_str());
 }
 
+// Malformed model files must surface as Status, never abort. Each case
+// starts from a valid saved file and damages it a different way.
+TEST_F(ModelTest, MalformedModelFilesAreStatusesNotAborts) {
+  GcnModel model(300, 16, 2, 51);
+  const std::string path = "/tmp/glint_model_malformed.bin";
+  ASSERT_TRUE(SaveModel(&model, path).ok());
+  FILE* f = fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  fseek(f, 0, SEEK_END);
+  const long size = ftell(f);
+  fseek(f, 0, SEEK_SET);
+  std::vector<char> bytes(static_cast<size_t>(size));
+  ASSERT_EQ(fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  fclose(f);
+
+  auto write_variant = [&](const std::vector<char>& b) {
+    FILE* w = fopen(path.c_str(), "wb");
+    ASSERT_NE(w, nullptr);
+    ASSERT_EQ(fwrite(b.data(), 1, b.size(), w), b.size());
+    fclose(w);
+  };
+  GcnModel target(300, 16, 2, 51);
+
+  // Bad magic.
+  {
+    auto b = bytes;
+    b[0] ^= 0x5a;
+    write_variant(b);
+    Status st = LoadModel(&target, path);
+    EXPECT_EQ(st.code(), StatusCode::kIOError);
+    EXPECT_NE(st.message().find("magic"), std::string::npos);
+  }
+  // Unknown future format version.
+  {
+    auto b = bytes;
+    b[4] = 99;
+    write_variant(b);
+    EXPECT_EQ(LoadModel(&target, path).code(),
+              StatusCode::kFailedPrecondition);
+  }
+  // Truncated mid-payload.
+  {
+    auto b = bytes;
+    b.resize(b.size() / 2);
+    write_variant(b);
+    EXPECT_EQ(LoadModel(&target, path).code(), StatusCode::kIOError);
+  }
+  // Single flipped payload byte → checksum mismatch.
+  {
+    auto b = bytes;
+    b[b.size() - 3] ^= 0x01;
+    write_variant(b);
+    Status st = LoadModel(&target, path);
+    EXPECT_EQ(st.code(), StatusCode::kIOError);
+    EXPECT_NE(st.message().find("checksum"), std::string::npos);
+  }
+  // Trailing garbage byte after a valid image.
+  {
+    auto b = bytes;
+    b.push_back('x');
+    write_variant(b);
+    EXPECT_EQ(LoadModel(&target, path).code(), StatusCode::kIOError);
+  }
+  // The original bytes still load after all that.
+  write_variant(bytes);
+  EXPECT_TRUE(LoadModel(&target, path).ok());
+  std::remove(path.c_str());
+}
+
 TEST_F(ModelTest, ModelBytesMatchesFile) {
   GcnModel model(300, 16, 2, 51);
   const std::string path = "/tmp/glint_model_bytes.bin";
@@ -380,6 +449,86 @@ TEST(DriftDetectorTest, DegreeIsMinAcrossClasses) {
   dd.Fit(z, y);
   // Near class 1's centroid: small degree even though far from class 0.
   EXPECT_LT(dd.DriftingDegree({10.05f}), 3.0);
+}
+
+TEST(DriftDetectorTest, StatsRoundTripThroughFile) {
+  Rng rng(62);
+  std::vector<FloatVec> z;
+  std::vector<int> y;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      z.push_back({static_cast<float>(rng.Gaussian(c * 10, 0.5)),
+                   static_cast<float>(rng.Gaussian(0, 0.5))});
+      y.push_back(c);
+    }
+  }
+  DriftDetector fitted;
+  fitted.Fit(z, y);
+  const std::string path = "/tmp/glint_drift_roundtrip.bin";
+  ASSERT_TRUE(SaveDriftStats(fitted, path).ok());
+
+  DriftDetector restored;
+  EXPECT_FALSE(restored.fitted());
+  ASSERT_TRUE(LoadDriftStats(&restored, path).ok());
+  ASSERT_TRUE(restored.fitted());
+  // Bit-identical scoring: same degree for in-band and far probes.
+  for (const FloatVec& probe :
+       {FloatVec{0.2f, 0.1f}, FloatVec{10.1f, -0.2f}, FloatVec{5.f, 40.f}}) {
+    EXPECT_EQ(fitted.DriftingDegree(probe), restored.DriftingDegree(probe));
+  }
+
+  // A flipped payload byte is caught by the container checksum.
+  FILE* f = fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  fseek(f, 20, SEEK_SET);
+  int b = fgetc(f);
+  fseek(f, 20, SEEK_SET);
+  fputc(b ^ 0x10, f);
+  fclose(f);
+  DriftDetector corrupt_target;
+  Status st = LoadDriftStats(&corrupt_target, path);
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_FALSE(corrupt_target.fitted());
+  std::remove(path.c_str());
+
+  // Saving an unfitted detector is a FailedPrecondition, not a crash.
+  DriftDetector unfitted;
+  EXPECT_EQ(SaveDriftStats(unfitted, path).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DriftDetectorTest, RestoreRejectsStructurallyInvalidPayloads) {
+  // Truncated: class count promises more than the buffer holds.
+  {
+    util::ByteWriter w;
+    w.U32(2);
+    w.U32(3);  // dim
+    DriftDetector dd;
+    util::ByteReader r(w.buffer());
+    EXPECT_FALSE(dd.RestoreFrom(&r));
+    EXPECT_FALSE(dd.fitted());
+  }
+  // Absurd dimension must be rejected before it drives the allocation.
+  {
+    util::ByteWriter w;
+    w.U32(1);
+    w.U32(0xffffffffu);
+    DriftDetector dd;
+    util::ByteReader r(w.buffer());
+    EXPECT_FALSE(dd.RestoreFrom(&r));
+  }
+  // Non-positive MAD would divide by zero at scoring time.
+  {
+    util::ByteWriter w;
+    w.U32(1);
+    w.U32(1);
+    w.Raw("\0\0\0\0", 4);  // one f32 centroid component
+    w.F64(1.0);            // median
+    w.F64(0.0);            // mad
+    DriftDetector dd;
+    util::ByteReader r(w.buffer());
+    EXPECT_FALSE(dd.RestoreFrom(&r));
+  }
 }
 
 TEST_F(ModelTest, DriftPipelineOnGraphs) {

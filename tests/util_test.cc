@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "util/binio.h"
+#include "util/crc32c.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_utils.h"
@@ -11,6 +13,11 @@
 
 namespace glint {
 namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::Crc32c;
+using util::Crc32cExtend;
 
 // ---------------------------------------------------------------------------
 // Rng
@@ -170,6 +177,133 @@ TEST(ResultTest, HoldsError) {
   Result<int> r(Status::NotFound("missing"));
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// Result<T> stores the value and the error in a union, so an error-holding
+// Result must never construct a T. This type has no default constructor and
+// counts live instances to prove it.
+struct Tracked {
+  static int live;
+  explicit Tracked(int v) : value(v) { ++live; }
+  Tracked(const Tracked& o) : value(o.value) { ++live; }
+  Tracked(Tracked&& o) noexcept : value(o.value) { ++live; }
+  ~Tracked() { --live; }
+  int value;
+};
+int Tracked::live = 0;
+
+TEST(ResultTest, ErrorNeverConstructsNonDefaultConstructibleValue) {
+  {
+    Result<Tracked> err(Status::IOError("disk on fire"));
+    EXPECT_FALSE(err.ok());
+    EXPECT_EQ(Tracked::live, 0);
+    EXPECT_EQ(err.status().code(), StatusCode::kIOError);
+
+    Result<Tracked> ok(Tracked(7));
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value().value, 7);
+    EXPECT_EQ(Tracked::live, 1);
+
+    // Copy / move / cross-state assignment keep exactly one T alive per
+    // value-holding Result and destroy the right union member.
+    Result<Tracked> copy = ok;
+    EXPECT_EQ(Tracked::live, 2);
+    err = std::move(copy);
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(err.value().value, 7);
+    ok = Result<Tracked>(Status::NotFound("gone"));
+    EXPECT_FALSE(ok.ok());
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(ResultTest, StatusOfValueIsOk) {
+  Result<int> r(3);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(std::move(r).ValueOrDie(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C (Castagnoli) — known-answer vectors + streaming equivalence
+// ---------------------------------------------------------------------------
+
+TEST(Crc32cTest, KnownAnswerVectors) {
+  // The standard CRC-32C check value.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  EXPECT_EQ(Crc32c("a", 1), 0xC1D04330u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const char data[] = "write-ahead logs need checksums";
+  const size_t n = sizeof(data) - 1;
+  const uint32_t whole = Crc32c(data, n);
+  for (size_t split = 0; split <= n; ++split) {
+    uint32_t crc = Crc32cExtend(0, data, split);
+    crc = Crc32cExtend(crc, data + split, n - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string buf = "0123456789abcdef0123456789abcdef";
+  const uint32_t good = Crc32c(buf.data(), buf.size());
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] ^= 0x10;
+    EXPECT_NE(Crc32c(buf.data(), buf.size()), good) << "flip at " << i;
+    buf[i] ^= 0x10;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ByteWriter / ByteReader round trip
+// ---------------------------------------------------------------------------
+
+TEST(BinioTest, RoundTripsEveryFieldType) {
+  ByteWriter w;
+  w.U8(7);
+  w.U32(0xdeadbeefu);
+  w.U64(1ull << 60);
+  w.I32(-12345);
+  w.F32(1.5f);
+  w.F64(-2.25);
+  w.Str("snapshot");
+  ByteReader r(w.buffer());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int32_t i32 = 0;
+  float f32 = 0;
+  double f64 = 0;
+  std::string s;
+  EXPECT_TRUE(r.U8(&u8));
+  EXPECT_TRUE(r.U32(&u32));
+  EXPECT_TRUE(r.U64(&u64));
+  EXPECT_TRUE(r.I32(&i32));
+  EXPECT_TRUE(r.F32(&f32));
+  EXPECT_TRUE(r.F64(&f64));
+  EXPECT_TRUE(r.Str(&s));
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 1ull << 60);
+  EXPECT_EQ(i32, -12345);
+  EXPECT_EQ(f32, 1.5f);
+  EXPECT_EQ(f64, -2.25);
+  EXPECT_EQ(s, "snapshot");
+}
+
+TEST(BinioTest, TruncationReturnsFalseNotCrash) {
+  ByteWriter w;
+  w.U32(4);
+  ByteReader r(w.buffer());
+  uint64_t u64 = 0;
+  EXPECT_FALSE(r.U64(&u64));  // only 4 bytes available
+  std::string s;
+  ByteWriter w2;
+  w2.U32(100);  // claims a 100-byte string with no bytes behind it
+  ByteReader r2(w2.buffer());
+  EXPECT_FALSE(r2.Str(&s));
 }
 
 // ---------------------------------------------------------------------------

@@ -43,4 +43,37 @@ cmake --build build-asan -j"${JOBS}" --target \
 ./build-asan/tests/gnn_tape_reuse_test
 ./build-asan/tests/gnn_layers_test
 
+# Fault matrix under ASan: the injection framework's unit tests, then the
+# WAL/snapshot crash-matrix suite — forks a child per (fault point, nth),
+# kills it at the armed point, and requires recovery to be bit-identical to
+# an uninterrupted run (torn-tail, flipped-byte, and corrupt-snapshot cases
+# included). ASan guards the replay/truncation buffer handling.
+cmake --build build-asan -j"${JOBS}" --target fault_test recovery_test
+./build-asan/tests/fault_test
+GLINT_THREADS=1 ./build-asan/tests/recovery_test
+
+# Env-spec smoke through the real CLI surface (GLINT_FAULTS is what an
+# operator arms against a production binary). Train a tiny model (also
+# exercises the hardened model save/load path), serve durably with a delay
+# fault armed (must pass through), then with a WAL-append failure armed
+# (must exit non-zero via a handled IOError — never crash or hang), then
+# serve again clean on the same state dir (must recover what was durable).
+FAULT_SMOKE_DIR="$(mktemp -d /tmp/glint_check_fault_XXXXXX)"
+trap 'rm -rf "${FAULT_SMOKE_DIR}"' EXIT
+GLINT_THREADS=2 ./build/tools/glint train \
+  --model-dir "${FAULT_SMOKE_DIR}/models" --graphs 40 --epochs 2
+GLINT_FAULTS='wal.append.write=delay:1' GLINT_THREADS=2 ./build/tools/glint \
+  serve --model-dir "${FAULT_SMOKE_DIR}/models" \
+  --state-dir "${FAULT_SMOKE_DIR}/state" --homes 2 --hours 2
+if GLINT_FAULTS='wal.append.write=fail' GLINT_THREADS=2 ./build/tools/glint \
+    serve --model-dir "${FAULT_SMOKE_DIR}/models" \
+    --state-dir "${FAULT_SMOKE_DIR}/state" --homes 2 --hours 2 \
+    >/dev/null 2>&1; then
+  echo "check.sh: GLINT_FAULTS=wal.append.write=fail should have surfaced" >&2
+  exit 1
+fi
+GLINT_THREADS=2 ./build/tools/glint serve \
+  --model-dir "${FAULT_SMOKE_DIR}/models" \
+  --state-dir "${FAULT_SMOKE_DIR}/state" --homes 2 --hours 2
+
 echo "check.sh: all stages passed"

@@ -21,7 +21,10 @@
 //       parallel by the ServingEngine (warm incremental pipeline).
 //       --stats prints per-stage latency and cache-hit telemetry at the end
 //       (plus a machine-readable STATS_JSON line); --stats-every H also
-//       prints a periodic snapshot every H simulated hours.
+//       prints a periodic snapshot every H simulated hours. --state-dir DIR
+//       makes serving durable: state is recovered from DIR on startup
+//       (snapshot + WAL replay, torn tails truncated), every mutation is
+//       journaled, and a snapshot is written on exit.
 //   stats
 //       Document the glint::obs instrument taxonomy and STATS_JSON schema.
 //   simulate [--hours H] [--attack NAME] [--seed S]
@@ -326,6 +329,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   const uint64_t seed =
       std::strtoull(FlagOr(flags, "seed", "2026").c_str(), nullptr, 10);
   const std::string dir = FlagOr(flags, "model-dir", "");
+  const std::string state_dir = FlagOr(flags, "state-dir", "");
 
   core::Glint detector(DefaultOptions(600, 14, 97));
   if (!dir.empty()) {
@@ -344,21 +348,57 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   // the trained models; events stream in and periodic InspectAll calls run
   // the warm incremental pipeline across the thread pool.
   core::ServingEngine engine(&detector.detector());
+  if (!state_dir.empty()) {
+    // Durable serving: replay whatever a previous run left in the state
+    // dir, then journal everything this run does.
+    Status st = engine.Recover(state_dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const auto& ri = engine.recovery_info();
+    std::printf(
+        "recovered %zu homes from %s (snapshot=%s seq=%llu, %zu WAL records "
+        "replayed, %zu skipped%s)\n",
+        engine.num_homes(), state_dir.c_str(),
+        ri.snapshot_loaded ? "yes" : "no",
+        static_cast<unsigned long long>(ri.snapshot_seq), ri.tail_records,
+        ri.skipped_records,
+        ri.tail_torn ? ", torn tail truncated" : "");
+  }
+
+  // Resume the simulated clock past anything already journaled so replayed
+  // state and fresh events stay chronological.
+  double resume_hour = 18.0;
+  for (int h = 0; h < static_cast<int>(engine.num_homes()); ++h) {
+    const core::DeploymentSession* s = engine.FindHome(h);
+    if (s != nullptr) {
+      resume_hour = std::max(resume_hour, s->live().latest_event_hours());
+    }
+  }
+
   std::vector<testbed::SmartHome> sims;
   std::vector<size_t> cursor(static_cast<size_t>(homes), 0);
   sims.reserve(static_cast<size_t>(homes));
   for (int h = 0; h < homes; ++h) {
     testbed::SmartHome::Config cfg;
     cfg.seed = seed + static_cast<uint64_t>(h);
-    cfg.start_hour = 18.0;
+    cfg.start_hour = resume_hour;
     auto deployed = testbed::ScenarioGenerator::BenignDeployment();
     sims.emplace_back(cfg, deployed);
-    engine.AddHome(deployed);
+    if (h >= static_cast<int>(engine.num_homes())) {
+      auto added = engine.TryAddHome(deployed);
+      if (!added.ok()) {
+        std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
+        return 1;
+      }
+    }
   }
-  std::printf("serving %d homes, %zu rules total\n", homes,
-              engine.total_rules());
+  std::printf("serving %d homes, %zu rules total%s\n", homes,
+              engine.total_rules(),
+              engine.durable() ? " (journaled)" : "");
 
-  const double start = sims.empty() ? 18.0 : sims[0].now();
+  const double start = sims.empty() ? resume_hour : sims[0].now();
   double next_stats = stats_every > 0 ? start + stats_every : 0;
   for (double t = start + every; t <= start + hours + 1e-9; t += every) {
     for (int h = 0; h < homes; ++h) {
@@ -376,7 +416,13 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
         }
       }
     }
-    auto warnings = engine.InspectAll(t);
+    // The sims accumulate their clocks in 10-minute ticks, so after enough
+    // steps sim.now() (and the stamp of its last event) can drift a few ulp
+    // past the loop's t; inspect at the true event frontier so a long run
+    // never asks LiveGraph about a time before its latest event.
+    double t_inspect = t;
+    for (const auto& sim : sims) t_inspect = std::max(t_inspect, sim.now());
+    auto warnings = engine.InspectAll(t_inspect);
     int threats = 0, drifting = 0;
     for (const auto& w : warnings) {
       threats += w.threat;
@@ -396,6 +442,15 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
                          .c_str());
       next_stats += stats_every;
     }
+  }
+  if (engine.durable()) {
+    Status st = engine.Snapshot();
+    if (!st.ok()) {
+      std::fprintf(stderr, "snapshot failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("state snapshotted to %s (seq=%llu)\n", state_dir.c_str(),
+                static_cast<unsigned long long>(engine.journal_seq()));
   }
   if (stats) {
     PrintStatsReport(detector, engine);
@@ -430,7 +485,11 @@ int CmdStats() {
       "  glint.drift.*       behavioral drift detector\n"
       "  glint.detector.*    end-to-end Analyze verdicts\n"
       "  glint.session.*     per-home Inspect + verdict LRU\n"
-      "  glint.serving.*     fleet event routing + InspectAll\n"
+      "  glint.serving.*     fleet event routing + InspectAll + WAL append\n"
+      "  glint.journal.*     WAL appends, snapshot writes (durable serving)\n"
+      "  glint.recovery.*    snapshots loaded, records replayed, torn tails\n"
+      "                      truncated + bytes dropped (glint serve\n"
+      "                      --state-dir DIR)\n"
       "  glint.threadpool.*  queue depth, task wait/run latency\n\n"
       "`glint serve --stats` prints a human-readable report, then one\n"
       "machine-readable line:\n\n"
@@ -513,7 +572,7 @@ void Usage() {
       "  inspect         [--model-dir DIR] [--demo table1|table4|blueprints]\n"
       "  serve           [--model-dir DIR] [--homes N] [--hours H]\n"
       "                  [--inspect-every H] [--seed S] [--stats]\n"
-      "                  [--stats-every H]\n"
+      "                  [--stats-every H] [--state-dir DIR]\n"
       "  stats\n"
       "  simulate        [--hours H] [--attack NAME] [--seed S]\n"
       "  analyze         [--demo table1|table4|blueprints]\n");
