@@ -283,6 +283,60 @@ int Run(bool smoke) {
   }
   ThreadPool::SetGlobalThreads(initial);
 
+  // Batched warm fleet: two identical engines walk the same 1-rule-delta
+  // script; each round times sequential InspectAll on one and
+  // InspectAllBatched on the other, and the warnings must match
+  // bit-for-bit (the serving equivalence gate — see batched_serving_test
+  // for the full sweep). Alternating measurement within one loop keeps
+  // box-level drift symmetric.
+  core::ServingEngine eng_seq(&glint.detector());
+  core::ServingEngine eng_bat(&glint.detector());
+  for (int h = 0; h < homes; ++h) {
+    eng_seq.AddHome(deployed);
+    eng_bat.AddHome(deployed);
+    for (const auto& e : log.events()) {
+      eng_seq.OnEvent(h, e);
+      eng_bat.OnEvent(h, e);
+    }
+  }
+  bool batched_equivalent = true;
+  std::vector<double> seq_fleet_ms, bat_fleet_ms;
+  const int bat_rounds = smoke ? 4 : 8;
+  for (int r = 0; r < bat_rounds; ++r) {
+    for (int h = 0; h < homes; ++h) {
+      const auto cur = eng_seq.home(h).CurrentRules();
+      const rules::Rule rotated =
+          cur[static_cast<size_t>(r + 1) % cur.size()];
+      eng_seq.home(h).RemoveRule(rotated.id);
+      eng_seq.home(h).AddRule(rotated);
+      eng_bat.home(h).RemoveRule(rotated.id);
+      eng_bat.home(h).AddRule(rotated);
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    const auto ws = eng_seq.InspectAll(now);
+    seq_fleet_ms.push_back(Seconds(t0) * 1e3);
+    t0 = std::chrono::steady_clock::now();
+    const auto wb = eng_bat.InspectAllBatched(now);
+    bat_fleet_ms.push_back(Seconds(t0) * 1e3);
+    for (int h = 0; h < homes; ++h) {
+      if (ws[static_cast<size_t>(h)].Render() !=
+          wb[static_cast<size_t>(h)].Render()) {
+        batched_equivalent = false;
+      }
+    }
+  }
+  const double seq_fleet_p50 = Percentile(seq_fleet_ms, 0.50);
+  const double bat_fleet_p50 = Percentile(bat_fleet_ms, 0.50);
+  const double batched_speedup =
+      bat_fleet_p50 > 0 ? seq_fleet_p50 / bat_fleet_p50 : 0;
+  std::printf("\n%-34s %10.2f\n", "warm fleet InspectAll p50 ms",
+              seq_fleet_p50);
+  std::printf("%-34s %10.2f\n", "warm fleet InspectAllBatched p50 ms",
+              bat_fleet_p50);
+  std::printf("batched fleet speedup: %.2fx   batched==sequential: %s\n",
+              batched_speedup,
+              batched_equivalent ? "yes" : "NO — EQUIVALENCE BUG");
+
   JsonWriter json;
   json.Str("bench", "serving");
   json.Int("home_rules", home_rules);
@@ -300,8 +354,13 @@ int Run(bool smoke) {
   json.Bool("durable_gate_ok", durable_gate_ok);
   json.Ints("threads", sweep);
   json.Nums("rules_per_sec", rates);
+  json.Num("fleet_seq_p50_ms", seq_fleet_p50);
+  json.Num("fleet_batched_p50_ms", bat_fleet_p50);
+  json.Num("batched_speedup", batched_speedup, 2);
+  json.Bool("batched_equivalent", batched_equivalent);
   std::printf("BENCH_JSON %s\n", json.Render().c_str());
   if (!durable_gate_ok) return 1;
+  if (!batched_equivalent) return 1;
   return equivalent ? 0 : 1;
 }
 

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "gnn/ggraph.h"
+#include "gnn/kernels.h"
 #include "util/thread_pool.h"
 
 // Global allocation counter (bench-binary-wide): lets the bench report the
@@ -168,6 +170,100 @@ Rates MeasureAt(int threads, const std::vector<rules::Rule>& pool,
   return rates;
 }
 
+// ---- Kernel-backend / batched-inference section ------------------------
+
+const int kBatchSizes[] = {1, 8, 64, 256};
+
+/// Warm per-graph classification, exactly the serving shape: one pooled
+/// tape lease, one Forward, one row softmax per graph.
+double MeasureSequentialInfer(gnn::ItgnnModel* model,
+                              const std::vector<const gnn::GnnGraph*>& cycle,
+                              int total) {
+  double sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < total; ++i) {
+    gnn::ScopedTape tape;
+    tape->set_freeze_leaves(true);
+    auto r = model->Forward(tape.get(), *cycle[static_cast<size_t>(i) %
+                                               cycle.size()]);
+    double p[2];
+    gnn::SoftmaxRowInto(r.logits, p);
+    sink += p[1];
+  }
+  const double gps = total / Seconds(t0);
+  return sink == -1 ? 0 : gps;  // keep the verdicts observable
+}
+
+/// Batched classification as InspectAllBatched drives it: batch assembly
+/// (MakeGnnBatch) is *inside* the timed region, then one ForwardBatched and
+/// a per-row softmax.
+double MeasureBatchedInfer(gnn::ItgnnModel* model,
+                           const std::vector<const gnn::GnnGraph*>& cycle,
+                           int batch, int total) {
+  double sink = 0;
+  size_t cursor = 0;
+  int done = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (done < total) {
+    std::vector<const gnn::GnnGraph*> members;
+    members.reserve(static_cast<size_t>(batch));
+    for (int i = 0; i < batch && done + i < total; ++i) {
+      members.push_back(cycle[cursor++ % cycle.size()]);
+    }
+    const gnn::GnnBatch b = gnn::MakeGnnBatch(members);
+    gnn::ScopedTape tape;
+    tape->set_freeze_leaves(true);
+    auto r = model->ForwardBatched(tape.get(), b);
+    for (int row = 0; row < b.size(); ++row) {
+      double p[2];
+      gnn::SoftmaxRowInto(
+          r.logits->value.data.data() + static_cast<size_t>(row) * 2, 2, p);
+      sink += p[1];
+    }
+    done += b.size();
+  }
+  const double gps = done / Seconds(t0);
+  return sink == -1 ? 0 : gps;
+}
+
+struct BackendRates {
+  std::string name;
+  double infer_gps = 0;
+  std::vector<double> batched_infer_gps;  ///< at kBatchSizes
+};
+
+/// Sweeps every runtime-available kernel backend at one thread (pure
+/// dispatch/tape amortization, no ParallelFor effects). Returns rates in
+/// AvailableBackends() order (scalar first).
+std::vector<BackendRates> MeasureBackends(
+    const std::vector<gnn::GnnGraph>& graphs, int total) {
+  ThreadPool::SetGlobalThreads(1);
+  gnn::ItgnnModel::Config mc;
+  mc.seed = 7;
+  gnn::ItgnnModel model(mc);
+  std::vector<const gnn::GnnGraph*> cycle;
+  for (const auto& g : graphs) {
+    if (g.num_nodes > 0) cycle.push_back(&g);
+  }
+
+  std::vector<BackendRates> out;
+  for (gnn::kernels::Backend b : gnn::kernels::AvailableBackends()) {
+    gnn::kernels::SetBackend(b);
+    BackendRates r;
+    r.name = gnn::kernels::BackendName();
+    // Untimed warm-up: fault the tape arenas / caches in before timing.
+    MeasureSequentialInfer(&model, cycle, std::min(total, 8));
+    r.infer_gps = MeasureSequentialInfer(&model, cycle, total);
+    for (int batch : kBatchSizes) {
+      r.batched_infer_gps.push_back(
+          MeasureBatchedInfer(&model, cycle, batch, total));
+    }
+    out.push_back(std::move(r));
+  }
+  gnn::kernels::SetBackend(gnn::kernels::AvailableBackends().back());
+  return out;
+}
+
 int Run(bool smoke) {
   const int num_graphs = smoke ? 32 : 160;
   const int epochs = smoke ? 1 : 2;
@@ -210,7 +306,33 @@ int Run(bool smoke) {
   // Tape memory stats on the same corpus (threads reset inside).
   const TapeStats tape = MeasureTapeStats(
       gnn::ToGnnGraphs(BuildGraphs(pool, num_graphs, /*seed=*/77)));
+
+  // Kernel-backend sweep: warm per-graph inference vs block-diagonal
+  // batched inference on every runtime-available backend, single-threaded.
+  const int batched_total = smoke ? 256 : 512;
+  const std::vector<BackendRates> backends = MeasureBackends(
+      gnn::ToGnnGraphs(BuildGraphs(pool, num_graphs, /*seed=*/77)),
+      batched_total);
   ThreadPool::SetGlobalThreads(initial);
+  std::printf("\nkernel backends (1 thread): sequential vs batched infer g/s\n");
+  std::printf("%8s %14s", "backend", "seq g/s");
+  for (int b : kBatchSizes) std::printf("      batch=%-3d", b);
+  std::printf("\n");
+  for (const auto& r : backends) {
+    std::printf("%8s %14.1f", r.name.c_str(), r.infer_gps);
+    for (double g : r.batched_infer_gps) std::printf(" %14.1f", g);
+    std::printf("\n");
+  }
+  // Dispatch-amortization gate: on the scalar backend (first entry — the
+  // floor every host has), batching at >= 64 graphs must beat sequential
+  // per-graph dispatch. A regression here means the batched path stopped
+  // amortizing tape/dispatch overhead.
+  const BackendRates& scalar = backends.front();
+  const double scalar_b64 = scalar.batched_infer_gps[2];  // kBatchSizes[2]
+  const bool amortization_ok = scalar_b64 > scalar.infer_gps;
+  std::printf("scalar batch=64 speedup over sequential: %.2fx (%s)\n",
+              scalar_b64 / scalar.infer_gps,
+              amortization_ok ? "ok" : "REGRESSION");
   std::printf(
       "steady state: %.2f mallocs/train-step, %.2f mallocs/warm-infer, "
       "%zu tape nodes/step, %zu arena bytes retained\n",
@@ -239,8 +361,23 @@ int Run(bool smoke) {
            static_cast<double>(tape.tape_nodes_per_step), 0);
   json.Num("arena_bytes_retained",
            static_cast<double>(tape.arena_bytes_retained), 0);
+  {
+    std::string names = "[";
+    for (size_t i = 0; i < backends.size(); ++i) {
+      names += (i ? ",\"" : "\"") + backends[i].name + "\"";
+    }
+    json.Raw("kernel_backends", names + "]");
+  }
+  json.Ints("batch_sizes",
+            std::vector<int>(kBatchSizes, kBatchSizes + 4));
+  for (const auto& r : backends) {
+    json.Num("infer_gps_" + r.name, r.infer_gps, 1);
+    json.Nums("batched_infer_gps_" + r.name, r.batched_infer_gps);
+  }
+  json.Num("batched_speedup_scalar_b64", scalar_b64 / scalar.infer_gps, 2);
+  json.Bool("batched_amortization_ok", amortization_ok);
   std::printf("BENCH_JSON %s\n", json.Render().c_str());
-  return 0;
+  return amortization_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -118,6 +118,65 @@ ThreatWarning TrainedDetector::AnalyzeGraph(
   return Analyze(gnn::ToGnnGraph(g), g);
 }
 
+std::vector<ThreatWarning> TrainedDetector::AnalyzeBatch(
+    const std::vector<const gnn::GnnGraph*>& ggs,
+    const std::vector<const graph::InteractionGraph*>& gs) const {
+  GLINT_CHECK(ready_);
+  GLINT_CHECK(ggs.size() == gs.size());
+  std::vector<ThreatWarning> out(ggs.size());
+  if (ggs.empty()) return out;
+  GLINT_OBS_SPAN(analyze_span, "glint.detector.analyze_batch_ms");
+  const gnn::GnnBatch batch = gnn::MakeGnnBatch(ggs);
+  const int B = batch.size();
+
+  // Drift check over the contrastive latent space: one batched forward,
+  // then per-graph MAD tests on the embedding rows (each row bit-matches
+  // Trainer::Embed on that graph).
+  {
+    GLINT_OBS_SPAN(span, "glint.drift.check_ms");
+    gnn::ScopedTape tape;
+    tape->set_freeze_leaves(true);
+    auto rc = contrastive_->ForwardBatched(tape.get(), batch);
+    const int dim = rc.embeddings->cols();
+    for (int b = 0; b < B; ++b) {
+      const float* row =
+          rc.embeddings->value.data.data() + static_cast<size_t>(b) * dim;
+      FloatVec z(row, row + dim);
+      out[static_cast<size_t>(b)].drifting = drift_.IsDrifting(z);
+      if (out[static_cast<size_t>(b)].drifting) {
+        GLINT_OBS_COUNT("glint.drift.flagged", 1);
+      }
+    }
+  }
+
+  // One batched classification forward; per-row softmax uses the exact
+  // sequential row normalization.
+  gnn::ScopedTape tape;
+  tape->set_freeze_leaves(true);
+  auto r = classifier_->ForwardBatched(tape.get(), batch);
+  for (int b = 0; b < B; ++b) {
+    ThreatWarning& warning = out[static_cast<size_t>(b)];
+    double p[2];
+    gnn::SoftmaxRowInto(
+        r.logits->value.data.data() + static_cast<size_t>(b) * 2, 2, p);
+    warning.confidence = p[1];
+    warning.threat = p[1] > 0.5;
+    if (!warning.threat) continue;
+    GLINT_OBS_COUNT("glint.detector.threats", 1);
+    // Explanation stays per-graph: the saliency screen needs per-graph
+    // input gradients, and threats are the rare case.
+    auto importance = ExplainNodes(classifier_.get(), *ggs[static_cast<size_t>(b)]);
+    for (int v : TopCulprits(importance, 3)) {
+      const auto& node = gs[static_cast<size_t>(b)]->nodes()[static_cast<size_t>(v)];
+      warning.culprits.push_back(
+          {v, rules::PlatformName(node.rule.platform), node.rule.text,
+           importance[static_cast<size_t>(v)]});
+    }
+    warning.types = gs[static_cast<size_t>(b)]->threat_types();
+  }
+  return out;
+}
+
 void TrainedDetector::FineTune(
     const std::vector<graph::InteractionGraph>& feedback,
     const std::vector<bool>& is_threat) {

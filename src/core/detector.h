@@ -80,6 +80,17 @@ class TrainedDetector {
   ThreatWarning Analyze(const gnn::GnnGraph& gg,
                         const graph::InteractionGraph& g) const;
 
+  /// Batched Analyze: packs the (non-empty) graphs into one block-diagonal
+  /// GnnBatch and runs a single drift-embedding forward and a single
+  /// classification forward for the whole batch, amortizing tape and
+  /// dispatch overhead. Warning i is bit-identical to Analyze(*ggs[i],
+  /// *gs[i]) — the segment-op contract (gnn/tensor.h) makes every batched
+  /// row match its sequential twin, and culprit explanation still runs
+  /// per-graph on the threats.
+  std::vector<ThreatWarning> AnalyzeBatch(
+      const std::vector<const gnn::GnnGraph*>& ggs,
+      const std::vector<const graph::InteractionGraph*>& gs) const;
+
   /// Tensorizes then analyzes (initial-setup checks, cold inspections).
   ThreatWarning AnalyzeGraph(const graph::InteractionGraph& g) const;
 

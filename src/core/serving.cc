@@ -329,6 +329,63 @@ std::vector<ThreatWarning> ServingEngine::InspectAll(double now_hours) {
   return out;
 }
 
+std::vector<ThreatWarning> ServingEngine::InspectAllBatched(double now_hours,
+                                                            int max_batch) {
+  GLINT_OBS_SPAN(span, "glint.serving.inspect_all_ms");
+  GLINT_CHECK(max_batch >= 1);
+  const size_t n = sessions_.size();
+  std::vector<ThreatWarning> out(n);
+  std::vector<DeploymentSession::Pending> pending(n);
+  // Stage 1 (parallel, one home per chunk): cache lookups + materialize +
+  // tensorize. Each session is touched by exactly one thread.
+  ParallelFor(0, static_cast<int64_t>(n), 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t h = lo; h < hi; ++h) {
+      pending[static_cast<size_t>(h)] =
+          sessions_[static_cast<size_t>(h)]->BeginInspect(now_hours);
+    }
+  });
+  // Stage 2 (serial, home order): pack the verdict-cache misses into
+  // super-graphs and analyze each with one batched forward. Serial
+  // assembly keeps batch composition — and therefore every float — a pure
+  // function of the fleet state, independent of thread count.
+  std::vector<size_t> todo;
+  for (size_t h = 0; h < n; ++h) {
+    if (pending[h].cached) {
+      out[h] = pending[h].warning;
+    } else {
+      todo.push_back(h);
+    }
+  }
+  std::vector<const gnn::GnnGraph*> ggs;
+  std::vector<const graph::InteractionGraph*> gs;
+  std::vector<size_t> members;
+  for (size_t i = 0; i < todo.size();) {
+    ggs.clear();
+    gs.clear();
+    members.clear();
+    while (i < todo.size() && members.size() < static_cast<size_t>(max_batch)) {
+      const size_t h = todo[i++];
+      if (pending[h].gg->num_nodes == 0) {
+        // Empty graphs cannot join a block-diagonal batch (segments must be
+        // non-empty); route them through the sequential path unchanged.
+        out[h] = sessions_[h]->FinishInspect(
+            detector_->Analyze(*pending[h].gg, pending[h].graph));
+        continue;
+      }
+      ggs.push_back(pending[h].gg);
+      gs.push_back(&pending[h].graph);
+      members.push_back(h);
+    }
+    if (members.empty()) continue;
+    GLINT_OBS_OBSERVE("glint.batch.size", static_cast<double>(members.size()));
+    std::vector<ThreatWarning> warnings = detector_->AnalyzeBatch(ggs, gs);
+    for (size_t k = 0; k < members.size(); ++k) {
+      out[members[k]] = sessions_[members[k]]->FinishInspect(warnings[k]);
+    }
+  }
+  return out;
+}
+
 Result<ThreatWarning> ServingEngine::TryInspect(int h, double now_hours) {
   DeploymentSession* session = FindHome(h);
   if (session == nullptr) {

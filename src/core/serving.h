@@ -112,6 +112,17 @@ class ServingEngine {
   /// Inspects every home at `now` in parallel; result i belongs to home i.
   std::vector<ThreatWarning> InspectAll(double now_hours);
 
+  /// Batched InspectAll: the per-home cache/materialize/tensorize stage
+  /// still fans out over the ThreadPool, but the verdict-cache misses are
+  /// then packed into block-diagonal super-graphs of up to `max_batch`
+  /// member graphs and analyzed with one ITGNN forward per super-graph,
+  /// amortizing tape and dispatch overhead across the fleet. Warnings are
+  /// bit-identical to InspectAll for every batch size, thread count and
+  /// kernel backend (the segment-op contract in gnn/tensor.h), and the
+  /// per-home verdict caches end up in the same state.
+  std::vector<ThreatWarning> InspectAllBatched(double now_hours,
+                                               int max_batch = 256);
+
   /// Validating single-home inspection: InvalidArgument when `h` is out of
   /// range or `now` precedes the home's event watermark — nothing an
   /// untrusted caller passes here can abort the process.

@@ -66,10 +66,14 @@ ThreatWarning DeploymentSession::InspectStatic() {
   return Render(live_.StaticEdges());
 }
 
-ThreatWarning DeploymentSession::Render(
+DeploymentSession::Pending DeploymentSession::BeginInspect(double now_hours) {
+  return Begin(live_.RealTimeEdges(now_hours));
+}
+
+DeploymentSession::Pending DeploymentSession::Begin(
     const std::vector<graph::Edge>& edges) {
-  GLINT_OBS_SPAN(span, "glint.session.inspect_ms");
   ++inspects_;
+  Pending pending;
   gnn::GnnGraphCache::Key& key = key_scratch_;
   live_.IdentityHashesInto(&key.node_ids);
   key.edges.clear();
@@ -83,16 +87,22 @@ ThreatWarning DeploymentSession::Render(
       v.tick = ++tick_;
       ++verdict_hits_;
       GLINT_OBS_COUNT("glint.session.verdict_cache.hits", 1);
-      return v.warning;
+      pending.cached = true;
+      pending.warning = v.warning;
+      return pending;
     }
   }
   GLINT_OBS_COUNT("glint.session.verdict_cache.misses", 1);
 
-  graph::InteractionGraph g = live_.Materialize(edges);
-  const gnn::GnnGraph* gg = tensor_cache_.Find(key);
-  if (gg == nullptr) gg = tensor_cache_.Insert(key, gnn::ToGnnGraph(g));
-  ThreatWarning warning = detector_->Analyze(*gg, g);
+  pending.graph = live_.Materialize(edges);
+  pending.gg = tensor_cache_.Find(key);
+  if (pending.gg == nullptr) {
+    pending.gg = tensor_cache_.Insert(key, gnn::ToGnnGraph(pending.graph));
+  }
+  return pending;
+}
 
+ThreatWarning DeploymentSession::FinishInspect(const ThreatWarning& warning) {
   if (verdicts_.size() >= config_.cache_capacity && !verdicts_.empty()) {
     size_t oldest = 0;
     for (size_t i = 1; i < verdicts_.size(); ++i) {
@@ -101,8 +111,16 @@ ThreatWarning DeploymentSession::Render(
     verdicts_.erase(verdicts_.begin() + static_cast<ptrdiff_t>(oldest));
   }
   // Copy (not move) the key so the scratch keeps its storage for reuse.
-  verdicts_.push_back(Verdict{key, warning, ++tick_});
+  verdicts_.push_back(Verdict{key_scratch_, warning, ++tick_});
   return warning;
+}
+
+ThreatWarning DeploymentSession::Render(
+    const std::vector<graph::Edge>& edges) {
+  GLINT_OBS_SPAN(span, "glint.session.inspect_ms");
+  Pending pending = Begin(edges);
+  if (pending.cached) return pending.warning;
+  return FinishInspect(detector_->Analyze(*pending.gg, pending.graph));
 }
 
 }  // namespace glint::core

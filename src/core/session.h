@@ -56,6 +56,26 @@ class DeploymentSession {
   /// event-pruned live graph.
   ThreatWarning Inspect(double now_hours);
 
+  /// Split inspection for batched serving. BeginInspect runs everything up
+  /// to (but excluding) the model analysis: counters, cache-key build,
+  /// verdict-cache lookup, and on a miss the materialize + tensorize steps.
+  /// The caller then analyzes `gg`/`graph` (alone or inside a batch) and
+  /// hands the warning to FinishInspect, which records it in the verdict
+  /// cache and returns it. Contract: no session mutation (AddRule /
+  /// RemoveRule / OnEvent / Inspect) may happen between the two calls, and
+  /// every uncached BeginInspect must be finished before the next begins —
+  /// the pair shares the session's key scratch and tensor-cache entry.
+  /// Inspect(now) == FinishInspect(Analyze(...BeginInspect(now)...)) by
+  /// construction, so batched callers inherit the determinism contract.
+  struct Pending {
+    bool cached = false;       ///< verdict served straight from the cache
+    ThreatWarning warning;     ///< valid when `cached`
+    graph::InteractionGraph graph;      ///< materialized graph (uncached)
+    const gnn::GnnGraph* gg = nullptr;  ///< tensor-cache entry (uncached)
+  };
+  Pending BeginInspect(double now_hours);
+  ThreatWarning FinishInspect(const ThreatWarning& warning);
+
   /// Initial-setup inspection over the static (unpruned) graph.
   ThreatWarning InspectStatic();
 
@@ -112,8 +132,12 @@ class DeploymentSession {
 
  private:
   /// Shared tail of Inspect / InspectStatic: cache lookups, then the
-  /// materialize -> tensorize -> analyze pipeline on miss.
+  /// materialize -> tensorize -> analyze pipeline on miss. Composed from
+  /// Begin + Analyze + FinishInspect so the batched path is the same code.
   ThreatWarning Render(const std::vector<graph::Edge>& edges);
+
+  /// Edge-list flavour of BeginInspect (shared by Inspect/InspectStatic).
+  Pending Begin(const std::vector<graph::Edge>& edges);
 
   struct Verdict {
     gnn::GnnGraphCache::Key key;

@@ -146,6 +146,83 @@ std::vector<GnnGraph> ToGnnGraphs(const graph::GraphDataset& ds) {
   return out;
 }
 
+GnnBatch MakeGnnBatch(const std::vector<const GnnGraph*>& graphs) {
+  GLINT_CHECK(!graphs.empty());
+  GnnBatch batch;
+  batch.offsets.reserve(graphs.size() + 1);
+  batch.offsets.push_back(0);
+  size_t total_edges = 0;
+  int type_counts[kNumNodeTypes] = {};
+  for (const GnnGraph* g : graphs) {
+    GLINT_CHECK(g != nullptr && g->num_nodes > 0);
+    batch.offsets.push_back(batch.offsets.back() + g->num_nodes);
+    total_edges += g->edges.size();
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+      type_counts[t] += static_cast<int>(g->type_rows[t].size());
+    }
+  }
+  GnnGraph& out = batch.graph;
+  out.num_nodes = batch.offsets.back();
+  out.node_types.reserve(static_cast<size_t>(out.num_nodes));
+  out.edges.reserve(total_edges);
+  out.neighbors.reserve(static_cast<size_t>(out.num_nodes));
+  for (int t = 0; t < kNumNodeTypes; ++t) {
+    if (type_counts[t] > 0) {
+      out.typed_features[t] = Matrix(type_counts[t], kTypeDims[t]);
+      out.type_rows[t].reserve(static_cast<size_t>(type_counts[t]));
+    }
+  }
+
+  int type_cursor[kNumNodeTypes] = {};
+  size_t norm_entries = 0, raw_entries = 0;
+  for (const GnnGraph* g : graphs) {
+    norm_entries += g->adj_norm.entries.size();
+    raw_entries += g->adj_raw.entries.size();
+  }
+  out.adj_norm.rows = out.adj_norm.cols = out.num_nodes;
+  out.adj_norm.Reserve(norm_entries);
+  out.adj_raw.rows = out.adj_raw.cols = out.num_nodes;
+  out.adj_raw.Reserve(raw_entries);
+
+  for (size_t b = 0; b < graphs.size(); ++b) {
+    const GnnGraph& g = *graphs[b];
+    const int off = batch.offsets[b];
+    out.node_types.insert(out.node_types.end(), g.node_types.begin(),
+                          g.node_types.end());
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+      const auto& rows = g.type_rows[t];
+      for (size_t k = 0; k < rows.size(); ++k) {
+        const int dst = type_cursor[t] + static_cast<int>(k);
+        out.type_rows[t].push_back(rows[k] + off);
+        const float* src =
+            g.typed_features[t].data.data() + k * g.typed_features[t].cols;
+        std::copy(src, src + kTypeDims[t],
+                  out.typed_features[t].data.data() +
+                      static_cast<size_t>(dst) * kTypeDims[t]);
+      }
+      type_cursor[t] += static_cast<int>(rows.size());
+    }
+    for (const auto& [s, d] : g.edges) out.edges.emplace_back(s + off, d + off);
+    for (const auto& nbrs : g.neighbors) {
+      out.neighbors.emplace_back();
+      out.neighbors.back().reserve(nbrs.size());
+      for (int u : nbrs) out.neighbors.back().push_back(u + off);
+    }
+    // Entry lists are copied in graph order with shifted coordinates, so the
+    // batch CSR row of node (off + v) holds exactly graph b's row v entries
+    // in their original order — block-diagonal by construction.
+    for (const auto& e : g.adj_norm.entries) {
+      out.adj_norm.Add(e.r + off, e.c + off, e.v);
+    }
+    for (const auto& e : g.adj_raw.entries) {
+      out.adj_raw.Add(e.r + off, e.c + off, e.v);
+    }
+  }
+  out.adj_norm.BuildCsrCache();
+  out.adj_raw.BuildCsrCache();
+  return batch;
+}
+
 const GnnGraph* GnnGraphCache::Find(const Key& key) {
   for (auto& slot : slots_) {
     if (slot->key == key) {

@@ -187,4 +187,22 @@ class GnnGraphCache {
 SparseMatrix NormalizedAdjacency(int n,
                                  const std::vector<std::pair<int, int>>& edges);
 
+/// A block-diagonal super-graph packing B member graphs for one batched
+/// forward: graph b owns the contiguous node range
+/// [offsets[b], offsets[b+1]). Per-type feature blocks are concatenated in
+/// graph order, adjacency entries are offset-shifted copies (so the CSR row
+/// of any node lists exactly its member graph's entries, in the same
+/// order), and no edge crosses a segment boundary. Segment-aware ops
+/// (SegmentMeanRows & co.) consume `offsets` to keep per-graph reductions
+/// bit-identical to B sequential forwards.
+struct GnnBatch {
+  GnnGraph graph;
+  std::vector<int> offsets;  ///< B+1 ascending node offsets
+  int size() const { return static_cast<int>(offsets.size()) - 1; }
+};
+
+/// Packs `graphs` (each non-empty) into one block-diagonal batch. The
+/// member graphs are copied; the batch does not alias them.
+GnnBatch MakeGnnBatch(const std::vector<const GnnGraph*>& graphs);
+
 }  // namespace glint::gnn

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace glint::gnn::kernels {
+
+/// Runtime-dispatched dense kernel backend.
+///
+/// These are the hot primitives behind the tape ops (kMatMul row dots, kSpMM
+/// row accumulation, leaf-gradient accumulation, the elementwise forwards,
+/// and the kSoftmaxRow normalization). One backend is selected once at
+/// startup — AVX2 / NEON when the CPU advertises it, portable scalar
+/// otherwise — overridable with GLINT_KERNEL=scalar|avx2|neon.
+///
+/// Bit-identity contract (the kernel-level twin of the thread-count
+/// determinism proved by parallel_determinism_test): every backend must
+/// return bit-identical floats for identical inputs. Reductions therefore
+/// fix their shape independently of the instruction set:
+///   - float dots accumulate into 8 striped lanes (element i enters lane
+///     i mod 8; the tail enters lanes scalar-wise) and reduce with the fixed
+///     tree ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7));
+///   - double sums accumulate into 4 striped lanes and reduce with
+///     (l0+l2)+(l1+l3);
+///   - no FMA anywhere: an fmadd skips the intermediate rounding a mul+add
+///     pair performs, so contracted and uncontracted code disagree in the
+///     last ulp. Kernel translation units are compiled with
+///     -ffp-contract=off and the vector paths use explicit mul-then-add.
+/// Elementwise kernels are trivially identical (IEEE ops are exactly
+/// rounded); transcendental elementwise math (exp, tanh, sigmoid) stays on
+/// scalar libm calls in every backend.
+struct KernelBackend {
+  const char* name;
+  int code;  ///< exported as the glint.kernel.backend gauge
+
+  /// 8-lane striped dot product with the fixed reduction tree.
+  float (*Dot)(const float* a, const float* b, int n);
+  /// y[i] += alpha * x[i]
+  void (*Axpy)(float* y, float alpha, const float* x, int n);
+  /// y[i] += x[i]
+  void (*AddInto)(float* y, const float* x, int n);
+  /// y[i] += a[i] * b[i]
+  void (*MulAddInto)(float* y, const float* a, const float* b, int n);
+  /// out[i] = a[i] * b[i]
+  void (*MulInto)(float* out, const float* a, const float* b, int n);
+  /// out[i] = s * x[i]
+  void (*ScaleInto)(float* out, float s, const float* x, int n);
+  /// out[i] = x[i] > 0 ? x[i] : +0.f  (matches the scalar ternary on -0/NaN)
+  void (*ReluInto)(float* out, const float* x, int n);
+  /// 4-lane striped double sum with the fixed reduction tree.
+  double (*SumDouble)(const double* x, int n);
+  /// x[i] /= denom
+  void (*DivDouble)(double* x, double denom, int n);
+};
+
+enum class Backend : int { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// The selected backend (first call resolves GLINT_KERNEL / CPUID and
+/// publishes the glint.kernel.backend gauge). Hot ops load this once per op
+/// and call through the function pointers.
+const KernelBackend& Kernels();
+
+/// Kind / name of the selected backend.
+Backend CurrentBackend();
+const char* BackendName();
+
+/// Every backend this binary can run on this CPU (always contains kScalar).
+std::vector<Backend> AvailableBackends();
+
+/// Test / bench hook: forces a backend. Returns false (and changes nothing)
+/// when the backend is not available on this CPU.
+bool SetBackend(Backend b);
+
+// ---- Shared reduction trees (every backend funnels through these) --------
+
+namespace detail {
+
+/// The fixed 8-lane float reduction: exactly the shape of an AVX2
+/// horizontal reduce, used verbatim by the scalar backend so both produce
+/// the same bits.
+inline float ReduceTree8(const float* lane) {
+  const float t0 = lane[0] + lane[4];
+  const float t1 = lane[1] + lane[5];
+  const float t2 = lane[2] + lane[6];
+  const float t3 = lane[3] + lane[7];
+  return (t0 + t2) + (t1 + t3);
+}
+
+/// The fixed 4-lane double reduction.
+inline double ReduceTree4(const double* lane) {
+  return (lane[0] + lane[2]) + (lane[1] + lane[3]);
+}
+
+}  // namespace detail
+
+/// Debug check that a kernel operand sits on the 64-byte boundary the
+/// aligned Matrix storage guarantees (base pointers only — row offsets
+/// within a matrix are not padded, which is why the vector loads stay
+/// alignment-tolerant).
+#if !defined(NDEBUG)
+#define GLINT_KERNEL_ASSERT_ALIGNED(p) \
+  assert((reinterpret_cast<uintptr_t>(p) & 63u) == 0)
+#else
+#define GLINT_KERNEL_ASSERT_ALIGNED(p) ((void)0)
+#endif
+
+// Backend tables (internal: the per-ISA translation units define these).
+extern const KernelBackend kScalarBackend;
+#if defined(__x86_64__) || defined(_M_X64)
+extern const KernelBackend kAvx2Backend;
+#endif
+#if defined(__aarch64__)
+extern const KernelBackend kNeonBackend;
+#endif
+
+}  // namespace glint::gnn::kernels

@@ -1,0 +1,147 @@
+// AVX2 kernel backend. Compiled as its own translation unit with -mavx2 and
+// -ffp-contract=off (see src/gnn/CMakeLists.txt); nothing here executes
+// unless dispatch confirmed AVX2 via __builtin_cpu_supports.
+//
+// Bit-identity with the scalar backend (see kernels.h):
+//   - reductions keep the same 8 float / 4 double striped lanes and reduce
+//     with the same fixed tree;
+//   - mul and add stay separate instructions (no vfmadd): an FMA skips the
+//     intermediate rounding and would diverge from the scalar mul+add in
+//     the last ulp;
+//   - tails run the scalar code into the striped lanes, never a
+//     zero-padded vector step (padding would turn `x + (-0.f * 0.f)`-style
+//     tails into signed-zero hazards);
+//   - loads are unaligned-tolerant (loadu): Matrix base storage is 64-byte
+//     aligned, but row offsets within a matrix are not padded. On every
+//     AVX2-era core loadu on an aligned address costs the same as an
+//     aligned load.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "gnn/kernels.h"
+
+namespace glint::gnn::kernels {
+
+namespace {
+
+float Avx2Dot(const float* a, const float* b, int n) {
+  __m256 acc = _mm256_setzero_ps();
+  const int n8 = n & ~7;
+  for (int i = 0; i < n8; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+  }
+  alignas(32) float lane[8];
+  _mm256_store_ps(lane, acc);
+  for (int i = n8; i < n; ++i) lane[i & 7] += a[i] * b[i];
+  return detail::ReduceTree8(lane);
+}
+
+void Avx2Axpy(float* y, float alpha, const float* x, int n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  const int n8 = n & ~7;
+  for (int i = 0; i < n8; i += 8) {
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(vy, _mm256_mul_ps(va, vx)));
+  }
+  for (int i = n8; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Avx2AddInto(float* y, const float* x, int n) {
+  const int n8 = n & ~7;
+  for (int i = 0; i < n8; i += 8) {
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(vy, vx));
+  }
+  for (int i = n8; i < n; ++i) y[i] += x[i];
+}
+
+void Avx2MulAddInto(float* y, const float* a, const float* b, int n) {
+  const int n8 = n & ~7;
+  for (int i = 0; i < n8; i += 8) {
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(vy, _mm256_mul_ps(va, vb)));
+  }
+  for (int i = n8; i < n; ++i) y[i] += a[i] * b[i];
+}
+
+void Avx2MulInto(float* out, const float* a, const float* b, int n) {
+  const int n8 = n & ~7;
+  for (int i = 0; i < n8; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(va, vb));
+  }
+  for (int i = n8; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void Avx2ScaleInto(float* out, float s, const float* x, int n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  const int n8 = n & ~7;
+  for (int i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(vs, _mm256_loadu_ps(x + i)));
+  }
+  for (int i = n8; i < n; ++i) out[i] = s * x[i];
+}
+
+void Avx2ReluInto(float* out, const float* x, int n) {
+  // x > 0 ? x : +0.f via compare-and-mask: _mm256_max_ps(x, 0) would keep
+  // -0.f (max(-0,+0) may return either operand), diverging from the scalar
+  // ternary which returns +0.f for every non-positive input.
+  const __m256 zero = _mm256_setzero_ps();
+  const int n8 = n & ~7;
+  for (int i = 0; i < n8; i += 8) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256 mask = _mm256_cmp_ps(vx, zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(out + i, _mm256_and_ps(vx, mask));
+  }
+  for (int i = n8; i < n; ++i) out[i] = x[i] > 0 ? x[i] : 0.f;
+}
+
+double Avx2SumDouble(const double* x, int n) {
+  __m256d acc = _mm256_setzero_pd();
+  const int n4 = n & ~3;
+  for (int i = 0; i < n4; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (int i = n4; i < n; ++i) lane[i & 3] += x[i];
+  return detail::ReduceTree4(lane);
+}
+
+void Avx2DivDouble(double* x, double denom, int n) {
+  const __m256d vd = _mm256_set1_pd(denom);
+  const int n4 = n & ~3;
+  for (int i = 0; i < n4; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_div_pd(_mm256_loadu_pd(x + i), vd));
+  }
+  for (int i = n4; i < n; ++i) x[i] /= denom;
+}
+
+}  // namespace
+
+const KernelBackend kAvx2Backend = {
+    "avx2",
+    static_cast<int>(Backend::kAvx2),
+    Avx2Dot,
+    Avx2Axpy,
+    Avx2AddInto,
+    Avx2MulAddInto,
+    Avx2MulInto,
+    Avx2ScaleInto,
+    Avx2ReluInto,
+    Avx2SumDouble,
+    Avx2DivDouble,
+};
+
+}  // namespace glint::gnn::kernels
+
+#endif  // x86_64

@@ -1,0 +1,138 @@
+// NEON kernel backend (aarch64). Compiled with -ffp-contract=off; NEON is
+// baseline on aarch64, so no runtime CPUID gate is needed — dispatch simply
+// prefers this table there.
+//
+// Bit-identity: NEON vectors are 4 lanes wide, so the float kernels run two
+// q-registers side by side to emulate the same 8 striped accumulation lanes
+// (and the double kernels two 2-lane registers for the 4 double lanes) that
+// the scalar and AVX2 backends use, then reduce with the shared fixed
+// trees. Mul and add stay separate instructions (no vfma), and tails run
+// the scalar code into the striped lanes.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "gnn/kernels.h"
+
+namespace glint::gnn::kernels {
+
+namespace {
+
+float NeonDot(const float* a, const float* b, int n) {
+  float32x4_t acc_lo = vdupq_n_f32(0.f);  // lanes 0..3
+  float32x4_t acc_hi = vdupq_n_f32(0.f);  // lanes 4..7
+  const int n8 = n & ~7;
+  for (int i = 0; i < n8; i += 8) {
+    acc_lo = vaddq_f32(acc_lo, vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+    acc_hi = vaddq_f32(acc_hi,
+                       vmulq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4)));
+  }
+  float lane[8];
+  vst1q_f32(lane, acc_lo);
+  vst1q_f32(lane + 4, acc_hi);
+  for (int i = n8; i < n; ++i) lane[i & 7] += a[i] * b[i];
+  return detail::ReduceTree8(lane);
+}
+
+void NeonAxpy(float* y, float alpha, const float* x, int n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  const int n4 = n & ~3;
+  for (int i = 0; i < n4; i += 4) {
+    vst1q_f32(y + i,
+              vaddq_f32(vld1q_f32(y + i), vmulq_f32(va, vld1q_f32(x + i))));
+  }
+  for (int i = n4; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void NeonAddInto(float* y, const float* x, int n) {
+  const int n4 = n & ~3;
+  for (int i = 0; i < n4; i += 4) {
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i), vld1q_f32(x + i)));
+  }
+  for (int i = n4; i < n; ++i) y[i] += x[i];
+}
+
+void NeonMulAddInto(float* y, const float* a, const float* b, int n) {
+  const int n4 = n & ~3;
+  for (int i = 0; i < n4; i += 4) {
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i),
+                               vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i))));
+  }
+  for (int i = n4; i < n; ++i) y[i] += a[i] * b[i];
+}
+
+void NeonMulInto(float* out, const float* a, const float* b, int n) {
+  const int n4 = n & ~3;
+  for (int i = 0; i < n4; i += 4) {
+    vst1q_f32(out + i, vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (int i = n4; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void NeonScaleInto(float* out, float s, const float* x, int n) {
+  const float32x4_t vs = vdupq_n_f32(s);
+  const int n4 = n & ~3;
+  for (int i = 0; i < n4; i += 4) {
+    vst1q_f32(out + i, vmulq_f32(vs, vld1q_f32(x + i)));
+  }
+  for (int i = n4; i < n; ++i) out[i] = s * x[i];
+}
+
+void NeonReluInto(float* out, const float* x, int n) {
+  // Compare-and-mask, not vmaxq: max(-0,+0) keeps -0, the scalar ternary
+  // returns +0 for every non-positive input.
+  const float32x4_t zero = vdupq_n_f32(0.f);
+  const int n4 = n & ~3;
+  for (int i = 0; i < n4; i += 4) {
+    const float32x4_t vx = vld1q_f32(x + i);
+    const uint32x4_t mask = vcgtq_f32(vx, zero);
+    vst1q_f32(out + i, vreinterpretq_f32_u32(vandq_u32(
+                           vreinterpretq_u32_f32(vx), mask)));
+  }
+  for (int i = n4; i < n; ++i) out[i] = x[i] > 0 ? x[i] : 0.f;
+}
+
+double NeonSumDouble(const double* x, int n) {
+  float64x2_t acc_lo = vdupq_n_f64(0.0);  // lanes 0..1
+  float64x2_t acc_hi = vdupq_n_f64(0.0);  // lanes 2..3
+  const int n4 = n & ~3;
+  for (int i = 0; i < n4; i += 4) {
+    acc_lo = vaddq_f64(acc_lo, vld1q_f64(x + i));
+    acc_hi = vaddq_f64(acc_hi, vld1q_f64(x + i + 2));
+  }
+  double lane[4];
+  vst1q_f64(lane, acc_lo);
+  vst1q_f64(lane + 2, acc_hi);
+  for (int i = n4; i < n; ++i) lane[i & 3] += x[i];
+  return detail::ReduceTree4(lane);
+}
+
+void NeonDivDouble(double* x, double denom, int n) {
+  const float64x2_t vd = vdupq_n_f64(denom);
+  const int n2 = n & ~1;
+  for (int i = 0; i < n2; i += 2) {
+    vst1q_f64(x + i, vdivq_f64(vld1q_f64(x + i), vd));
+  }
+  for (int i = n2; i < n; ++i) x[i] /= denom;
+}
+
+}  // namespace
+
+const KernelBackend kNeonBackend = {
+    "neon",
+    static_cast<int>(Backend::kNeon),
+    NeonDot,
+    NeonAxpy,
+    NeonAddInto,
+    NeonMulAddInto,
+    NeonMulInto,
+    NeonScaleInto,
+    NeonReluInto,
+    NeonSumDouble,
+    NeonDivDouble,
+};
+
+}  // namespace glint::gnn::kernels
+
+#endif  // __aarch64__

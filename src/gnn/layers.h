@@ -129,6 +129,13 @@ class SemanticAttention {
   /// attended combination (same shape).
   Tensor* Forward(Tape* t, const std::vector<Tensor*>& paths);
 
+  /// Block-diagonal batched twin: rows are grouped into segments by
+  /// `offsets` (B+1 table, see gnn/ggraph.h GnnBatch), each segment gets
+  /// its own per-metapath summary / softmax weights, and segment b of the
+  /// result is bit-identical to Forward on that graph alone.
+  Tensor* ForwardBatched(Tape* t, const std::vector<Tensor*>& paths,
+                         const std::vector<int>& offsets);
+
   std::vector<Parameter*> Parameters() {
     auto p = summar_.Parameters();
     p.push_back(&q_);
@@ -165,6 +172,24 @@ class VIPool {
 
   Result Forward(Tape* t, const SparseMatrix& adj_norm,
                  const SparseMatrix& adj_raw, Tensor* h);
+
+  /// Block-diagonal batched pooling: every segment of `offsets` is scored,
+  /// ranked and coarsened independently (the exact Forward algorithm on its
+  /// row range), and the pooled segments are re-packed block-diagonally.
+  /// `offsets` describes the rows of `h`; the result carries the pooled
+  /// segment table.
+  struct BatchedResult {
+    Tensor* features = nullptr;      ///< pooled node features (all segments)
+    SparseMatrix adj_norm;           ///< pooled block-diagonal adjacency
+    SparseMatrix adj_raw;            ///< pooled raw adjacency
+    std::vector<int> kept;           ///< kept row indices (into input rows)
+    std::vector<int> offsets;        ///< pooled B+1 segment table
+    Tensor* graph_logits = nullptr;  ///< B x 1 per-scale logits for L_pool
+  };
+
+  BatchedResult ForwardBatched(Tape* t, const SparseMatrix& adj_norm,
+                               const SparseMatrix& adj_raw, Tensor* h,
+                               const std::vector<int>& offsets);
 
   std::vector<Parameter*> Parameters() {
     auto p = score_.Parameters();

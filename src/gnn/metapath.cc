@@ -14,6 +14,16 @@ MetapathConverter::MetapathConverter(Config config, Rng* rng)
 }
 
 Tensor* MetapathConverter::Forward(Tape* t, const GnnGraph& g) {
+  return ForwardImpl(t, g, nullptr);
+}
+
+Tensor* MetapathConverter::ForwardBatched(Tape* t, const GnnGraph& g,
+                                          const std::vector<int>& offsets) {
+  return ForwardImpl(t, g, &offsets);
+}
+
+Tensor* MetapathConverter::ForwardImpl(Tape* t, const GnnGraph& g,
+                                       const std::vector<int>* offsets) {
   // Scatter permutation and type-mean operators are graph-derived and
   // cached on the graph (built once, shared by every forward).
   const auto meta = g.TypeMetaView();
@@ -53,9 +63,11 @@ Tensor* MetapathConverter::Forward(Tape* t, const GnnGraph& g) {
   }
 
   // 3. Inter-metapath aggregation: semantic attention (or plain mean when
-  // ablated).
+  // ablated). Attention is the only stage that reduces over rows, so it is
+  // the only stage with a batched flavour.
   if (config_.use_inter) {
-    return attention_.Forward(t, paths);
+    return offsets == nullptr ? attention_.Forward(t, paths)
+                              : attention_.ForwardBatched(t, paths, *offsets);
   }
   Tensor* sum = nullptr;
   for (Tensor* p : paths) sum = AddLoss(t, sum, p);

@@ -483,6 +483,40 @@ ForwardResult ItgnnModel::Forward(Tape* t, const GnnGraph& g) {
   return r;
 }
 
+BatchedForwardResult ItgnnModel::ForwardBatched(Tape* t,
+                                                const GnnBatch& batch) {
+  GLINT_OBS_TIMER(timer, "glint.gnn.forward_batched_ms");
+  const GnnGraph& g = batch.graph;
+  Tensor* h = converter_.ForwardBatched(t, g, batch.offsets);
+
+  // The sequential loop, with per-graph readouts and pooling swapped for
+  // their segment twins. TagConv itself is row/CSR-row local, so the
+  // block-diagonal adjacency keeps every graph's propagation independent.
+  const SparseMatrix* adj_norm = &g.adj_norm;
+  const SparseMatrix* adj_raw = &g.adj_raw;
+  const std::vector<int>* offsets = &batch.offsets;
+  VIPool::BatchedResult pooled;
+  BatchedForwardResult r;
+  Tensor* readouts = nullptr;
+  for (size_t s = 0; s < scale_convs_.size(); ++s) {
+    for (auto& conv : scale_convs_[s]) h = conv.Forward(t, *adj_norm, h);
+    Tensor* ro = ConcatCols(t, SegmentMeanRows(t, h, *offsets),
+                            SegmentMaxRows(t, h, *offsets));
+    readouts = readouts == nullptr ? ro : ConcatCols(t, readouts, ro);
+    if (s < pools_.size()) {
+      pooled = pools_[s].ForwardBatched(t, *adj_norm, *adj_raw, h, *offsets);
+      h = pooled.features;
+      adj_norm = &pooled.adj_norm;
+      adj_raw = &pooled.adj_raw;
+      offsets = &pooled.offsets;
+      r.pool_logits.push_back(pooled.graph_logits);
+    }
+  }
+  r.embeddings = Relu(t, fuse_.Forward(t, readouts));
+  r.logits = head_.Forward(t, r.embeddings);
+  return r;
+}
+
 std::vector<Parameter*> ItgnnModel::Parameters() {
   auto out = converter_.Parameters();
   auto add = [&](std::vector<Parameter*> v) {

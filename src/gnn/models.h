@@ -14,6 +14,15 @@ struct ForwardResult {
   std::vector<Tensor*> pool_logits;      ///< per-scale logits for L_pool
 };
 
+/// Output of a block-diagonal batched forward over a GnnBatch of B graphs:
+/// row b of every tensor is bit-identical to the sequential ForwardResult
+/// of member graph b.
+struct BatchedForwardResult {
+  Tensor* embeddings = nullptr;          ///< B x embed_dim graph embeddings
+  Tensor* logits = nullptr;              ///< B x 2 class logits
+  std::vector<Tensor*> pool_logits;      ///< per-scale B x 1 logits
+};
+
 /// Common interface for all graph classification models compared in the
 /// paper (Tables 5-6, Figs. 7-8).
 class GraphModel {
@@ -202,6 +211,13 @@ class ItgnnModel : public GraphModel {
   explicit ItgnnModel(Config config);
 
   ForwardResult Forward(Tape* t, const GnnGraph& g) override;
+
+  /// One forward over a block-diagonal GnnBatch: amortizes tape/dispatch
+  /// overhead across the fleet while staying bit-identical per graph to B
+  /// sequential Forward calls (see the segment-op contract in
+  /// gnn/tensor.h).
+  BatchedForwardResult ForwardBatched(Tape* t, const GnnBatch& batch);
+
   std::vector<Parameter*> Parameters() override;
   std::vector<std::vector<Parameter*>> ParameterGroups() override;
   std::string Name() const override { return "ITGNN"; }

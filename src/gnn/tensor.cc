@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gnn/kernels.h"
 #include "obs/obs.h"
 #include "util/thread_pool.h"
 
@@ -317,6 +318,7 @@ void Tape::RunBackward(const OpRecord& r) {
   Tensor* out = r.out;
   Tensor* a = r.a;
   Tensor* b = r.b;
+  const kernels::KernelBackend& kb = kernels::Kernels();
   switch (r.kind) {
     case OpKind::kLeaf: {
       Matrix* dst = &r.param->grad;
@@ -326,9 +328,8 @@ void Tape::RunBackward(const OpRecord& r) {
                                  r.param->value.cols)
                    .first->second;
       }
-      for (size_t i = 0; i < out->grad.data.size(); ++i) {
-        dst->data[i] += out->grad.data[i];
-      }
+      kb.AddInto(dst->data.data(), out->grad.data.data(),
+                 static_cast<int>(out->grad.data.size()));
       break;
     }
     case OpKind::kMatMul: {
@@ -342,9 +343,10 @@ void Tape::RunBackward(const OpRecord& r) {
           float* ga;
           const float* gc;
           const float* bv;
+          const kernels::KernelBackend* kb;
           int k, m;
         } c{a->grad.data.data(), out->grad.data.data(), b->value.data.data(),
-            k, m};
+            &kb, k, m};
         ParallelFor(0, n, RowGrain(static_cast<int64_t>(k) * m),
                     [&c](int64_t lo, int64_t hi) {
                       for (int64_t i = lo; i < hi; ++i) {
@@ -354,11 +356,7 @@ void Tape::RunBackward(const OpRecord& r) {
                         for (int l = 0; l < c.k; ++l) {
                           const float* brow =
                               c.bv + static_cast<size_t>(l) * c.m;
-                          float s = 0;
-                          for (int j = 0; j < c.m; ++j) {
-                            s += gcrow[j] * brow[j];
-                          }
-                          garow[l] += s;
+                          garow[l] += c.kb->Dot(gcrow, brow, c.m);
                         }
                       }
                     });
@@ -370,9 +368,10 @@ void Tape::RunBackward(const OpRecord& r) {
           float* gb;
           const float* av;
           const float* gc;
+          const kernels::KernelBackend* kb;
           int n, k, m;
         } c{b->grad.data.data(), a->value.data.data(), out->grad.data.data(),
-            n, k, m};
+            &kb, n, k, m};
         ParallelFor(0, k, RowGrain(static_cast<int64_t>(n) * m),
                     [&c](int64_t lo, int64_t hi) {
                       for (int64_t l = lo; l < hi; ++l) {
@@ -383,9 +382,7 @@ void Tape::RunBackward(const OpRecord& r) {
                           if (av == 0.f) continue;
                           const float* gcrow =
                               c.gc + static_cast<size_t>(i) * c.m;
-                          for (int j = 0; j < c.m; ++j) {
-                            gbrow[j] += av * gcrow[j];
-                          }
+                          c.kb->Axpy(gbrow, av, gcrow, c.m);
                         }
                       }
                     });
@@ -396,42 +393,38 @@ void Tape::RunBackward(const OpRecord& r) {
       const bool broadcast = r.i0 != 0;
       const int cols = a->cols();
       if (a->requires_grad) {
-        for (size_t i = 0; i < a->grad.data.size(); ++i) {
-          a->grad.data[i] += out->grad.data[i];
-        }
+        kb.AddInto(a->grad.data.data(), out->grad.data.data(),
+                   static_cast<int>(a->grad.data.size()));
       }
       if (b->requires_grad) {
         if (broadcast) {
           for (int i = 0; i < out->rows(); ++i) {
-            for (int j = 0; j < cols; ++j) {
-              b->grad.At(0, j) += out->grad.At(i, j);
-            }
+            kb.AddInto(b->grad.data.data(),
+                       out->grad.data.data() + static_cast<size_t>(i) * cols,
+                       cols);
           }
         } else {
-          for (size_t i = 0; i < b->grad.data.size(); ++i) {
-            b->grad.data[i] += out->grad.data[i];
-          }
+          kb.AddInto(b->grad.data.data(), out->grad.data.data(),
+                     static_cast<int>(b->grad.data.size()));
         }
       }
       break;
     }
     case OpKind::kMul: {
+      const int n = static_cast<int>(out->grad.data.size());
       if (a->requires_grad) {
-        for (size_t i = 0; i < a->grad.data.size(); ++i) {
-          a->grad.data[i] += out->grad.data[i] * b->value.data[i];
-        }
+        kb.MulAddInto(a->grad.data.data(), out->grad.data.data(),
+                      b->value.data.data(), n);
       }
       if (b->requires_grad) {
-        for (size_t i = 0; i < b->grad.data.size(); ++i) {
-          b->grad.data[i] += out->grad.data[i] * a->value.data[i];
-        }
+        kb.MulAddInto(b->grad.data.data(), out->grad.data.data(),
+                      a->value.data.data(), n);
       }
       break;
     }
     case OpKind::kScale: {
-      for (size_t i = 0; i < a->grad.data.size(); ++i) {
-        a->grad.data[i] += r.f0 * out->grad.data[i];
-      }
+      kb.Axpy(a->grad.data.data(), r.f0, out->grad.data.data(),
+              static_cast<int>(a->grad.data.size()));
       break;
     }
     case OpKind::kRelu: {
@@ -472,22 +465,21 @@ void Tape::RunBackward(const OpRecord& r) {
     }
     case OpKind::kConcatRows: {
       if (a->requires_grad) {
-        for (size_t i = 0; i < a->grad.data.size(); ++i) {
-          a->grad.data[i] += out->grad.data[i];
-        }
+        kb.AddInto(a->grad.data.data(), out->grad.data.data(),
+                   static_cast<int>(a->grad.data.size()));
       }
       if (b->requires_grad) {
-        for (size_t i = 0; i < b->grad.data.size(); ++i) {
-          b->grad.data[i] += out->grad.data[a->value.size() + i];
-        }
+        kb.AddInto(b->grad.data.data(),
+                   out->grad.data.data() + a->value.size(),
+                   static_cast<int>(b->grad.data.size()));
       }
       break;
     }
     case OpKind::kMeanRows: {
+      const int cols = a->cols();
       for (int i = 0; i < a->rows(); ++i) {
-        for (int j = 0; j < a->cols(); ++j) {
-          a->grad.At(i, j) += out->grad.At(0, j) * r.f0;
-        }
+        kb.Axpy(a->grad.data.data() + static_cast<size_t>(i) * cols, r.f0,
+                out->grad.data.data(), cols);
       }
       break;
     }
@@ -520,18 +512,25 @@ void Tape::RunBackward(const OpRecord& r) {
               &a->grad.data[static_cast<size_t>(
                                 csr->col_idx[static_cast<size_t>(k)]) *
                             cols];
-          const float v = csr->vals[static_cast<size_t>(k)];
-          for (int j = 0; j < cols; ++j) garow[j] += v * gcrow[j];
+          kb.Axpy(garow, csr->vals[static_cast<size_t>(k)], gcrow, cols);
         }
       }
       break;
     }
     case OpKind::kRowScale: {
+      // The a- and b-gradients touch disjoint buffers, so splitting the
+      // historically interleaved j-loop into two passes keeps every
+      // accumulation order (and therefore every float) unchanged.
+      const int cols = a->cols();
       for (int i = 0; i < a->rows(); ++i) {
         const float s = b->value.At(i, 0);
-        for (int j = 0; j < a->cols(); ++j) {
-          if (a->requires_grad) a->grad.At(i, j) += s * out->grad.At(i, j);
-          if (b->requires_grad) {
+        if (a->requires_grad) {
+          kb.Axpy(a->grad.data.data() + static_cast<size_t>(i) * cols, s,
+                  out->grad.data.data() + static_cast<size_t>(i) * cols,
+                  cols);
+        }
+        if (b->requires_grad) {
+          for (int j = 0; j < cols; ++j) {
             b->grad.At(i, 0) += a->value.At(i, j) * out->grad.At(i, j);
           }
         }
@@ -585,9 +584,8 @@ void Tape::RunBackward(const OpRecord& r) {
     }
     case OpKind::kScaleByEntry: {
       if (a->requires_grad) {
-        for (size_t i = 0; i < a->grad.data.size(); ++i) {
-          a->grad.data[i] += r.f0 * out->grad.data[i];
-        }
+        kb.Axpy(a->grad.data.data(), r.f0, out->grad.data.data(),
+                static_cast<int>(a->grad.data.size()));
       }
       if (b->requires_grad) {
         double g = 0;
@@ -602,6 +600,67 @@ void Tape::RunBackward(const OpRecord& r) {
       for (int i = 0; i < a->rows(); ++i) {
         for (int j = 0; j < a->cols(); ++j) {
           a->grad.At(i, j) += out->grad.At(j, i);
+        }
+      }
+      break;
+    }
+    case OpKind::kSegmentMeanRows: {
+      const int* off = arena_.Ints(static_cast<size_t>(r.i0));
+      const int cols = a->cols();
+      for (int s = 0; s < out->rows(); ++s) {
+        const float inv =
+            1.0f / static_cast<float>(std::max(1, off[s + 1] - off[s]));
+        for (int i = off[s]; i < off[s + 1]; ++i) {
+          kb.Axpy(a->grad.data.data() + static_cast<size_t>(i) * cols, inv,
+                  out->grad.data.data() + static_cast<size_t>(s) * cols,
+                  cols);
+        }
+      }
+      break;
+    }
+    case OpKind::kSegmentMaxRows: {
+      const int cols = a->cols();
+      // Pool layout: B+1 offsets, then B*cols global argmax rows.
+      const int* argmax =
+          arena_.Ints(static_cast<size_t>(r.i0)) + out->rows() + 1;
+      for (int s = 0; s < out->rows(); ++s) {
+        for (int j = 0; j < cols; ++j) {
+          a->grad.At(argmax[static_cast<size_t>(s) * cols + j], j) +=
+              out->grad.At(s, j);
+        }
+      }
+      break;
+    }
+    case OpKind::kSoftmaxRows: {
+      // Per row: the exact kSoftmaxRow Jacobian.
+      for (int i = 0; i < a->rows(); ++i) {
+        double dot = 0;
+        for (int j = 0; j < a->cols(); ++j) {
+          dot += double(out->grad.At(i, j)) * out->value.At(i, j);
+        }
+        for (int j = 0; j < a->cols(); ++j) {
+          a->grad.At(i, j) += static_cast<float>(
+              out->value.At(i, j) * (out->grad.At(i, j) - dot));
+        }
+      }
+      break;
+    }
+    case OpKind::kSegmentScaleByCol: {
+      const int* off = arena_.Ints(static_cast<size_t>(r.i0));
+      const int cols = a->cols();
+      for (int s = 0; s < b->rows(); ++s) {
+        const size_t base = static_cast<size_t>(off[s]) * cols;
+        const int len = (off[s + 1] - off[s]) * cols;
+        if (a->requires_grad) {
+          kb.Axpy(a->grad.data.data() + base, b->value.At(s, r.i1),
+                  out->grad.data.data() + base, len);
+        }
+        if (b->requires_grad) {
+          double g = 0;
+          for (int i = 0; i < len; ++i) {
+            g += double(a->value.data[base + i]) * out->grad.data[base + i];
+          }
+          b->grad.At(s, r.i1) += static_cast<float>(g);
         }
       }
       break;
@@ -625,12 +684,17 @@ Tensor* MatMul(Tape* tape, Tensor* a, Tensor* b) {
   }
   // Single-context capture keeps the ParallelFor std::function inside its
   // inline buffer — the forward kernel performs no heap allocation.
+  GLINT_KERNEL_ASSERT_ALIGNED(a->value.data.data());
+  GLINT_KERNEL_ASSERT_ALIGNED(bt->data.data());
+  GLINT_KERNEL_ASSERT_ALIGNED(out->value.data.data());
   struct Ctx {
     const float* av;
     const float* bt;
     float* cv;
+    const kernels::KernelBackend* kb;
     int k, m;
-  } c{a->value.data.data(), bt->data.data(), out->value.data.data(), k, m};
+  } c{a->value.data.data(), bt->data.data(), out->value.data.data(),
+      &kernels::Kernels(), k, m};
   ParallelFor(0, n, RowGrain(static_cast<int64_t>(k) * m),
               [&c](int64_t lo, int64_t hi) {
                 for (int j0 = 0; j0 < c.m; j0 += kMatMulTile) {
@@ -640,9 +704,7 @@ Tensor* MatMul(Tape* tape, Tensor* a, Tensor* b) {
                     float* crow = c.cv + static_cast<size_t>(i) * c.m;
                     for (int j = j0; j < j1; ++j) {
                       const float* btrow = c.bt + static_cast<size_t>(j) * c.k;
-                      float s = 0.f;
-                      for (int l = 0; l < c.k; ++l) s += arow[l] * btrow[l];
-                      crow[j] = s;
+                      crow[j] = c.kb->Dot(arow, btrow, c.k);
                     }
                   }
                 }
@@ -690,9 +752,9 @@ Tensor* Sub(Tape* tape, Tensor* a, Tensor* b) {
 Tensor* Mul(Tape* tape, Tensor* a, Tensor* b) {
   GLINT_CHECK(a->rows() == b->rows() && a->cols() == b->cols());
   Tensor* out = tape->New(a->rows(), a->cols(), Track({a, b}));
-  for (size_t i = 0; i < out->value.data.size(); ++i) {
-    out->value.data[i] = a->value.data[i] * b->value.data[i];
-  }
+  kernels::Kernels().MulInto(out->value.data.data(), a->value.data.data(),
+                             b->value.data.data(),
+                             static_cast<int>(out->value.data.size()));
   if (out->requires_grad) {
     OpRecord r{};
     r.kind = OpKind::kMul;
@@ -706,9 +768,9 @@ Tensor* Mul(Tape* tape, Tensor* a, Tensor* b) {
 
 Tensor* Scale(Tape* tape, Tensor* a, float s) {
   Tensor* out = tape->New(a->rows(), a->cols(), a->requires_grad);
-  for (size_t i = 0; i < out->value.data.size(); ++i) {
-    out->value.data[i] = s * a->value.data[i];
-  }
+  kernels::Kernels().ScaleInto(out->value.data.data(), s,
+                               a->value.data.data(),
+                               static_cast<int>(out->value.data.size()));
   if (out->requires_grad) {
     OpRecord r{};
     r.kind = OpKind::kScale;
@@ -741,8 +803,17 @@ Tensor* Elementwise(Tape* tape, Tensor* a, OpKind kind, F f) {
 }  // namespace
 
 Tensor* Relu(Tape* tape, Tensor* a) {
-  return Elementwise(tape, a, OpKind::kRelu,
-                     [](float x) { return x > 0 ? x : 0.f; });
+  Tensor* out = tape->New(a->rows(), a->cols(), a->requires_grad);
+  kernels::Kernels().ReluInto(out->value.data.data(), a->value.data.data(),
+                              static_cast<int>(out->value.data.size()));
+  if (out->requires_grad) {
+    OpRecord r{};
+    r.kind = OpKind::kRelu;
+    r.out = out;
+    r.a = a;
+    tape->Record(r);
+  }
+  return out;
 }
 
 Tensor* Sigmoid(Tape* tape, Tensor* a) {
@@ -796,10 +867,12 @@ Tensor* ConcatRows(Tape* tape, Tensor* a, Tensor* b) {
 Tensor* MeanRows(Tape* tape, Tensor* a) {
   Tensor* out = tape->New(1, a->cols(), a->requires_grad);
   const float inv = 1.0f / static_cast<float>(std::max(1, a->rows()));
+  const int cols = a->cols();
   for (int i = 0; i < a->rows(); ++i) {
-    for (int j = 0; j < a->cols(); ++j) {
-      out->value.At(0, j) += a->value.At(i, j) * inv;
-    }
+    kernels::Kernels().Axpy(out->value.data.data(), inv,
+                            a->value.data.data() +
+                                static_cast<size_t>(i) * cols,
+                            cols);
   }
   if (out->requires_grad) {
     OpRecord r{};
@@ -874,17 +947,19 @@ Tensor* SpMM(Tape* tape, const SparseMatrix& s, Tensor* a) {
   // re-reading the whole entry list per multiply.
   const auto csr = s.CsrView();
   const int cols = a->cols();
+  const kernels::KernelBackend& kb = kernels::Kernels();
+  GLINT_KERNEL_ASSERT_ALIGNED(a->value.data.data());
+  GLINT_KERNEL_ASSERT_ALIGNED(out->value.data.data());
   for (int r = 0; r < s.rows; ++r) {
     float* crow = &out->value.data[static_cast<size_t>(r) * cols];
     const int k0 = csr->row_ptr[static_cast<size_t>(r)];
     const int k1 = csr->row_ptr[static_cast<size_t>(r) + 1];
     for (int k = k0; k < k1; ++k) {
-      const float v = csr->vals[static_cast<size_t>(k)];
       const float* arow =
           &a->value
                .data[static_cast<size_t>(csr->col_idx[static_cast<size_t>(k)]) *
                      cols];
-      for (int j = 0; j < cols; ++j) crow[j] += v * arow[j];
+      kb.Axpy(crow, csr->vals[static_cast<size_t>(k)], arow, cols);
     }
   }
   if (out->requires_grad) {
@@ -905,11 +980,12 @@ Tensor* SpMM(Tape* tape, const SparseMatrix& s, Tensor* a) {
 Tensor* RowScale(Tape* tape, Tensor* a, Tensor* g) {
   GLINT_CHECK(g->rows() == a->rows() && g->cols() == 1);
   Tensor* out = tape->New(a->rows(), a->cols(), Track({a, g}));
+  const int cols = a->cols();
   for (int i = 0; i < a->rows(); ++i) {
-    const float s = g->value.At(i, 0);
-    for (int j = 0; j < a->cols(); ++j) {
-      out->value.At(i, j) = s * a->value.At(i, j);
-    }
+    kernels::Kernels().ScaleInto(
+        out->value.data.data() + static_cast<size_t>(i) * cols,
+        g->value.At(i, 0),
+        a->value.data.data() + static_cast<size_t>(i) * cols, cols);
   }
   if (out->requires_grad) {
     OpRecord r{};
@@ -954,17 +1030,32 @@ Tensor* Transpose(Tape* tape, Tensor* a) {
   return out;
 }
 
-void SoftmaxRowInto(const Tensor* logits, double* p) {
-  const size_t n = logits->value.data.size();
-  for (size_t i = 0; i < n; ++i) p[i] = logits->value.data[i];
+namespace {
+
+/// The one softmax-row normalization every call site funnels through (the
+/// 1 x k SoftmaxRowInto / SoftmaxRowOp paths and each row of the batched
+/// SoftmaxRows): exp stays a scalar libm call in every backend, the sum
+/// runs the backend's fixed 4-lane double tree, the divide is elementwise
+/// (exactly rounded, so trivially backend-identical).
+void SoftmaxFillRow(const float* logits, int k, double* p) {
+  const kernels::KernelBackend& kb = kernels::Kernels();
+  for (int j = 0; j < k; ++j) p[j] = logits[j];
   double mx = p[0];
-  for (size_t i = 0; i < n; ++i) mx = std::max(mx, p[i]);
-  double sum = 0;
-  for (size_t i = 0; i < n; ++i) {
-    p[i] = std::exp(p[i] - mx);
-    sum += p[i];
-  }
-  for (size_t i = 0; i < n; ++i) p[i] /= sum;
+  for (int j = 0; j < k; ++j) mx = std::max(mx, p[j]);
+  for (int j = 0; j < k; ++j) p[j] = std::exp(p[j] - mx);
+  const double sum = kb.SumDouble(p, k);
+  kb.DivDouble(p, sum, k);
+}
+
+}  // namespace
+
+void SoftmaxRowInto(const Tensor* logits, double* p) {
+  SoftmaxFillRow(logits->value.data.data(),
+                 static_cast<int>(logits->value.data.size()), p);
+}
+
+void SoftmaxRowInto(const float* logits, int k, double* p) {
+  SoftmaxFillRow(logits, k, p);
 }
 
 std::vector<double> SoftmaxRow(const Tensor* logits) {
@@ -980,16 +1071,8 @@ namespace {
 size_t SoftmaxRowIntoPool(Tape* tape, const Tensor* logits) {
   const int k = logits->cols();
   const size_t off = tape->arena()->AllocDoubles(static_cast<size_t>(k));
-  double* p = tape->arena()->Doubles(off);
-  for (int j = 0; j < k; ++j) p[j] = logits->value.data[j];
-  double mx = p[0];
-  for (int j = 0; j < k; ++j) mx = std::max(mx, p[j]);
-  double sum = 0;
-  for (int j = 0; j < k; ++j) {
-    p[j] = std::exp(p[j] - mx);
-    sum += p[j];
-  }
-  for (int j = 0; j < k; ++j) p[j] /= sum;
+  SoftmaxFillRow(logits->value.data.data(), k,
+                 tape->arena()->Doubles(off));
   return off;
 }
 
@@ -1097,9 +1180,9 @@ Tensor* ScaleByEntry(Tape* tape, Tensor* a, Tensor* s, int idx) {
   GLINT_CHECK(s->rows() == 1 && idx >= 0 && idx < s->cols());
   Tensor* out = tape->New(a->rows(), a->cols(), Track({a, s}));
   const float sv = s->value.At(0, idx);
-  for (size_t i = 0; i < a->value.data.size(); ++i) {
-    out->value.data[i] = sv * a->value.data[i];
-  }
+  kernels::Kernels().ScaleInto(out->value.data.data(), sv,
+                               a->value.data.data(),
+                               static_cast<int>(a->value.data.size()));
   if (out->requires_grad) {
     OpRecord r{};
     r.kind = OpKind::kScaleByEntry;
@@ -1108,6 +1191,144 @@ Tensor* ScaleByEntry(Tape* tape, Tensor* a, Tensor* s, int idx) {
     r.b = s;
     r.f0 = sv;
     r.i0 = idx;
+    tape->Record(r);
+  }
+  return out;
+}
+
+namespace {
+
+/// Copies a segment table into the arena int pool (records store offsets,
+/// not pointers). `extra` reserves trailing ints in the same block.
+size_t StashOffsets(Tape* tape, const std::vector<int>& offsets,
+                    size_t extra) {
+  const size_t off = tape->arena()->AllocInts(offsets.size() + extra);
+  std::copy(offsets.begin(), offsets.end(), tape->arena()->Ints(off));
+  return off;
+}
+
+void CheckOffsets(const Tensor* a, const std::vector<int>& offsets) {
+  GLINT_CHECK(offsets.size() >= 2);
+  GLINT_CHECK(offsets.front() == 0 && offsets.back() == a->rows());
+  for (size_t s = 0; s + 1 < offsets.size(); ++s) {
+    GLINT_CHECK(offsets[s] < offsets[s + 1]);  // segments are non-empty
+  }
+}
+
+}  // namespace
+
+Tensor* SegmentMeanRows(Tape* tape, Tensor* a,
+                        const std::vector<int>& offsets) {
+  CheckOffsets(a, offsets);
+  const int B = static_cast<int>(offsets.size()) - 1;
+  Tensor* out = tape->New(B, a->cols(), a->requires_grad);
+  const kernels::KernelBackend& kb = kernels::Kernels();
+  const int cols = a->cols();
+  for (int s = 0; s < B; ++s) {
+    // Same per-segment accumulation as MeanRows over that row range.
+    const float inv =
+        1.0f / static_cast<float>(std::max(1, offsets[s + 1] - offsets[s]));
+    float* orow = out->value.data.data() + static_cast<size_t>(s) * cols;
+    for (int i = offsets[s]; i < offsets[s + 1]; ++i) {
+      kb.Axpy(orow, inv,
+              a->value.data.data() + static_cast<size_t>(i) * cols, cols);
+    }
+  }
+  if (out->requires_grad) {
+    OpRecord r{};
+    r.kind = OpKind::kSegmentMeanRows;
+    r.out = out;
+    r.a = a;
+    r.i0 = static_cast<int>(StashOffsets(tape, offsets, 0));
+    tape->Record(r);
+  }
+  return out;
+}
+
+Tensor* SegmentMaxRows(Tape* tape, Tensor* a,
+                       const std::vector<int>& offsets) {
+  CheckOffsets(a, offsets);
+  const int B = static_cast<int>(offsets.size()) - 1;
+  const int cols = a->cols();
+  Tensor* out = tape->New(B, cols, a->requires_grad);
+  int* argmax = nullptr;
+  size_t off = 0;
+  if (out->requires_grad) {
+    off = StashOffsets(tape, offsets,
+                       static_cast<size_t>(B) * static_cast<size_t>(cols));
+    argmax = tape->arena()->Ints(off) + B + 1;
+  }
+  for (int s = 0; s < B; ++s) {
+    for (int j = 0; j < cols; ++j) {
+      // MaxRows' strict-> scan, restricted to the segment's rows.
+      float best = a->value.At(offsets[s], j);
+      int bi = offsets[s];
+      for (int i = offsets[s] + 1; i < offsets[s + 1]; ++i) {
+        if (a->value.At(i, j) > best) {
+          best = a->value.At(i, j);
+          bi = i;
+        }
+      }
+      if (argmax != nullptr) argmax[static_cast<size_t>(s) * cols + j] = bi;
+      out->value.At(s, j) = best;
+    }
+  }
+  if (out->requires_grad) {
+    OpRecord r{};
+    r.kind = OpKind::kSegmentMaxRows;
+    r.out = out;
+    r.a = a;
+    r.i0 = static_cast<int>(off);
+    tape->Record(r);
+  }
+  return out;
+}
+
+Tensor* SoftmaxRows(Tape* tape, Tensor* a) {
+  const int B = a->rows();
+  const int k = a->cols();
+  Tensor* out = tape->New(B, k, a->requires_grad);
+  const size_t off = tape->arena()->AllocDoubles(
+      static_cast<size_t>(B) * static_cast<size_t>(k));
+  for (int i = 0; i < B; ++i) {
+    double* p = tape->arena()->Doubles(off) + static_cast<size_t>(i) * k;
+    SoftmaxFillRow(a->value.data.data() + static_cast<size_t>(i) * k, k, p);
+    for (int j = 0; j < k; ++j) {
+      out->value.At(i, j) = static_cast<float>(p[j]);
+    }
+  }
+  if (out->requires_grad) {
+    OpRecord r{};
+    r.kind = OpKind::kSoftmaxRows;
+    r.out = out;
+    r.a = a;
+    tape->Record(r);
+  }
+  return out;
+}
+
+Tensor* SegmentScaleByCol(Tape* tape, Tensor* a, Tensor* s, int col,
+                          const std::vector<int>& offsets) {
+  CheckOffsets(a, offsets);
+  GLINT_CHECK(s->rows() == static_cast<int>(offsets.size()) - 1);
+  GLINT_CHECK(col >= 0 && col < s->cols());
+  Tensor* out = tape->New(a->rows(), a->cols(), Track({a, s}));
+  const kernels::KernelBackend& kb = kernels::Kernels();
+  const int cols = a->cols();
+  for (int seg = 0; seg < s->rows(); ++seg) {
+    const size_t base = static_cast<size_t>(offsets[seg]) * cols;
+    kb.ScaleInto(out->value.data.data() + base, s->value.At(seg, col),
+                 a->value.data.data() + base,
+                 (offsets[seg + 1] - offsets[seg]) * cols);
+  }
+  if (out->requires_grad) {
+    OpRecord r{};
+    r.kind = OpKind::kSegmentScaleByCol;
+    r.out = out;
+    r.a = a;
+    r.b = s;
+    r.i0 = static_cast<int>(StashOffsets(tape, offsets, 0));
+    r.i1 = col;
     tape->Record(r);
   }
   return out;

@@ -1,26 +1,36 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "util/aligned.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace glint::gnn {
 
 /// Dense row-major float matrix — the numeric workhorse of the GNN stack.
+/// Storage is 64-byte aligned so the SIMD kernel backends (gnn/kernels.h)
+/// always see cache-line-aligned base pointers.
 struct Matrix {
+  using Storage = std::vector<float, util::AlignedAllocator<float, 64>>;
+
   int rows = 0;
   int cols = 0;
-  std::vector<float> data;
+  Storage data;
 
   Matrix() = default;
   Matrix(int r, int c, float fill = 0.f)
-      : rows(r), cols(c), data(static_cast<size_t>(r) * c, fill) {}
+      : rows(r), cols(c), data(static_cast<size_t>(r) * c, fill) {
+    // Debug guard for the kernel-backend contract: base pointers handed to
+    // the SIMD tables are 64-byte aligned (AlignedAllocator's job).
+    assert((reinterpret_cast<uintptr_t>(data.data()) & 63u) == 0);
+  }
 
   float& At(int r, int c) { return data[static_cast<size_t>(r) * cols + c]; }
   float At(int r, int c) const {
@@ -180,6 +190,10 @@ enum class OpKind : uint8_t {
   kSoftmaxRow,
   kScaleByEntry,
   kTranspose,
+  kSegmentMeanRows,
+  kSegmentMaxRows,
+  kSoftmaxRows,
+  kSegmentScaleByCol,
 };
 
 /// One recorded gradient-flowing op: tag, operand pointers, and a small
@@ -425,6 +439,26 @@ Tensor* SoftmaxRowOp(Tape* t, Tensor* a);
 /// out = a * s(0, idx): scales a matrix by one entry of a tracked tensor.
 Tensor* ScaleByEntry(Tape* t, Tensor* a, Tensor* s, int idx);
 
+// ---- Segment ops (block-diagonal batched inference) ----------------------
+//
+// `offsets` is a B+1 ascending segment table: segment b covers rows
+// [offsets[b], offsets[b+1]) of `a`, and every segment is non-empty. Each
+// segment is processed with exactly the iteration (and therefore float
+// summation) order of the corresponding whole-matrix op on that row range,
+// so a batched forward is bit-identical per graph to B sequential forwards.
+
+/// B x cols per-segment mean over rows (batched kMeanRows).
+Tensor* SegmentMeanRows(Tape* t, Tensor* a, const std::vector<int>& offsets);
+/// B x cols per-segment max over rows (batched kMaxRows; strict > argmax).
+Tensor* SegmentMaxRows(Tape* t, Tensor* a, const std::vector<int>& offsets);
+/// Independent row-wise softmax of a B x k tensor (batched kSoftmaxRow;
+/// each row uses the exact SoftmaxRowInto operation order).
+Tensor* SoftmaxRows(Tape* t, Tensor* a);
+/// Row i in segment b scaled by s(b, col) — the batched twin of
+/// ScaleByEntry for a B x P per-segment weight tensor.
+Tensor* SegmentScaleByCol(Tape* t, Tensor* a, Tensor* s, int col,
+                          const std::vector<int>& offsets);
+
 /// Softmax probabilities of a 1 x k logits row (forward only helper).
 std::vector<double> SoftmaxRow(const Tensor* logits);
 
@@ -432,6 +466,11 @@ std::vector<double> SoftmaxRow(const Tensor* logits);
 /// must hold logits->value.data.size() doubles. Identical operation order
 /// to SoftmaxRow, so the results are bit-identical.
 void SoftmaxRowInto(const Tensor* logits, double* p);
+
+/// Row-pointer variant for one row of a batched logits matrix: softmax of
+/// the k floats at `logits` into `p` with the same operation order as the
+/// tensor overload (so per-row results are bit-identical).
+void SoftmaxRowInto(const float* logits, int k, double* p);
 
 /// Adam update over a set of parameters (skips frozen ones) and zeroes
 /// gradients.

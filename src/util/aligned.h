@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace glint::util {
+
+/// Minimal std::allocator drop-in that over-aligns every allocation to
+/// `Alignment` bytes. Matrix row storage uses this at 64 bytes so the SIMD
+/// kernel backends (src/gnn/kernels.h) see cache-line-aligned base pointers
+/// — a full AVX-512 lane and an even number of AVX2 lanes per line.
+template <typename T, size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T), "Alignment must not under-align T");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace glint::util

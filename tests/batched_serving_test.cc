@@ -1,0 +1,263 @@
+// Property suite for ServingEngine::InspectAllBatched: for every batch
+// size, thread count and kernel backend, the batched fleet inspection must
+// be *bit-identical* to the sequential InspectAll — same verdicts, same
+// confidences (compared as hex doubles), same explainer culprits, same
+// rendered warnings — and the per-home verdict/tensor caches must end up
+// in the same state (AggregateStats equality, verdict hits on re-inspect).
+// A recovery leg runs the same equivalence through a durable engine with
+// an injected WAL append failure and a post-snapshot Recover().
+
+#include <gtest/gtest.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/glint.h"
+#include "core/serving.h"
+#include "core/session.h"
+#include "gnn/kernels.h"
+#include "util/fault.h"
+#include "util/thread_pool.h"
+
+namespace glint::core {
+namespace {
+
+// One small trained detector shared by every test here; quality is
+// irrelevant — equivalence only depends on the computation graph.
+class BatchedServingTest : public ::testing::Test {
+ public:  // helpers are shared with the free RunEquivalenceScript driver
+  static void SetUpTestSuite() {
+    Glint::Options opts;
+    opts.corpus.ifttt = 200;
+    opts.corpus.smartthings = 40;
+    opts.corpus.alexa = 60;
+    opts.corpus.google_assistant = 40;
+    opts.corpus.home_assistant = 40;
+    opts.num_training_graphs = 40;
+    opts.builder.max_nodes = 8;
+    opts.model.num_scales = 2;
+    opts.model.embed_dim = 32;
+    opts.train.epochs = 2;
+    opts.pairs.num_positive = 60;
+    opts.pairs.num_negative = 90;
+    glint_ = new Glint(opts);
+    glint_->TrainOffline();
+  }
+
+  void SetUp() override { fault::Registry::Global().Clear(); }
+  void TearDown() override {
+    fault::Registry::Global().Clear();
+    ThreadPool::SetGlobalThreads(ThreadPool::ConfiguredThreads());
+    gnn::kernels::SetBackend(gnn::kernels::AvailableBackends().back());
+  }
+
+  static std::vector<rules::Rule> HomeRules(int n, int base_id = 9000) {
+    std::vector<rules::Rule> out(
+        glint_->corpus().begin(),
+        glint_->corpus().begin() +
+            std::min<size_t>(static_cast<size_t>(n),
+                             glint_->corpus().size()));
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i].id = base_id + static_cast<int>(i);
+    }
+    return out;
+  }
+
+  static graph::Event EventFor(const rules::Rule& r, double t) {
+    graph::Event e;
+    e.time_hours = t;
+    e.location = r.location;
+    e.device = r.trigger.device;
+    e.state = r.trigger.state;
+    return e;
+  }
+
+  /// Hex-exact fingerprint of a warning: flips in any bit of the verdict,
+  /// confidence, or explainer output change the string.
+  static std::string Fp(const ThreatWarning& w) {
+    char buf[64];
+    std::string out;
+    out += w.threat ? "T" : "t";
+    out += w.drifting ? "D" : "d";
+    std::snprintf(buf, sizeof buf, " %.17a", w.confidence);
+    out += buf;
+    for (auto ty : w.types) {
+      std::snprintf(buf, sizeof buf, " y%d", static_cast<int>(ty));
+      out += buf;
+    }
+    for (const auto& c : w.culprits) {
+      std::snprintf(buf, sizeof buf, " [%d %.17a ", c.node, c.importance);
+      out += buf;
+      out += c.platform + " " + c.rule_text + "]";
+    }
+    out += "\n" + w.Render();
+    return out;
+  }
+
+  static std::string Fp(const std::vector<ThreatWarning>& ws) {
+    std::string out;
+    for (const auto& w : ws) out += Fp(w) + "\n---\n";
+    return out;
+  }
+
+  static std::string StatsFp(const DeploymentSession::CacheStats& s) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "inspects=%llu events=%llu rules=%llu vh=%llu vm=%llu "
+                  "th=%llu tm=%llu",
+                  (unsigned long long)s.inspects, (unsigned long long)s.events,
+                  (unsigned long long)s.rules,
+                  (unsigned long long)s.verdict_hits,
+                  (unsigned long long)s.verdict_misses,
+                  (unsigned long long)s.tensor_hits,
+                  (unsigned long long)s.tensor_misses);
+    return buf;
+  }
+
+  /// Registers the same small fleet into `eng`: homes with different rule
+  /// counts (1-rule through 7-rule graphs) so super-graph segments have
+  /// heterogeneous sizes.
+  static void BuildFleet(ServingEngine* eng) {
+    const int counts[] = {3, 5, 2, 7, 1, 4, 6, 3};
+    int base = 9000;
+    for (int n : counts) {
+      eng->AddHome(HomeRules(n, base));
+      base += 100;
+    }
+  }
+
+  /// Fires one round of events (a subset of homes, trigger events derived
+  /// from their own rules) so graphs drift apart between inspections.
+  static void FireRound(ServingEngine* eng, int round, double t) {
+    const int counts[] = {3, 5, 2, 7, 1, 4, 6, 3};
+    for (int h = 0; h < 8; ++h) {
+      if ((h + round) % 3 == 0) continue;  // skip some homes each round
+      auto rules = HomeRules(counts[h], 9000 + 100 * h);
+      const auto& r = rules[static_cast<size_t>(round) % rules.size()];
+      eng->OnEvent(h, EventFor(r, t));
+    }
+  }
+
+  static Glint* glint_;
+};
+
+Glint* BatchedServingTest::glint_ = nullptr;
+
+/// Drives two engines (one sequential, one batched with `max_batch`)
+/// through an identical script and asserts bit-identical warnings and
+/// identical aggregate cache counters after every round.
+void RunEquivalenceScript(Glint* glint, int max_batch) {
+  ServingEngine seq(&glint->detector());
+  ServingEngine bat(&glint->detector());
+  BatchedServingTest::BuildFleet(&seq);
+  BatchedServingTest::BuildFleet(&bat);
+
+  double now = 1.0;
+  for (int round = 0; round < 3; ++round) {
+    BatchedServingTest::FireRound(&seq, round, now - 0.25);
+    BatchedServingTest::FireRound(&bat, round, now - 0.25);
+    const auto ws = seq.InspectAll(now);
+    const auto wb = bat.InspectAllBatched(now, max_batch);
+    ASSERT_EQ(ws.size(), wb.size());
+    EXPECT_EQ(BatchedServingTest::Fp(ws), BatchedServingTest::Fp(wb))
+        << "round " << round << " max_batch " << max_batch;
+    EXPECT_EQ(BatchedServingTest::StatsFp(seq.AggregateStats()),
+              BatchedServingTest::StatsFp(bat.AggregateStats()))
+        << "round " << round << " max_batch " << max_batch;
+    now += 1.0;
+  }
+
+  // Re-inspect at the same instant: every home must serve its warning from
+  // the verdict cache on both sides — FinishInspect left the batched
+  // caches in the same state the sequential path did.
+  const double pre_hits_now = now - 1.0;
+  const auto s0 = bat.AggregateStats();
+  const auto ws = seq.InspectAll(pre_hits_now);
+  const auto wb = bat.InspectAllBatched(pre_hits_now, max_batch);
+  EXPECT_EQ(BatchedServingTest::Fp(ws), BatchedServingTest::Fp(wb));
+  const auto s1 = bat.AggregateStats();
+  EXPECT_EQ(s1.verdict_hits - s0.verdict_hits, bat.num_homes());
+  EXPECT_EQ(BatchedServingTest::StatsFp(seq.AggregateStats()),
+            BatchedServingTest::StatsFp(s1));
+}
+
+TEST_F(BatchedServingTest, MatchesSequentialAcrossBatchSizes) {
+  // max_batch 1 (every super-graph is one graph), tiny batches that split
+  // the fleet unevenly, and one covering the whole fleet.
+  for (int max_batch : {1, 2, 3, 256}) {
+    RunEquivalenceScript(glint_, max_batch);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(BatchedServingTest, MatchesSequentialAcrossThreadCounts) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool::SetGlobalThreads(threads);
+    RunEquivalenceScript(glint_, 3);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(BatchedServingTest, MatchesSequentialOnForcedScalarBackend) {
+  ASSERT_TRUE(gnn::kernels::SetBackend(gnn::kernels::Backend::kScalar));
+  RunEquivalenceScript(glint_, 256);
+}
+
+TEST_F(BatchedServingTest, SingleHomeAndEmptyFleet) {
+  ServingEngine eng(&glint_->detector());
+  EXPECT_TRUE(eng.InspectAllBatched(1.0).empty());
+  eng.AddHome(HomeRules(4));
+  ServingEngine ref(&glint_->detector());
+  ref.AddHome(HomeRules(4));
+  EXPECT_EQ(Fp(ref.InspectAll(1.0)), Fp(eng.InspectAllBatched(1.0)));
+}
+
+/// GLINT_FAULTS leg: a durable engine suffers a WAL append failure (the op
+/// must not be applied), recovers from snapshot + tail in a fresh engine,
+/// and the recovered fleet's batched inspection still matches an
+/// uninterrupted non-durable engine's sequential InspectAll bit-for-bit.
+TEST_F(BatchedServingTest, BatchedMatchesSequentialAfterFaultAndRecovery) {
+  char tmpl[] = "/tmp/glint_batched_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = std::string(tmpl) + "/state";
+
+  ServingEngine ref(&glint_->detector());  // uninterrupted reference
+  BuildFleet(&ref);
+
+  auto dur = std::make_unique<ServingEngine>(&glint_->detector());
+  ASSERT_TRUE(dur->Recover(dir).ok());
+  BuildFleet(dur.get());
+
+  // Round 0 on both, then a faulted append on the durable engine: the
+  // rejected event must leave its state untouched (so no compensating op
+  // on the reference side).
+  FireRound(&ref, 0, 0.75);
+  FireRound(dur.get(), 0, 0.75);
+  fault::Registry::Global().Arm("wal.append.write", fault::Mode::kFail);
+  auto rules0 = HomeRules(3, 9000);
+  EXPECT_FALSE(dur->TryOnEvent(0, EventFor(rules0[0], 0.9)).ok());
+  fault::Registry::Global().Clear();
+
+  ASSERT_TRUE(dur->Snapshot().ok());
+
+  // Round 1 lands after the snapshot, so recovery replays it from the WAL
+  // tail.
+  FireRound(&ref, 1, 1.75);
+  FireRound(dur.get(), 1, 1.75);
+
+  dur.reset();  // drop without snapshotting: round 1 lives only in the WAL
+  ServingEngine rec(&glint_->detector());
+  ASSERT_TRUE(rec.Recover(dir).ok());
+  ASSERT_EQ(rec.num_homes(), ref.num_homes());
+
+  const auto ws = ref.InspectAll(2.0);
+  const auto wb = rec.InspectAllBatched(2.0, 3);
+  EXPECT_EQ(Fp(ws), Fp(wb));
+}
+
+}  // namespace
+}  // namespace glint::core

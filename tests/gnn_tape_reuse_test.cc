@@ -64,7 +64,7 @@ namespace {
 
 // Bitwise float-vector equality: stricter than ==, catches -0.0 vs +0.0
 // and distinguishes NaN payloads.
-bool SameBits(const std::vector<float>& a, const std::vector<float>& b) {
+bool SameBits(const Matrix::Storage& a, const Matrix::Storage& b) {
   return a.size() == b.size() &&
          (a.empty() ||
           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
@@ -121,12 +121,12 @@ class TapeReuseTest : public ::testing::Test {
   }
 
   // Snapshot of a grad sink in parameter-registration order.
-  static std::vector<std::vector<float>> SinkBits(
+  static std::vector<Matrix::Storage> SinkBits(
       const std::vector<Parameter*>& params, const Tape::GradSink& sink) {
-    std::vector<std::vector<float>> out;
+    std::vector<Matrix::Storage> out;
     for (Parameter* p : params) {
       auto it = sink.find(p);
-      out.push_back(it == sink.end() ? std::vector<float>{}
+      out.push_back(it == sink.end() ? Matrix::Storage{}
                                      : it->second.data);
     }
     return out;
@@ -223,7 +223,7 @@ TEST_F(TapeReuseTest, TrackedConstantsReusedTapeMatchesFreshBitwise) {
   ItgnnModel model(mc);
 
   auto screen = [&](Tape* t,
-                    const GnnGraph& g) -> std::vector<std::vector<float>> {
+                    const GnnGraph& g) -> std::vector<Matrix::Storage> {
     t->set_freeze_leaves(true);
     t->set_track_constants(true);
     ForwardResult r = model.Forward(t, g);
@@ -233,7 +233,7 @@ TEST_F(TapeReuseTest, TrackedConstantsReusedTapeMatchesFreshBitwise) {
     dir.At(1, 0) = 1.f;
     Tensor* margin = MatMul(t, r.logits, t->Constant(dir));
     t->Backward(margin);
-    std::vector<std::vector<float>> grads;
+    std::vector<Matrix::Storage> grads;
     for (const Tensor* x : t->tracked_constants()) {
       grads.push_back(x->grad.data);
     }

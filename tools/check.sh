@@ -8,7 +8,13 @@ JOBS="$(nproc)"
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j"${JOBS}"
+# Native pass: kernels auto-select the most capable backend this host has.
 ctest --test-dir build --output-on-failure -j"${JOBS}"
+# Forced-scalar pass: the same tier-1 suite on the portable reference
+# kernels. Together with the native pass (and kernel_dispatch_test's
+# per-primitive fingerprints) this proves the SIMD backends change nothing
+# observable.
+GLINT_KERNEL=scalar ctest --test-dir build --output-on-failure -j"${JOBS}"
 
 # Smoke the throughput bench with a 2-thread pool (exercises the parallel
 # build/train/inference paths end to end).
@@ -31,6 +37,14 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGLINT_TSAN=ON
 cmake --build build-tsan -j"${JOBS}" --target threadpool_stress obs_stress
 ./build-tsan/tests/threadpool_stress
 ./build-tsan/tests/obs_stress
+# Batched serving under TSAN: InspectAllBatched fans BeginInspect out over
+# the pool while sharing the detector's memo caches, then assembles the
+# super-graph serially — the thread-count equivalence test is the racy
+# surface. (Single suite under TSAN; the full sweep runs in the tier-1
+# passes above.)
+cmake --build build-tsan -j"${JOBS}" --target batched_serving_test
+GLINT_THREADS=4 ./build-tsan/tests/batched_serving_test \
+  --gtest_filter='BatchedServingTest.MatchesSequentialAcrossThreadCounts'
 
 # Arena lifetime / aliasing check: the tape tests under ASan. Guards the
 # bump-pointer arena (slot reuse after Reset, offset-based pools whose
@@ -38,10 +52,16 @@ cmake --build build-tsan -j"${JOBS}" --target threadpool_stress obs_stress
 # kernel) against use-after-free and out-of-bounds regressions.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGLINT_ASAN=ON
 cmake --build build-asan -j"${JOBS}" --target \
-  gnn_tensor_test gnn_tape_reuse_test gnn_layers_test
+  gnn_tensor_test gnn_tape_reuse_test gnn_layers_test kernel_dispatch_test \
+  batched_serving_test
 ./build-asan/tests/gnn_tensor_test
 ./build-asan/tests/gnn_tape_reuse_test
 ./build-asan/tests/gnn_layers_test
+# Kernel backends + the batched serving path under ASan: the SIMD tail
+# handling, the block-diagonal batch assembly (offset-shifted CSR copies),
+# and the segment-op index pools are all raw-pointer arithmetic.
+./build-asan/tests/kernel_dispatch_test
+GLINT_THREADS=2 ./build-asan/tests/batched_serving_test
 
 # Fault matrix under ASan: the injection framework's unit tests, then the
 # WAL/snapshot crash-matrix suite — forks a child per (fault point, nth),

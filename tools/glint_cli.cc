@@ -15,7 +15,7 @@
 //   inspect --model-dir DIR [--demo table1|table4|blueprints]
 //       Load trained models and inspect a rule deployment (demo rule sets).
 //   serve [--model-dir DIR] [--homes N] [--hours H] [--inspect-every H]
-//         [--stats] [--stats-every H]
+//         [--batch N] [--stats] [--stats-every H]
 //       Serve many simulated homes from one shared detector: per-home
 //       DeploymentSessions ingest event streams and are inspected in
 //       parallel by the ServingEngine (warm incremental pipeline).
@@ -326,6 +326,8 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   const double stats_every =
       std::atof(FlagOr(flags, "stats-every", "0").c_str());
   const bool stats = flags.count("stats") > 0 || stats_every > 0;
+  // 0 = sequential InspectAll; N > 0 packs up to N homes per super-graph.
+  const int batch = std::atoi(FlagOr(flags, "batch", "0").c_str());
   const uint64_t seed =
       std::strtoull(FlagOr(flags, "seed", "2026").c_str(), nullptr, 10);
   const std::string dir = FlagOr(flags, "model-dir", "");
@@ -422,7 +424,11 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     // never asks LiveGraph about a time before its latest event.
     double t_inspect = t;
     for (const auto& sim : sims) t_inspect = std::max(t_inspect, sim.now());
-    auto warnings = engine.InspectAll(t_inspect);
+    // Batched and sequential fleet inspection are bit-identical
+    // (tests/batched_serving_test.cc); --batch N trades per-home dispatch
+    // for one block-diagonal forward per N homes.
+    auto warnings = batch > 0 ? engine.InspectAllBatched(t_inspect, batch)
+                              : engine.InspectAll(t_inspect);
     int threats = 0, drifting = 0;
     for (const auto& w : warnings) {
       threats += w.threat;
@@ -480,7 +486,12 @@ int CmdStats() {
       "  glint.correlation.* rule-pair correlation model + verdict memo\n"
       "  glint.graph.*       interaction-graph build + node-feature memo\n"
       "  glint.live.*        LiveGraph incremental deltas / materialize\n"
-      "  glint.gnn.*         tensorization, ITGNN forward, GnnGraph cache\n"
+      "  glint.gnn.*         tensorization, ITGNN forward (sequential +\n"
+      "                      batched), GnnGraph cache\n"
+      "  glint.kernel.*      selected SIMD kernel backend (gauge: the\n"
+      "                      kernels::Backend code; GLINT_KERNEL overrides)\n"
+      "  glint.batch.*       block-diagonal super-graph sizes per batched\n"
+      "                      fleet inspection (InspectAllBatched)\n"
       "  glint.explain.*     gradient screen + occlusion refinement\n"
       "  glint.drift.*       behavioral drift detector\n"
       "  glint.detector.*    end-to-end Analyze verdicts\n"
@@ -571,8 +582,8 @@ void Usage() {
       "  train           --model-dir DIR [--graphs N] [--epochs E]\n"
       "  inspect         [--model-dir DIR] [--demo table1|table4|blueprints]\n"
       "  serve           [--model-dir DIR] [--homes N] [--hours H]\n"
-      "                  [--inspect-every H] [--seed S] [--stats]\n"
-      "                  [--stats-every H] [--state-dir DIR]\n"
+      "                  [--inspect-every H] [--batch N] [--seed S]\n"
+      "                  [--stats] [--stats-every H] [--state-dir DIR]\n"
       "  stats\n"
       "  simulate        [--hours H] [--attack NAME] [--seed S]\n"
       "  analyze         [--demo table1|table4|blueprints]\n");
