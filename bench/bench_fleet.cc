@@ -1,0 +1,383 @@
+// Sharded-fleet bench: the million-home serving shape at bench scale. One
+// ShardedFleet (default 10k homes over 8 shards, each home deploying 2-3
+// rules from a small shared pool) is driven through every fleet layer:
+//
+//   register   synchronous routed TryAddHome           -> homes/sec
+//   ingest     EventBus, multi-producer, kBlock        -> events/sec,
+//              per-shard queue high-water rollup
+//   inspect    sampled per-home TryInspect p50/p99 and a full
+//              InspectAll(batched)                     -> homes/sec
+//   identity   a 64-home sample replayed on a single ServingEngine must
+//              render bit-identically (the fleet determinism gate)
+//   wire       FleetServer on loopback TCP: ping RTT p50/p99, multi-
+//              connection event ingestion              -> events/sec
+//
+// Emits one machine-readable line (prefix BENCH_JSON).
+//
+// Usage: bench_fleet [--smoke] [--homes N] [--shards K]
+//   --smoke  400 homes / 4 shards, fewer wire ops; used by tools/check.sh.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/glint.h"
+#include "core/serving.h"
+#include "fleet/event_bus.h"
+#include "fleet/server.h"
+#include "fleet/sharding.h"
+#include "util/thread_pool.h"
+
+namespace glint::bench {
+namespace {
+
+using fleet::BusMessage;
+using fleet::EventBus;
+using fleet::FleetServer;
+using fleet::ShardedFleet;
+
+constexpr int kPoolSize = 8;
+constexpr int kEventRounds = 3;
+
+graph::Event EventFor(const rules::Rule& r, double t) {
+  graph::Event e;
+  e.time_hours = t;
+  e.location = r.location;
+  e.device = r.trigger.device;
+  e.state = r.trigger.state;
+  return e;
+}
+
+/// Home i's deployed rules: 2-3 drawn from the shared pool, so detector
+/// memo caches are shared across homes (the production shape).
+std::vector<rules::Rule> DeployedFor(const std::vector<rules::Rule>& pool,
+                                     int i) {
+  std::vector<rules::Rule> d = {pool[static_cast<size_t>(i % kPoolSize)],
+                                pool[static_cast<size_t>((i + 3) % kPoolSize)]};
+  if (i % 2 == 0) d.push_back(pool[static_cast<size_t>((i + 5) % kPoolSize)]);
+  return d;
+}
+
+/// Home i's round-r event — a pure function of (i, r), so the bus replay
+/// and the single-engine identity replay see the identical stream.
+graph::Event EventAt(const std::vector<rules::Rule>& pool, int i, int r) {
+  const rules::Rule& rule = pool[static_cast<size_t>((i + r) % kPoolSize)];
+  return EventFor(rule, 0.4 + 0.01 * (kEventRounds * i + r));
+}
+
+int Run(int homes, int shards, bool smoke) {
+  core::Glint::Options opts;
+  opts.corpus.ifttt = 200;
+  opts.corpus.smartthings = 40;
+  opts.corpus.alexa = 60;
+  opts.corpus.google_assistant = 40;
+  opts.corpus.home_assistant = 40;
+  opts.num_training_graphs = 40;
+  opts.builder.max_nodes = 8;
+  opts.model.num_scales = 2;
+  opts.model.embed_dim = 32;
+  opts.train.epochs = 2;
+  opts.pairs.num_positive = 60;
+  opts.pairs.num_negative = 90;
+  core::Glint glint(opts);
+  std::printf("training the detector (offline stage)...\n");
+  glint.TrainOffline();
+
+  std::vector<rules::Rule> pool(
+      glint.corpus().begin(),
+      glint.corpus().begin() +
+          std::min<size_t>(kPoolSize, glint.corpus().size()));
+  for (size_t i = 0; i < pool.size(); ++i) {
+    pool[i].id = 9000 + static_cast<int>(i);
+  }
+
+  Banner("Sharded fleet: register / ingest / inspect / wire",
+         "the Sec. 5 deployment regime at fleet scale");
+  std::printf("homes=%d shards=%d threads=%d\n\n", homes, shards,
+              ThreadPool::Global().threads());
+
+  fleet::FleetConfig fcfg;
+  fcfg.num_shards = shards;
+  ShardedFleet fleet(&glint.detector(), fcfg);
+
+  std::vector<core::HomeId> ids;
+  ids.reserve(static_cast<size_t>(homes));
+  for (int i = 0; i < homes; ++i) ids.push_back("home-" + std::to_string(i));
+
+  // ---- Register: synchronous routed TryAddHome --------------------------
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < homes; ++i) {
+    if (!fleet.TryAddHome(ids[static_cast<size_t>(i)], DeployedFor(pool, i))
+             .ok()) {
+      std::fprintf(stderr, "TryAddHome(%s) failed\n",
+                   ids[static_cast<size_t>(i)].c_str());
+      return 1;
+    }
+  }
+  const double register_s = Seconds(t0);
+  const double register_per_sec = homes / register_s;
+
+  size_t shard_min = fleet.shard(0).num_homes();
+  size_t shard_max = shard_min;
+  for (int k = 1; k < shards; ++k) {
+    shard_min = std::min(shard_min, fleet.shard(k).num_homes());
+    shard_max = std::max(shard_max, fleet.shard(k).num_homes());
+  }
+  std::printf("%-38s %12.0f  (%.2fs; shard homes %zu..%zu)\n",
+              "register homes/sec", register_per_sec, register_s, shard_min,
+              shard_max);
+
+  // ---- Ingest: EventBus, multi-producer, kBlock -------------------------
+  // Each producer owns a strided partition of homes and posts all of a
+  // home's rounds in order, so per-home FIFO order is fixed and the end
+  // state is deterministic (the bit-identity gate below depends on it).
+  const int producers =
+      std::max(1, std::min(smoke ? 2 : 4,
+                           static_cast<int>(std::thread::hardware_concurrency())));
+  EventBus::Config bcfg;
+  bcfg.capacity = 1024;
+  bcfg.policy = EventBus::Backpressure::kBlock;
+  EventBus bus(&fleet, bcfg);
+  const uint64_t total_events =
+      static_cast<uint64_t>(homes) * kEventRounds;
+  t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(producers));
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        for (int i = p; i < homes; i += producers) {
+          for (int r = 0; r < kEventRounds; ++r) {
+            BusMessage m;
+            m.kind = BusMessage::Kind::kEvent;
+            m.home = ids[static_cast<size_t>(i)];
+            m.event = EventAt(pool, i, r);
+            if (!bus.Post(std::move(m)).ok()) {
+              std::fprintf(stderr, "bus post refused under kBlock\n");
+              std::abort();
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    bus.Flush();
+  }
+  const double ingest_s = Seconds(t0);
+  const double bus_events_per_sec = static_cast<double>(total_events) / ingest_s;
+  size_t queue_hw_max = 0;
+  double queue_hw_sum = 0;
+  for (int k = 0; k < shards; ++k) {
+    queue_hw_max = std::max(queue_hw_max, bus.queue_high_water(k));
+    queue_hw_sum += static_cast<double>(bus.queue_high_water(k));
+  }
+  const uint64_t bus_rejected = bus.rejected();
+  const uint64_t bus_apply_errors = bus.apply_errors();
+  bus.Stop();
+  std::printf("%-38s %12.0f  (%d producers; queue hw max %zu avg %.0f)\n",
+              "bus events/sec", bus_events_per_sec, producers, queue_hw_max,
+              queue_hw_sum / shards);
+
+  // ---- Inspect: sampled per-home latency, then the batched full sweep ---
+  const double now = 0.4 + 0.01 * (kEventRounds * homes) + 1.0;
+  const int samples = std::min(homes, 256);
+  const int stride = std::max(1, homes / samples);
+  std::vector<double> inspect_ms;
+  inspect_ms.reserve(static_cast<size_t>(samples));
+  for (int s = 0; s < samples; ++s) {
+    const auto& id = ids[static_cast<size_t>(s * stride)];
+    auto ti = std::chrono::steady_clock::now();
+    if (!fleet.TryInspect(id, now).ok()) {
+      std::fprintf(stderr, "TryInspect(%s) failed\n", id.c_str());
+      return 1;
+    }
+    inspect_ms.push_back(Seconds(ti) * 1e3);
+  }
+  const double inspect_p50 = Percentile(inspect_ms, 0.50);
+  const double inspect_p99 = Percentile(inspect_ms, 0.99);
+
+  t0 = std::chrono::steady_clock::now();
+  fleet::FleetWarnings all = fleet.InspectAll(now, /*max_batch=*/64);
+  const double inspect_all_s = Seconds(t0);
+  const double inspect_homes_per_sec = homes / inspect_all_s;
+  if (all.ids.size() != static_cast<size_t>(homes)) {
+    std::fprintf(stderr, "InspectAll covered %zu of %d homes\n",
+                 all.ids.size(), homes);
+    return 1;
+  }
+  std::printf("%-38s %12.2f  (p99 %.2f; %d sampled)\n",
+              "inspect p50 ms", inspect_p50, inspect_p99, samples);
+  std::printf("%-38s %12.0f  (full sweep %.2fs, batch 64)\n",
+              "InspectAll homes/sec", inspect_homes_per_sec, inspect_all_s);
+
+  // ---- Identity gate: a 64-home sample vs a single engine ---------------
+  bool identity_ok = true;
+  {
+    core::ServingEngine single(&glint.detector());
+    const int n = std::min(homes, 64);
+    const int id_stride = std::max(1, homes / n);
+    for (int s = 0; s < n; ++s) {
+      const int i = s * id_stride;
+      const auto& id = ids[static_cast<size_t>(i)];
+      if (!single.TryAddHome(id, DeployedFor(pool, i)).ok()) return 1;
+      for (int r = 0; r < kEventRounds; ++r) {
+        if (!single.TryOnEvent(id, EventAt(pool, i, r)).ok()) return 1;
+      }
+      auto lhs = fleet.TryInspect(id, now);
+      auto rhs = single.TryInspect(id, now);
+      if (!lhs.ok() || !rhs.ok() ||
+          lhs.value().Render() != rhs.value().Render()) {
+        identity_ok = false;
+      }
+    }
+    std::printf("%-38s %12s  (%d-home sample)\n", "fleet == single engine",
+                identity_ok ? "yes" : "NO — DETERMINISM BUG", n);
+  }
+
+  // ---- Wire: loopback TCP through FleetServer ---------------------------
+  FleetServer server(&fleet, {});
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "FleetServer failed to start\n");
+    return 1;
+  }
+  const int pings = smoke ? 200 : 1000;
+  std::vector<double> ping_us;
+  ping_us.reserve(static_cast<size_t>(pings));
+  {
+    fleet::wire::Client client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) {
+      std::fprintf(stderr, "wire client connect failed\n");
+      return 1;
+    }
+    fleet::wire::Request req;
+    fleet::wire::Reply reply;
+    req.type = fleet::wire::MsgType::kPing;
+    for (int i = 0; i < pings; ++i) {
+      auto ti = std::chrono::steady_clock::now();
+      if (!client.Call(req, &reply).ok()) {
+        std::fprintf(stderr, "wire ping failed\n");
+        return 1;
+      }
+      ping_us.push_back(Seconds(ti) * 1e6);
+    }
+  }
+  const double ping_p50 = Percentile(ping_us, 0.50);
+  const double ping_p99 = Percentile(ping_us, 0.99);
+
+  // Multi-connection event ingestion over the socket: each connection owns
+  // a strided partition of existing homes; acks are accepted-acks, so this
+  // measures the framed request/ack round-trip rate, end to end.
+  const int conns = smoke ? 2 : 4;
+  const int wire_events_per_conn = smoke ? 250 : 2500;
+  std::vector<int> wire_failures(static_cast<size_t>(conns), 0);
+  t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(conns));
+    for (int c = 0; c < conns; ++c) {
+      threads.emplace_back([&, c] {
+        fleet::wire::Client client;
+        if (!client.Connect("127.0.0.1", server.port()).ok()) {
+          wire_failures[static_cast<size_t>(c)] = wire_events_per_conn;
+          return;
+        }
+        fleet::wire::Request req;
+        fleet::wire::Reply reply;
+        req.type = fleet::wire::MsgType::kEvent;
+        for (int i = 0; i < wire_events_per_conn; ++i) {
+          const int h = (c + i * conns) % homes;
+          req.home = ids[static_cast<size_t>(h)];
+          req.event = EventFor(pool[static_cast<size_t>(h % kPoolSize)],
+                               now + 0.01 * (i + 1));
+          if (!client.Call(req, &reply).ok() || reply.code != 0) {
+            ++wire_failures[static_cast<size_t>(c)];
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const double wire_s = Seconds(t0);
+  const uint64_t wire_events =
+      static_cast<uint64_t>(conns) * wire_events_per_conn;
+  const double wire_events_per_sec = static_cast<double>(wire_events) / wire_s;
+  int wire_failed = 0;
+  for (int f : wire_failures) wire_failed += f;
+  server.bus().Flush();
+  const uint64_t wire_apply_errors = server.bus().apply_errors();
+  server.Stop();
+  std::printf("%-38s %12.1f  (p99 %.1f us, %d pings)\n", "wire ping p50 us",
+              ping_p50, ping_p99, pings);
+  std::printf("%-38s %12.0f  (%d conns x %d events; %d failed)\n",
+              "wire events/sec", wire_events_per_sec, conns,
+              wire_events_per_conn, wire_failed);
+
+  JsonWriter json;
+  json.Str("bench", "fleet");
+  json.Int("homes", homes);
+  json.Int("shards", shards);
+  json.Int("producers", producers);
+  json.Num("register_per_sec", register_per_sec, 0);
+  json.Int("shard_homes_min", static_cast<long long>(shard_min));
+  json.Int("shard_homes_max", static_cast<long long>(shard_max));
+  json.Num("bus_events_per_sec", bus_events_per_sec, 0);
+  json.Int("bus_queue_hw_max", static_cast<long long>(queue_hw_max));
+  json.Num("bus_queue_hw_avg", queue_hw_sum / shards, 1);
+  json.Int("bus_rejected", static_cast<long long>(bus_rejected));
+  json.Int("bus_apply_errors", static_cast<long long>(bus_apply_errors));
+  json.Num("inspect_p50_ms", inspect_p50);
+  json.Num("inspect_p99_ms", inspect_p99);
+  json.Num("inspect_all_s", inspect_all_s, 2);
+  json.Num("inspect_homes_per_sec", inspect_homes_per_sec, 0);
+  json.Bool("identity_sample_ok", identity_ok);
+  json.Num("wire_ping_p50_us", ping_p50, 1);
+  json.Num("wire_ping_p99_us", ping_p99, 1);
+  json.Num("wire_events_per_sec", wire_events_per_sec, 0);
+  json.Int("wire_failed", wire_failed);
+  json.Int("wire_apply_errors", static_cast<long long>(wire_apply_errors));
+  std::printf("BENCH_JSON %s\n", json.Render().c_str());
+
+  if (!identity_ok) return 1;
+  if (bus_rejected != 0 || bus_apply_errors != 0) {
+    std::fprintf(stderr, "bus lost or failed messages under kBlock\n");
+    return 1;
+  }
+  if (wire_failed != 0 || wire_apply_errors != 0) {
+    std::fprintf(stderr, "wire leg failed requests\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace glint::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int homes = 0;
+  int shards = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--homes") == 0 && i + 1 < argc) {
+      homes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fleet [--smoke] [--homes N] [--shards K]\n");
+      return 2;
+    }
+  }
+  if (homes <= 0) homes = smoke ? 400 : 10000;
+  if (shards <= 0) shards = smoke ? 4 : 8;
+  return glint::bench::Run(homes, shards, smoke);
+}

@@ -142,7 +142,9 @@ int Run(bool smoke) {
   // engines are sampled in the same loop, alternating reps, so box-level
   // drift hits both distributions equally.
   auto warm_engine_rep = [&](core::ServingEngine* eng, int r) {
-    const auto cur = eng->home(0).CurrentRules();
+    // home_view: `eng` is the durable engine on half the calls, and the
+    // mutable accessor refuses durable engines (WAL-bypass guard).
+    const auto cur = eng->home_view(0).CurrentRules();
     const rules::Rule rotated = cur[static_cast<size_t>(r) % cur.size()];
     auto t0 = std::chrono::steady_clock::now();
     if (!eng->TryRemoveRule(0, rotated.id).ok() ||
@@ -268,11 +270,16 @@ int Run(bool smoke) {
     auto t0 = std::chrono::steady_clock::now();
     for (int k = 0; k < rounds; ++k, ++round) {
       for (int h = 0; h < homes; ++h) {
-        const auto cur = engine.home(h).CurrentRules();
+        const auto cur = engine.home_view(h).CurrentRules();
         const rules::Rule rotated =
             cur[static_cast<size_t>(round) % cur.size()];
-        engine.home(h).RemoveRule(rotated.id);
-        engine.home(h).AddRule(rotated);
+        // Route mutations through the engine API (the journaled path on a
+        // durable engine) instead of poking the session directly.
+        if (!engine.TryRemoveRule(h, rotated.id).ok() ||
+            !engine.TryAddRule(h, rotated).ok()) {
+          std::fprintf(stderr, "thread-sweep rotate op failed\n");
+          return 1;
+        }
       }
       engine.InspectAll(now);
     }
@@ -304,13 +311,16 @@ int Run(bool smoke) {
   const int bat_rounds = smoke ? 4 : 8;
   for (int r = 0; r < bat_rounds; ++r) {
     for (int h = 0; h < homes; ++h) {
-      const auto cur = eng_seq.home(h).CurrentRules();
+      const auto cur = eng_seq.home_view(h).CurrentRules();
       const rules::Rule rotated =
           cur[static_cast<size_t>(r + 1) % cur.size()];
-      eng_seq.home(h).RemoveRule(rotated.id);
-      eng_seq.home(h).AddRule(rotated);
-      eng_bat.home(h).RemoveRule(rotated.id);
-      eng_bat.home(h).AddRule(rotated);
+      if (!eng_seq.TryRemoveRule(h, rotated.id).ok() ||
+          !eng_seq.TryAddRule(h, rotated).ok() ||
+          !eng_bat.TryRemoveRule(h, rotated.id).ok() ||
+          !eng_bat.TryAddRule(h, rotated).ok()) {
+        std::fprintf(stderr, "batched-fleet rotate op failed\n");
+        return 1;
+      }
     }
     auto t0 = std::chrono::steady_clock::now();
     const auto ws = eng_seq.InspectAll(now);

@@ -96,8 +96,10 @@ int main() {
     return 1;
   }
   const int h = added.value();
+  // home_view, not home(h): the engine is durable, and the mutable
+  // accessor refuses to hand out a session the WAL could not see.
   std::printf("deployed %d rules into home %d (journal: %s)\n\n",
-              engine.home(h).num_rules(), h, state_dir);
+              engine.home_view(h).num_rules(), h, state_dir);
 
   // The validating API turns a frontend's bad home index into a Status
   // instead of a crash:

@@ -46,6 +46,8 @@ Status ServingEngine::Recover(const std::string& dir) {
     // Leave the engine non-durable and empty-ish state visible to the
     // caller; recovery failures are surfaced, never papered over.
     sessions_.clear();
+    ids_.clear();
+    index_.clear();
     seq_ = 0;
     return st;
   }
@@ -71,7 +73,10 @@ Status ServingEngine::Snapshot() {
 std::vector<char> ServingEngine::EncodeSnapshot() const {
   util::ByteWriter w;
   w.U32(static_cast<uint32_t>(sessions_.size()));
-  for (const auto& s : sessions_) s->SerializeTo(&w);
+  for (size_t h = 0; h < sessions_.size(); ++h) {
+    w.Str(ids_[h]);
+    sessions_[h]->SerializeTo(&w);
+  }
   return w.TakeBuffer();
 }
 
@@ -82,8 +87,17 @@ Status ServingEngine::ApplySnapshot(const std::vector<char>& payload) {
     return Status::InvalidArgument("snapshot: truncated home count");
   }
   for (uint32_t h = 0; h < homes; ++h) {
+    HomeId id;
+    if (!r.Str(&id)) {
+      return Status::InvalidArgument("snapshot: truncated home id");
+    }
+    if (index_.count(id) != 0) {
+      return Status::InvalidArgument("snapshot: duplicate home id '" + id +
+                                     "'");
+    }
     auto session = MakeSession();
     GLINT_RETURN_IF_ERROR(session->RestoreFrom(&r));
+    RegisterHomeId(std::move(id));
     sessions_.push_back(std::move(session));
   }
   if (!r.exhausted()) {
@@ -118,9 +132,14 @@ Status ServingEngine::ApplyRecord(const std::vector<char>& payload) {
   if (!r.U8(&op)) return Status::InvalidArgument("WAL record: missing op");
   switch (op) {
     case kOpAddHome: {
+      HomeId id;
       uint32_t n = 0;
-      if (!r.U32(&n) || n > r.remaining()) {
-        return Status::InvalidArgument("WAL AddHome: truncated rule count");
+      if (!r.Str(&id) || !r.U32(&n) || n > r.remaining()) {
+        return Status::InvalidArgument("WAL AddHome: truncated record");
+      }
+      if (index_.count(id) != 0) {
+        return Status::InvalidArgument("WAL AddHome: duplicate home id '" +
+                                       id + "'");
       }
       auto session = MakeSession();
       for (uint32_t i = 0; i < n; ++i) {
@@ -130,6 +149,7 @@ Status ServingEngine::ApplyRecord(const std::vector<char>& payload) {
         }
         session->AddRule(rule);
       }
+      RegisterHomeId(std::move(id));
       sessions_.push_back(std::move(session));
       break;
     }
@@ -181,11 +201,32 @@ Status ServingEngine::ApplyRecord(const std::vector<char>& payload) {
 
 // ---- Deployment mutations ----------------------------------------------
 
+void ServingEngine::RegisterHomeId(HomeId id) {
+  index_.emplace(id, static_cast<int>(sessions_.size()));
+  ids_.push_back(std::move(id));
+}
+
+Result<int> ServingEngine::RequireHome(const HomeId& id) const {
+  const int h = ResolveHome(id);
+  if (h < 0) {
+    GLINT_OBS_COUNT("glint.serving.bad_home_id", 1);
+    return Status::NotFound("no home with id '" + id + "'");
+  }
+  return h;
+}
+
 Result<int> ServingEngine::TryAddHome(
-    const std::vector<rules::Rule>& deployed) {
+    const HomeId& id, const std::vector<rules::Rule>& deployed) {
+  if (id.empty()) {
+    return Status::InvalidArgument("home id must be non-empty");
+  }
+  if (index_.count(id) != 0) {
+    return Status::InvalidArgument("home id '" + id + "' already exists");
+  }
   if (journal_ != nullptr) {
     util::ByteWriter w;
     w.U8(kOpAddHome);
+    w.Str(id);
     w.U32(static_cast<uint32_t>(deployed.size()));
     for (const auto& rule : deployed) rules::WriteRule(&w, rule);
     GLINT_RETURN_IF_ERROR(JournalAppend(w.buffer()));
@@ -194,9 +235,15 @@ Result<int> ServingEngine::TryAddHome(
   }
   auto session = MakeSession();
   for (const auto& rule : deployed) session->AddRule(rule);
+  RegisterHomeId(id);
   sessions_.push_back(std::move(session));
   GLINT_RETURN_IF_ERROR(MaybeAutoSnapshot());
   return static_cast<int>(sessions_.size()) - 1;
+}
+
+Result<int> ServingEngine::TryAddHome(
+    const std::vector<rules::Rule>& deployed) {
+  return TryAddHome("#" + std::to_string(sessions_.size()), deployed);
 }
 
 int ServingEngine::AddHome(const std::vector<rules::Rule>& deployed) {
@@ -294,9 +341,56 @@ Status ServingEngine::TryOnEvent(int h, const graph::Event& e) {
   return MaybeAutoSnapshot();
 }
 
+// ---- Id-addressed twins -------------------------------------------------
+
+Status ServingEngine::TryAddRule(const HomeId& id, const rules::Rule& rule) {
+  Result<int> h = RequireHome(id);
+  GLINT_RETURN_IF_ERROR(h.status());
+  return TryAddRule(h.value(), rule);
+}
+
+Status ServingEngine::TryRemoveRule(const HomeId& id, int rule_id,
+                                    bool* removed) {
+  Result<int> h = RequireHome(id);
+  GLINT_RETURN_IF_ERROR(h.status());
+  return TryRemoveRule(h.value(), rule_id, removed);
+}
+
+Status ServingEngine::TryOnEvent(const HomeId& id, const graph::Event& e) {
+  Result<int> h = RequireHome(id);
+  GLINT_RETURN_IF_ERROR(h.status());
+  return TryOnEvent(h.value(), e);
+}
+
+Result<ThreatWarning> ServingEngine::TryInspect(const HomeId& id,
+                                                double now_hours) {
+  Result<int> h = RequireHome(id);
+  if (!h.ok()) return h.status();
+  return TryInspect(h.value(), now_hours);
+}
+
 // ---- Lookups & inspection ----------------------------------------------
 
+int ServingEngine::ResolveHome(const HomeId& id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const HomeId& ServingEngine::home_id(int h) const {
+  GLINT_CHECK(has_home(h));
+  return ids_[static_cast<size_t>(h)];
+}
+
 DeploymentSession& ServingEngine::home(int h) {
+  // Handing out a mutable session on a durable engine would let callers
+  // mutate state the WAL never sees; reads go through home_view(),
+  // mutations through the journaled Try* API.
+  GLINT_CHECK(!durable());
+  GLINT_CHECK(has_home(h));
+  return *sessions_[static_cast<size_t>(h)];
+}
+
+const DeploymentSession& ServingEngine::home_view(int h) const {
   GLINT_CHECK(has_home(h));
   return *sessions_[static_cast<size_t>(h)];
 }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/journal.h"
@@ -10,6 +11,14 @@
 #include "util/status.h"
 
 namespace glint::core {
+
+/// Stable, user-visible home address. The fleet layer routes by HomeId
+/// (consistent hashing — see fleet/sharding.h); the dense `int h` index is
+/// a per-engine (per-shard) detail: it names a slot inside one engine and
+/// is not stable across engines or shard counts. Ids are journaled with
+/// the AddHome record and written into snapshots, so they survive
+/// recovery.
+using HomeId = std::string;
 
 /// Multiplexes many DeploymentSessions (homes) over one shared
 /// TrainedDetector — the "one detector, N homes" serving shape of the
@@ -28,8 +37,9 @@ namespace glint::core {
 /// Recover(dir) replays snapshot + tail and reaches a state whose
 /// InspectAll output is bit-identical to the uninterrupted run's (the
 /// recovery extension of the session-vs-cold determinism proof). Direct
-/// home(h) mutation bypasses the WAL — durable deployments must mutate
-/// through the engine.
+/// home(h) mutation would bypass the WAL, so the mutable accessor refuses
+/// (aborts) on durable engines — durable deployments mutate through the
+/// Try* API and read through home_view().
 class ServingEngine {
  public:
   struct Config {
@@ -65,9 +75,15 @@ class ServingEngine {
 
   // ---- Deployment mutations -------------------------------------------
 
-  /// Registers a home with its deployed rules; returns the home index.
-  /// Journaled when durable; IOError if the WAL append fails (the home is
-  /// then not registered).
+  /// Registers a home under a caller-chosen stable id; returns the home's
+  /// dense index inside this engine. InvalidArgument on an empty or
+  /// duplicate id; journaled when durable (IOError if the WAL append
+  /// fails — the home is then not registered).
+  Result<int> TryAddHome(const HomeId& id,
+                         const std::vector<rules::Rule>& deployed);
+
+  /// Id-less variant: auto-assigns the id "#<index>" (single-engine tests
+  /// and demos; fleet callers always address homes by explicit id).
   Result<int> TryAddHome(const std::vector<rules::Rule>& deployed);
 
   /// Checked twin of TryAddHome: aborts on journal failure (for callers
@@ -91,6 +107,16 @@ class ServingEngine {
   /// not name a registered home, IOError on a WAL failure.
   Status TryOnEvent(int h, const graph::Event& e);
 
+  // ---- Id-addressed twins (the fleet/network-facing surface) ----------
+
+  /// NotFound when `id` names no home in this engine; otherwise identical
+  /// to the index-addressed variants (including journaling).
+  Status TryAddRule(const HomeId& id, const rules::Rule& rule);
+  Status TryRemoveRule(const HomeId& id, int rule_id,
+                       bool* removed = nullptr);
+  Status TryOnEvent(const HomeId& id, const graph::Event& e);
+  Result<ThreatWarning> TryInspect(const HomeId& id, double now_hours);
+
   // ---- Lookups & inspection -------------------------------------------
 
   size_t num_homes() const { return sessions_.size(); }
@@ -98,12 +124,27 @@ class ServingEngine {
     return h >= 0 && h < static_cast<int>(sessions_.size());
   }
 
-  /// Checked accessors: an out-of-range home index is a programmer error
-  /// and aborts loudly (GLINT_CHECK). Callers routing *untrusted* indices
-  /// (CLI input, network frontends) use FindHome / TryOnEvent /
+  /// Dense index of `id` in this engine, -1 when unknown.
+  int ResolveHome(const HomeId& id) const;
+  bool has_home(const HomeId& id) const { return ResolveHome(id) >= 0; }
+  /// Stable id of slot `h` (checked).
+  const HomeId& home_id(int h) const;
+  /// Every home id, in registration (= dense index) order.
+  const std::vector<HomeId>& home_ids() const { return ids_; }
+
+  /// Checked *mutable* accessor: an out-of-range home index is a
+  /// programmer error and aborts loudly (GLINT_CHECK) — and so is calling
+  /// this on a durable engine at all: direct session mutation would bypass
+  /// the WAL, so durable engines only hand out home_view() and route every
+  /// mutation through the journaled Try* API. Callers routing *untrusted*
+  /// indices (CLI input, network frontends) use FindHome / TryOnEvent /
   /// TryInspect instead.
   DeploymentSession& home(int h);
   const DeploymentSession& home(int h) const;
+
+  /// Read-only accessor for durable engines' read paths (stats, rule
+  /// listings): never a WAL-bypass hazard, so no durability check.
+  const DeploymentSession& home_view(int h) const;
 
   /// Status-style lookup: nullptr when `h` is out of range.
   DeploymentSession* FindHome(int h);
@@ -146,6 +187,10 @@ class ServingEngine {
   };
 
   std::unique_ptr<DeploymentSession> MakeSession() const;
+  /// Registers `id` for the next dense slot (ids_ + index_ bookkeeping).
+  void RegisterHomeId(HomeId id);
+  /// NotFound (with the id in the message) when `id` is unknown.
+  Result<int> RequireHome(const HomeId& id) const;
   /// Appends `payload` as the next journaled op (no-op when not durable);
   /// on success bumps seq_. The caller applies the op only on OK.
   Status JournalAppend(const std::vector<char>& payload);
@@ -160,6 +205,9 @@ class ServingEngine {
   Config config_;
   /// unique_ptr for stable addresses across AddHome growth.
   std::vector<std::unique_ptr<DeploymentSession>> sessions_;
+  /// ids_[h] is the stable id of sessions_[h]; index_ is the reverse map.
+  std::vector<HomeId> ids_;
+  std::unordered_map<HomeId, int> index_;
   std::unique_ptr<Journal> journal_;
   uint64_t seq_ = 0;
   uint64_t ops_since_snapshot_ = 0;

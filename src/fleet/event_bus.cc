@@ -1,0 +1,183 @@
+#include "fleet/event_bus.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace glint::fleet {
+
+EventBus::EventBus(ShardedFleet* fleet, Config config)
+    : fleet_(fleet), config_(config) {
+  GLINT_CHECK(fleet_ != nullptr);
+  GLINT_CHECK(config_.capacity >= 1);
+  const int n = fleet_->num_shards();
+  queues_.reserve(static_cast<size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    queues_.push_back(std::make_unique<ShardQueue>());
+  }
+  if (!config_.manual_drain) {
+    consumers_.reserve(static_cast<size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      consumers_.emplace_back([this, k] { ConsumerLoop(k); });
+    }
+  }
+}
+
+EventBus::~EventBus() { Stop(); }
+
+Status EventBus::Post(BusMessage msg) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("event bus is stopped");
+  }
+  const int k = fleet_->ShardOf(msg.home);
+  ShardQueue& sq = *queues_[static_cast<size_t>(k)];
+  {
+    std::unique_lock<std::mutex> lock(sq.mu);
+    if (sq.q.size() >= config_.capacity) {
+      if (config_.policy == Backpressure::kReject) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        GLINT_OBS_COUNT("glint.fleet.bus.rejected", 1);
+        return Status::FailedPrecondition(
+            "shard " + std::to_string(k) + " queue full (" +
+            std::to_string(config_.capacity) + ")");
+      }
+      GLINT_OBS_COUNT("glint.fleet.bus.blocked", 1);
+      sq.can_push.wait(lock, [&] {
+        return sq.q.size() < config_.capacity ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      if (stopping_.load(std::memory_order_acquire)) {
+        return Status::FailedPrecondition("event bus is stopped");
+      }
+    }
+    sq.q.push_back(std::move(msg));
+    sq.high_water = std::max(sq.high_water, sq.q.size());
+  }
+  GLINT_OBS_COUNT("glint.fleet.bus.posted", 1);
+  sq.can_pop.notify_one();
+  return Status::OK();
+}
+
+void EventBus::ConsumerLoop(int k) {
+  ShardQueue& sq = *queues_[static_cast<size_t>(k)];
+  for (;;) {
+    BusMessage msg;
+    {
+      std::unique_lock<std::mutex> lock(sq.mu);
+      sq.can_pop.wait(lock, [&] {
+        return !sq.q.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (sq.q.empty()) return;  // stopping and fully drained
+      msg = std::move(sq.q.front());
+      sq.q.pop_front();
+      sq.applying = true;
+    }
+    sq.can_push.notify_one();
+    Status st = Apply(k, msg);
+    if (!st.ok()) RecordApplyError(k, st);
+    {
+      std::lock_guard<std::mutex> lock(sq.mu);
+      sq.applying = false;
+      if (sq.q.empty()) sq.drained.notify_all();
+    }
+  }
+}
+
+Status EventBus::Apply(int k, const BusMessage& msg) {
+  core::ServingEngine& engine = fleet_->shard(k);
+  switch (msg.kind) {
+    case BusMessage::Kind::kAddHome:
+      return engine.TryAddHome(msg.home, msg.rules).status();
+    case BusMessage::Kind::kAddRule:
+      return engine.TryAddRule(msg.home, msg.rule);
+    case BusMessage::Kind::kRemoveRule:
+      return engine.TryRemoveRule(msg.home, msg.rule_id);
+    case BusMessage::Kind::kEvent:
+      return engine.TryOnEvent(msg.home, msg.event);
+  }
+  return Status::Internal("unreachable bus message kind");
+}
+
+void EventBus::RecordApplyError(int k, const Status& st) {
+  apply_errors_.fetch_add(1, std::memory_order_relaxed);
+  GLINT_OBS_COUNT("glint.fleet.bus.apply_errors", 1);
+  ShardQueue& sq = *queues_[static_cast<size_t>(k)];
+  std::lock_guard<std::mutex> lock(sq.mu);
+  if (sq.first_error.ok()) sq.first_error = st;
+}
+
+void EventBus::FlushShard(int k) {
+  ShardQueue& sq = *queues_[static_cast<size_t>(k)];
+  if (config_.manual_drain) {
+    DrainOnce(k);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(sq.mu);
+  sq.drained.wait(lock, [&] { return sq.q.empty() && !sq.applying; });
+}
+
+void EventBus::Flush() {
+  for (int k = 0; k < fleet_->num_shards(); ++k) FlushShard(k);
+}
+
+void EventBus::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Already stopping/stopped; joins below have happened or are racing in
+    // the thread that won — nothing to do for idempotence.
+    return;
+  }
+  for (auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mu);
+    q->can_pop.notify_all();
+    q->can_push.notify_all();
+  }
+  for (auto& t : consumers_) {
+    if (t.joinable()) t.join();
+  }
+  // Consumers exit only when their queue is empty, so everything accepted
+  // before Stop() has been applied.
+}
+
+size_t EventBus::DrainOnce(int k, size_t max) {
+  GLINT_CHECK(config_.manual_drain);
+  ShardQueue& sq = *queues_[static_cast<size_t>(k)];
+  size_t applied = 0;
+  while (applied < max) {
+    BusMessage msg;
+    {
+      std::lock_guard<std::mutex> lock(sq.mu);
+      if (sq.q.empty()) break;
+      msg = std::move(sq.q.front());
+      sq.q.pop_front();
+    }
+    sq.can_push.notify_one();
+    Status st = Apply(k, msg);
+    if (!st.ok()) RecordApplyError(k, st);
+    ++applied;
+  }
+  return applied;
+}
+
+size_t EventBus::queue_high_water(int k) const {
+  const ShardQueue& sq = *queues_[static_cast<size_t>(k)];
+  std::lock_guard<std::mutex> lock(sq.mu);
+  return sq.high_water;
+}
+
+uint64_t EventBus::rejected() const {
+  return rejected_.load(std::memory_order_relaxed);
+}
+
+uint64_t EventBus::apply_errors() const {
+  return apply_errors_.load(std::memory_order_relaxed);
+}
+
+Status EventBus::FirstError(int k) const {
+  const ShardQueue& sq = *queues_[static_cast<size_t>(k)];
+  std::lock_guard<std::mutex> lock(sq.mu);
+  return sq.first_error;
+}
+
+}  // namespace glint::fleet

@@ -1,0 +1,134 @@
+#pragma once
+
+// Bounded MPSC ingestion bus decoupling producers (network connection
+// handlers, replay drivers) from the fleet's shards — the MqttBus /
+// EventGate shape: producers publish home-addressed messages, one
+// consumer thread per shard drains its own FIFO queue and applies the
+// messages to that shard's ServingEngine.
+//
+// Threading contract: shard K's engine is touched ONLY by shard K's
+// consumer thread while the bus is running (engines are single-writer).
+// Any number of producer threads may Post concurrently. Fleet-wide reads
+// (InspectAll, stats) must happen behind a Flush() barrier — Flush returns
+// once every queue is empty and every message has been fully applied.
+//
+// Backpressure is explicit and configurable:
+//   kBlock   Post waits for queue space (lossless; producers slow to the
+//            shard's drain rate — the default for durable serving);
+//   kReject  Post returns FailedPrecondition immediately and bumps the
+//            glint.fleet.bus.rejected counter (lossy; for callers with
+//            their own retry/shed policy).
+//
+// Determinism: a home maps to exactly one shard queue, queues are FIFO,
+// and each queue has one consumer — so messages for a given home apply in
+// exactly the order they were posted, regardless of producer/shard
+// interleaving. A workload whose per-home message order is fixed therefore
+// reaches the same fleet state as applying the messages synchronously, and
+// inspection after Flush() is bit-identical (tests/fleet_test.cc).
+//
+// Apply errors (unknown home id, duplicate AddHome, WAL failure) cannot be
+// returned to Post's caller — the message was accepted, the failure is
+// asynchronous. They are counted (glint.fleet.bus.apply_errors) and the
+// first per-shard error is retained for FirstError(); at-most-once apply,
+// never a crash.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fleet/sharding.h"
+
+namespace glint::fleet {
+
+/// One home-addressed mutation riding the bus.
+struct BusMessage {
+  enum class Kind : uint8_t { kAddHome, kAddRule, kRemoveRule, kEvent };
+  Kind kind = Kind::kEvent;
+  HomeId home;
+  std::vector<rules::Rule> rules;  ///< kAddHome: the deployed rule set
+  rules::Rule rule;                ///< kAddRule
+  int rule_id = 0;                 ///< kRemoveRule
+  graph::Event event;              ///< kEvent
+};
+
+class EventBus {
+ public:
+  enum class Backpressure : uint8_t { kBlock, kReject };
+
+  struct Config {
+    /// Per-shard queue bound (messages).
+    size_t capacity = 1024;
+    Backpressure policy = Backpressure::kBlock;
+    /// Tests only: do not start consumer threads; callers drain manually
+    /// with DrainOnce(). Makes backpressure deterministic to exercise.
+    bool manual_drain = false;
+  };
+
+  /// The fleet must outlive the bus; the bus owns its consumer threads.
+  EventBus(ShardedFleet* fleet, Config config);
+  ~EventBus();
+
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  /// Routes `msg` to its home's shard queue. OK = accepted (not yet
+  /// applied); FailedPrecondition = rejected by the kReject policy on a
+  /// full queue; FailedPrecondition also after Stop().
+  Status Post(BusMessage msg);
+
+  /// Blocks until every queue is empty and every in-flight message has
+  /// been applied. Concurrent Posts during a Flush may or may not be
+  /// covered; quiesce producers first for a true barrier.
+  void Flush();
+  /// Per-shard flush: drains only shard `k`'s queue (the Inspect request
+  /// path — one slow shard does not stall inspections of the others).
+  void FlushShard(int k);
+
+  /// Stops accepting posts, drains what was accepted, joins consumers.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Manual-drain mode: applies up to `max` queued messages of shard `k`
+  /// on the calling thread. Returns messages applied.
+  size_t DrainOnce(int k, size_t max = SIZE_MAX);
+
+  /// High-water queue depth of shard `k` since construction.
+  size_t queue_high_water(int k) const;
+  /// Messages rejected by the kReject policy.
+  uint64_t rejected() const;
+  /// Messages whose apply returned an error (counted, never thrown).
+  uint64_t apply_errors() const;
+  /// First apply error of shard `k` (OK when none).
+  Status FirstError(int k) const;
+
+ private:
+  struct ShardQueue {
+    mutable std::mutex mu;
+    std::condition_variable can_push;   ///< space available (kBlock)
+    std::condition_variable can_pop;    ///< messages available
+    std::condition_variable drained;    ///< queue empty + nothing in flight
+    std::deque<BusMessage> q;
+    size_t high_water = 0;
+    bool applying = false;  ///< consumer is between pop and apply-done
+    Status first_error;     ///< first apply error, retained
+  };
+
+  void ConsumerLoop(int k);
+  /// Applies one message to shard `k`'s engine (status = apply outcome).
+  Status Apply(int k, const BusMessage& msg);
+  void RecordApplyError(int k, const Status& st);
+
+  ShardedFleet* fleet_;
+  Config config_;
+  std::vector<std::unique_ptr<ShardQueue>> queues_;
+  std::vector<std::thread> consumers_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> apply_errors_{0};
+};
+
+}  // namespace glint::fleet

@@ -1,0 +1,223 @@
+#include "fleet/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace glint::fleet {
+
+FleetServer::FleetServer(ShardedFleet* fleet, Config config)
+    : fleet_(fleet), config_(config) {
+  GLINT_CHECK(fleet_ != nullptr);
+}
+
+FleetServer::~FleetServer() { Stop(); }
+
+Status FleetServer::Start() {
+  GLINT_CHECK(listen_fd_.load() < 0);  // Start is one-shot
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status st = Status::IOError("bind port " +
+                                      std::to_string(config_.port) + ": " +
+                                      std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, config_.backlog) != 0) {
+    const Status st =
+        Status::IOError("listen: " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    const Status st =
+        Status::IOError("getsockname: " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  listen_fd_.store(fd, std::memory_order_release);
+  bus_ = std::make_unique<EventBus>(fleet_, config_.bus);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void FleetServer::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  const int lfd = listen_fd_.exchange(-1);
+  if (lfd >= 0) {
+    // Closing the listener wakes accept(); the loop then exits.
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (bus_ != nullptr) bus_->Stop();  // drains everything accepted
+}
+
+void FleetServer::AcceptLoop() {
+  for (;;) {
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;  // Stop() already retired the listener
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (Stop) or fatal: either way, stop accepting
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    GLINT_OBS_COUNT("glint.fleet.server.connections", 1);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void FleetServer::ServeConnection(int fd) {
+  std::vector<char> payload;
+  for (;;) {
+    Status st = wire::RecvFrame(fd, &payload);
+    if (st.code() == StatusCode::kNotFound) break;  // clean close
+    if (!st.ok()) {
+      // Malformed or torn frame: answer if the pipe still works, then
+      // drop the connection — the stream cannot be resynchronized.
+      GLINT_OBS_COUNT("glint.fleet.server.bad_frames", 1);
+      (void)wire::SendFrame(fd, wire::EncodeReply(wire::AckFor(st)));
+      break;
+    }
+    wire::Request req;
+    st = wire::DecodeRequest(payload, &req);
+    wire::Reply reply;
+    if (!st.ok()) {
+      // The frame itself was intact, so the stream is still in sync: an
+      // unparseable body earns an error ack, not a disconnect.
+      GLINT_OBS_COUNT("glint.fleet.server.bad_requests", 1);
+      reply = wire::AckFor(st);
+    } else {
+      GLINT_OBS_COUNT("glint.fleet.server.requests", 1);
+      reply = Dispatch(req);
+    }
+    if (!wire::SendFrame(fd, wire::EncodeReply(reply)).ok()) break;
+  }
+  {
+    // Forget the fd before closing it: Stop() must never shutdown() a
+    // number the OS has already recycled for an unrelated file.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (size_t i = 0; i < conn_fds_.size(); ++i) {
+      if (conn_fds_[i] == fd) {
+        conn_fds_.erase(conn_fds_.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+wire::Reply FleetServer::Dispatch(const wire::Request& req) {
+  switch (req.type) {
+    case wire::MsgType::kPing: {
+      wire::Reply reply;
+      reply.type = wire::MsgType::kPong;
+      return reply;
+    }
+    case wire::MsgType::kAddHome:
+    case wire::MsgType::kAddRule:
+    case wire::MsgType::kRemoveRule:
+    case wire::MsgType::kEvent: {
+      BusMessage msg;
+      msg.home = req.home;
+      switch (req.type) {
+        case wire::MsgType::kAddHome:
+          msg.kind = BusMessage::Kind::kAddHome;
+          msg.rules = req.rules;
+          break;
+        case wire::MsgType::kAddRule:
+          msg.kind = BusMessage::Kind::kAddRule;
+          msg.rule = req.rule;
+          break;
+        case wire::MsgType::kRemoveRule:
+          msg.kind = BusMessage::Kind::kRemoveRule;
+          msg.rule_id = req.rule_id;
+          break;
+        default:
+          msg.kind = BusMessage::Kind::kEvent;
+          msg.event = req.event;
+          break;
+      }
+      return wire::AckFor(bus_->Post(std::move(msg)));
+    }
+    case wire::MsgType::kInspect: {
+      // Drain the home's shard first: the verdict must cover every event
+      // the bus already accepted for it.
+      bus_->FlushShard(fleet_->ShardOf(req.home));
+      Result<core::ThreatWarning> w =
+          fleet_->TryInspect(req.home, req.now_hours);
+      wire::Reply reply;
+      reply.type = wire::MsgType::kWarning;
+      reply.code = static_cast<int32_t>(w.status().code());
+      if (!w.ok()) {
+        reply.message = w.status().ToString();
+      } else {
+        reply.threat = w.value().threat;
+        reply.drifting = w.value().drifting;
+        reply.confidence = w.value().confidence;
+        reply.rendered = w.value().Render();
+      }
+      return reply;
+    }
+    case wire::MsgType::kStats: {
+      bus_->Flush();
+      fleet_->PublishShardGauges();
+      const auto agg = fleet_->AggregateStats();
+      wire::Reply reply;
+      reply.type = wire::MsgType::kStatsReply;
+      reply.homes = fleet_->num_homes();
+      reply.rules = agg.rules;
+      reply.events = agg.events;
+      reply.inspects = agg.inspects;
+      reply.bus_rejected = bus_->rejected();
+      reply.bus_apply_errors = bus_->apply_errors();
+      return reply;
+    }
+    default:
+      return wire::AckFor(Status::InvalidArgument(
+          "not a request type: " +
+          std::to_string(static_cast<int>(req.type))));
+  }
+}
+
+}  // namespace glint::fleet

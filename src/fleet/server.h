@@ -1,0 +1,91 @@
+#pragma once
+
+// FleetServer — the network front end of a ShardedFleet: a TCP listener
+// (loopback by default) speaking the wire protocol, feeding mutations
+// through an EventBus onto the shards.
+//
+// Layering: sockets/framing here, queueing/backpressure in EventBus,
+// routing/durability in ShardedFleet, per-home serving in ServingEngine.
+//
+// Semantics per request:
+//   mutations (AddHome/AddRule/RemoveRule/Event)
+//       enqueued on the owning shard's bus queue and acknowledged as
+//       *accepted* (kAck OK) — apply is asynchronous, at-most-once; apply
+//       errors are counted and surfaced via kStats, not the ack. A full
+//       queue under the kReject policy is an error ack (backpressure made
+//       visible to the producer); under kBlock the ack itself applies the
+//       backpressure by arriving late.
+//   kInspect
+//       drains the home's shard queue first (so the verdict covers every
+//       event this connection — or any other — already had accepted),
+//       then inspects synchronously and returns the warning.
+//   kStats / kPing
+//       fleet aggregate counters / liveness.
+//
+// A malformed frame (bad checksum, oversized length, truncated body) gets
+// an error kAck where the stream still permits one and the connection is
+// closed — a corrupt byte stream cannot be resynchronized — but the
+// server itself never aborts, and other connections are unaffected.
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fleet/event_bus.h"
+#include "fleet/sharding.h"
+#include "fleet/wire.h"
+
+namespace glint::fleet {
+
+class FleetServer {
+ public:
+  struct Config {
+    /// TCP port to bind on 127.0.0.1; 0 = ephemeral (read back via port()).
+    int port = 0;
+    int backlog = 64;
+    EventBus::Config bus;
+  };
+
+  /// The fleet must outlive the server.
+  FleetServer(ShardedFleet* fleet, Config config);
+  ~FleetServer();
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop + bus consumers.
+  Status Start();
+  /// The bound port (valid after Start).
+  int port() const { return port_; }
+
+  /// Stops accepting, shuts every live connection, drains the bus, joins
+  /// all threads. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// The ingestion bus (bench/test introspection: queue high-water,
+  /// reject/apply-error counters).
+  EventBus& bus() { return *bus_; }
+  ShardedFleet& fleet() { return *fleet_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  wire::Reply Dispatch(const wire::Request& req);
+
+  ShardedFleet* fleet_;
+  Config config_;
+  std::unique_ptr<EventBus> bus_;
+  /// Atomic: Stop() retires the fd while AcceptLoop reads it.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace glint::fleet

@@ -1,0 +1,342 @@
+#include "fleet/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "graph/event_log.h"
+#include "rules/rule_io.h"
+#include "util/crc32c.h"
+
+namespace glint::fleet::wire {
+
+// ---- Framing ------------------------------------------------------------
+
+void AppendFrame(std::vector<char>* out, const std::vector<char>& payload) {
+  GLINT_CHECK(payload.size() <= kMaxFramePayload);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = util::Crc32c(payload.data(), payload.size());
+  const char* lp = reinterpret_cast<const char*>(&len);
+  const char* cp = reinterpret_cast<const char*>(&crc);
+  out->insert(out->end(), lp, lp + sizeof len);
+  out->insert(out->end(), cp, cp + sizeof crc);
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+Status DecodeFrame(util::ByteReader* r, std::vector<char>* payload) {
+  uint32_t len = 0, crc = 0;
+  if (!r->U32(&len) || !r->U32(&crc)) {
+    return Status::InvalidArgument("wire: truncated frame header");
+  }
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument("wire: oversized frame (" +
+                                   std::to_string(len) + " bytes)");
+  }
+  if (len > r->remaining()) {
+    return Status::InvalidArgument("wire: truncated frame payload");
+  }
+  payload->resize(len);
+  if (len > 0 && !r->Raw(payload->data(), len)) {
+    return Status::InvalidArgument("wire: truncated frame payload");
+  }
+  const uint32_t actual = util::Crc32c(payload->data(), payload->size());
+  if (actual != crc) {
+    return Status::InvalidArgument("wire: frame checksum mismatch");
+  }
+  return Status::OK();
+}
+
+// ---- Message codecs -----------------------------------------------------
+
+std::vector<char> EncodeRequest(const Request& req) {
+  util::ByteWriter w;
+  w.U8(static_cast<uint8_t>(req.type));
+  switch (req.type) {
+    case MsgType::kPing:
+    case MsgType::kStats:
+      break;
+    case MsgType::kAddHome:
+      w.Str(req.home);
+      w.U32(static_cast<uint32_t>(req.rules.size()));
+      for (const auto& rule : req.rules) rules::WriteRule(&w, rule);
+      break;
+    case MsgType::kAddRule:
+      w.Str(req.home);
+      rules::WriteRule(&w, req.rule);
+      break;
+    case MsgType::kRemoveRule:
+      w.Str(req.home);
+      w.I32(req.rule_id);
+      break;
+    case MsgType::kEvent:
+      w.Str(req.home);
+      graph::WriteEvent(&w, req.event);
+      break;
+    case MsgType::kInspect:
+      w.Str(req.home);
+      w.F64(req.now_hours);
+      break;
+    default:
+      GLINT_CHECK(false && "EncodeRequest: not a request type");
+  }
+  return w.TakeBuffer();
+}
+
+Status DecodeRequest(const std::vector<char>& payload, Request* req) {
+  util::ByteReader r(payload);
+  uint8_t type = 0;
+  if (!r.U8(&type)) {
+    return Status::InvalidArgument("wire request: missing type");
+  }
+  *req = Request();
+  req->type = static_cast<MsgType>(type);
+  switch (req->type) {
+    case MsgType::kPing:
+    case MsgType::kStats:
+      break;
+    case MsgType::kAddHome: {
+      uint32_t n = 0;
+      if (!r.Str(&req->home) || !r.U32(&n) || n > r.remaining()) {
+        return Status::InvalidArgument("wire AddHome: truncated body");
+      }
+      req->rules.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        if (!rules::ReadRule(&r, &req->rules[i])) {
+          return Status::InvalidArgument("wire AddHome: truncated rule");
+        }
+      }
+      break;
+    }
+    case MsgType::kAddRule:
+      if (!r.Str(&req->home) || !rules::ReadRule(&r, &req->rule)) {
+        return Status::InvalidArgument("wire AddRule: truncated body");
+      }
+      break;
+    case MsgType::kRemoveRule:
+      if (!r.Str(&req->home) || !r.I32(&req->rule_id)) {
+        return Status::InvalidArgument("wire RemoveRule: truncated body");
+      }
+      break;
+    case MsgType::kEvent:
+      if (!r.Str(&req->home) || !graph::ReadEvent(&r, &req->event)) {
+        return Status::InvalidArgument("wire Event: truncated body");
+      }
+      break;
+    case MsgType::kInspect:
+      if (!r.Str(&req->home) || !r.F64(&req->now_hours)) {
+        return Status::InvalidArgument("wire Inspect: truncated body");
+      }
+      break;
+    default:
+      return Status::InvalidArgument("wire request: unknown type " +
+                                     std::to_string(type));
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("wire request: trailing bytes");
+  }
+  return Status::OK();
+}
+
+std::vector<char> EncodeReply(const Reply& reply) {
+  util::ByteWriter w;
+  w.U8(static_cast<uint8_t>(reply.type));
+  switch (reply.type) {
+    case MsgType::kPong:
+      break;
+    case MsgType::kAck:
+      w.I32(reply.code);
+      w.Str(reply.message);
+      break;
+    case MsgType::kWarning:
+      w.I32(reply.code);
+      w.Str(reply.message);
+      w.U8(reply.threat ? 1 : 0);
+      w.U8(reply.drifting ? 1 : 0);
+      w.F64(reply.confidence);
+      w.Str(reply.rendered);
+      break;
+    case MsgType::kStatsReply:
+      w.U64(reply.homes);
+      w.U64(reply.rules);
+      w.U64(reply.events);
+      w.U64(reply.inspects);
+      w.U64(reply.bus_rejected);
+      w.U64(reply.bus_apply_errors);
+      break;
+    default:
+      GLINT_CHECK(false && "EncodeReply: not a reply type");
+  }
+  return w.TakeBuffer();
+}
+
+Status DecodeReply(const std::vector<char>& payload, Reply* reply) {
+  util::ByteReader r(payload);
+  uint8_t type = 0;
+  if (!r.U8(&type)) {
+    return Status::InvalidArgument("wire reply: missing type");
+  }
+  *reply = Reply();
+  reply->type = static_cast<MsgType>(type);
+  uint8_t threat = 0, drifting = 0;
+  switch (reply->type) {
+    case MsgType::kPong:
+      break;
+    case MsgType::kAck:
+      if (!r.I32(&reply->code) || !r.Str(&reply->message)) {
+        return Status::InvalidArgument("wire Ack: truncated body");
+      }
+      break;
+    case MsgType::kWarning:
+      if (!r.I32(&reply->code) || !r.Str(&reply->message) ||
+          !r.U8(&threat) || !r.U8(&drifting) || !r.F64(&reply->confidence) ||
+          !r.Str(&reply->rendered)) {
+        return Status::InvalidArgument("wire Warning: truncated body");
+      }
+      reply->threat = threat != 0;
+      reply->drifting = drifting != 0;
+      break;
+    case MsgType::kStatsReply:
+      if (!r.U64(&reply->homes) || !r.U64(&reply->rules) ||
+          !r.U64(&reply->events) || !r.U64(&reply->inspects) ||
+          !r.U64(&reply->bus_rejected) || !r.U64(&reply->bus_apply_errors)) {
+        return Status::InvalidArgument("wire StatsReply: truncated body");
+      }
+      break;
+    default:
+      return Status::InvalidArgument("wire reply: unknown type " +
+                                     std::to_string(type));
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("wire reply: trailing bytes");
+  }
+  return Status::OK();
+}
+
+Reply AckFor(const Status& st) {
+  Reply reply;
+  reply.type = MsgType::kAck;
+  reply.code = static_cast<int32_t>(st.code());
+  reply.message = st.ok() ? "" : st.ToString();
+  return reply;
+}
+
+// ---- Blocking socket I/O ------------------------------------------------
+
+namespace {
+
+/// Full write with EINTR retry; false on any hard failure.
+bool WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+/// Full read with EINTR retry. Returns bytes read (< n only at EOF).
+size_t ReadAll(int fd, char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::recv(fd, data + off, n - off, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return off;
+    }
+    if (r == 0) return off;  // EOF
+    off += static_cast<size_t>(r);
+  }
+  return off;
+}
+
+}  // namespace
+
+Status SendFrame(int fd, const std::vector<char>& payload) {
+  std::vector<char> frame;
+  frame.reserve(payload.size() + 8);
+  AppendFrame(&frame, payload);
+  if (!WriteAll(fd, frame.data(), frame.size())) {
+    return Status::IOError("wire send: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status RecvFrame(int fd, std::vector<char>* payload) {
+  char header[8];
+  const size_t got = ReadAll(fd, header, sizeof header);
+  if (got == 0) {
+    return Status::NotFound("wire: connection closed");  // clean EOF
+  }
+  if (got < sizeof header) {
+    return Status::IOError("wire: EOF inside frame header");
+  }
+  uint32_t len = 0, crc = 0;
+  std::memcpy(&len, header, sizeof len);
+  std::memcpy(&crc, header + 4, sizeof crc);
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument("wire: oversized frame (" +
+                                   std::to_string(len) + " bytes)");
+  }
+  payload->resize(len);
+  if (len > 0 && ReadAll(fd, payload->data(), len) < len) {
+    return Status::IOError("wire: EOF inside frame payload");
+  }
+  if (util::Crc32c(payload->data(), payload->size()) != crc) {
+    return Status::InvalidArgument("wire: frame checksum mismatch");
+  }
+  return Status::OK();
+}
+
+// ---- Client -------------------------------------------------------------
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Connect(const std::string& host, int port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status Client::Call(const Request& req, Reply* reply) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  GLINT_RETURN_IF_ERROR(SendFrame(fd_, EncodeRequest(req)));
+  std::vector<char> payload;
+  GLINT_RETURN_IF_ERROR(RecvFrame(fd_, &payload));
+  return DecodeReply(payload, reply);
+}
+
+}  // namespace glint::fleet::wire

@@ -1,0 +1,150 @@
+#pragma once
+
+// Binary wire protocol for fleet event ingestion — the network-facing
+// system boundary. Length-prefixed, CRC32C-framed (the WAL's framing
+// discipline applied to a socket stream), little-endian throughout:
+//
+//   frame:   u32 payload_len | u32 crc32c(payload) | payload
+//   payload: u8 MsgType | message body (rules/events reuse the rule_io /
+//            event_log codecs — one serialization per type, everywhere)
+//
+// Requests (client → server):
+//   kPing                          liveness probe
+//   kAddHome    Str id | u32 n | n rules
+//   kAddRule    Str id | rule
+//   kRemoveRule Str id | i32 rule_id
+//   kEvent      Str id | event
+//   kInspect    Str id | f64 now_hours
+//   kStats                         fleet aggregate counters
+//
+// Replies (server → client):
+//   kPong
+//   kAck        i32 status_code | Str message      (mutations: accepted =
+//               enqueued on the shard bus, not yet applied — see server.h)
+//   kWarning    i32 status_code | Str message | u8 threat | u8 drifting |
+//               f64 confidence | Str rendered      (fields valid when code==0)
+//   kStatsReply u64 homes | u64 rules | u64 events | u64 inspects |
+//               u64 bus_rejected | u64 bus_apply_errors
+//
+// Robustness contract (tests/wire_test.cc): no byte sequence a peer can
+// send — truncated header, truncated payload, flipped CRC bits, an
+// oversized length prefix, garbage message bodies — ever aborts the
+// process. Decoders return Status; the server answers with an error kAck
+// where it still can and drops the connection (a corrupt stream cannot be
+// resynchronized).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/serving.h"
+#include "core/warning.h"
+#include "graph/event_log.h"
+#include "rules/rule.h"
+#include "util/binio.h"
+#include "util/status.h"
+
+namespace glint::fleet::wire {
+
+/// Upper bound on a frame payload; a length prefix beyond this is
+/// malformed (never allocated), bounding what a bad peer can make the
+/// server buffer.
+constexpr uint32_t kMaxFramePayload = 1u << 20;
+
+enum class MsgType : uint8_t {
+  kPing = 1,
+  kAddHome = 2,
+  kAddRule = 3,
+  kRemoveRule = 4,
+  kEvent = 5,
+  kInspect = 6,
+  kStats = 7,
+  // Replies.
+  kPong = 64,
+  kAck = 65,
+  kWarning = 66,
+  kStatsReply = 67,
+};
+
+struct Request {
+  MsgType type = MsgType::kPing;
+  core::HomeId home;
+  std::vector<rules::Rule> rules;  ///< kAddHome
+  rules::Rule rule;                ///< kAddRule
+  int32_t rule_id = 0;             ///< kRemoveRule
+  graph::Event event;              ///< kEvent
+  double now_hours = 0;            ///< kInspect
+};
+
+struct Reply {
+  MsgType type = MsgType::kAck;
+  int32_t code = 0;     ///< StatusCode as i32; 0 = OK
+  std::string message;  ///< error detail when code != 0
+  // kWarning payload (valid when code == 0):
+  bool threat = false;
+  bool drifting = false;
+  double confidence = 0;
+  std::string rendered;
+  // kStatsReply payload:
+  uint64_t homes = 0;
+  uint64_t rules = 0;
+  uint64_t events = 0;
+  uint64_t inspects = 0;
+  uint64_t bus_rejected = 0;
+  uint64_t bus_apply_errors = 0;
+};
+
+// ---- Framing ------------------------------------------------------------
+
+/// Appends one frame (header + payload) to `out`.
+void AppendFrame(std::vector<char>* out, const std::vector<char>& payload);
+
+/// Decodes one frame from the front of `r`. InvalidArgument on a
+/// truncated header/payload, an oversized length prefix, or a checksum
+/// mismatch; on OK, `*payload` holds the verified payload bytes and `r`
+/// is advanced past the frame.
+Status DecodeFrame(util::ByteReader* r, std::vector<char>* payload);
+
+// ---- Message codecs -----------------------------------------------------
+
+std::vector<char> EncodeRequest(const Request& req);
+/// Strict decode: unknown type, truncated body, or trailing bytes are
+/// InvalidArgument.
+Status DecodeRequest(const std::vector<char>& payload, Request* req);
+
+std::vector<char> EncodeReply(const Reply& reply);
+Status DecodeReply(const std::vector<char>& payload, Reply* reply);
+
+/// Builds the standard error/ok acknowledgement for `st`.
+Reply AckFor(const Status& st);
+
+// ---- Blocking socket I/O (used by client, server, and bench driver) -----
+
+/// Writes one frame to `fd` (full write; EINTR-safe). IOError on failure.
+Status SendFrame(int fd, const std::vector<char>& payload);
+
+/// Reads one frame from `fd`. NotFound on a clean EOF at a frame
+/// boundary, IOError on a mid-frame EOF or read failure, InvalidArgument
+/// on an oversized length prefix or checksum mismatch.
+Status RecvFrame(int fd, std::vector<char>* payload);
+
+/// Minimal blocking client: one request/reply exchange per Call.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends `req` and blocks for the reply frame.
+  Status Call(const Request& req, Reply* reply);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace glint::fleet::wire

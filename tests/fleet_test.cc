@@ -1,0 +1,821 @@
+// Sharded-fleet proof obligations:
+//   1. Routing: ShardOf is a pure, stable function of (id, shard count)
+//      and spreads homes across shards.
+//   2. Bit-identity: a ShardedFleet serving a scripted workload produces
+//      per-home output BIT-IDENTICAL to one ServingEngine serving the same
+//      homes — for shard counts {1,2,8}, thread counts {1,4}, and with the
+//      workload flowing through the EventBus (threaded consumers, multiple
+//      producers) instead of synchronous calls.
+//   3. Backpressure: kReject surfaces a full queue as FailedPrecondition +
+//      counter; kBlock is lossless; apply errors are counted, never thrown.
+//   4. Crash-safety: with per-shard WALs, killing the process at every
+//      registered I/O fault point loses at most the in-flight op of ONE
+//      shard; recovery + per-shard tail replay lands on the reference
+//      fingerprint. A torn WAL tail on one shard never affects the others.
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/glint.h"
+#include "fleet/event_bus.h"
+#include "fleet/server.h"
+#include "fleet/sharding.h"
+#include "util/fault.h"
+#include "util/thread_pool.h"
+
+namespace glint::fleet {
+namespace {
+
+using core::DeploymentSession;
+using core::Glint;
+using core::ServingEngine;
+using core::ThreatWarning;
+
+struct Op {
+  enum Kind { kAddHome, kAddRule, kRemoveRule, kEvent } kind;
+  HomeId home;
+  std::vector<rules::Rule> deployed;  // kAddHome
+  rules::Rule rule;                   // kAddRule
+  int rule_id = 0;                    // kRemoveRule
+  graph::Event event;                 // kEvent
+};
+
+class FleetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Crash-matrix tests fork; a forked child must not depend on pool
+    // worker threads that do not survive fork.
+    ThreadPool::SetGlobalThreads(1);
+
+    Glint::Options opts;
+    opts.corpus.ifttt = 200;
+    opts.corpus.smartthings = 40;
+    opts.corpus.alexa = 60;
+    opts.corpus.google_assistant = 40;
+    opts.corpus.home_assistant = 40;
+    opts.num_training_graphs = 40;
+    opts.builder.max_nodes = 8;
+    opts.model.num_scales = 2;
+    opts.model.embed_dim = 32;
+    opts.train.epochs = 2;
+    opts.pairs.num_positive = 60;
+    opts.pairs.num_negative = 90;
+    glint_ = new Glint(opts);
+    glint_->TrainOffline();
+
+    BuildScript();
+
+    // The reference: ONE engine serving every home, synchronously.
+    ServingEngine ref(&glint_->detector());
+    for (const auto& op : *script_) {
+      ASSERT_TRUE(ApplyToEngine(&ref, op).ok());
+    }
+    *reference_ = EngineMap(&ref);
+    ASSERT_EQ(reference_->size(), kHomes.size());
+
+    char tmpl[] = "/tmp/glint_fleet_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    base_dir_ = new std::string(tmpl);
+  }
+
+  void SetUp() override { fault::Registry::Global().Clear(); }
+  void TearDown() override {
+    fault::Registry::Global().Clear();
+    ThreadPool::SetGlobalThreads(1);
+  }
+
+  static std::vector<rules::Rule> RulePool(int n) {
+    std::vector<rules::Rule> out(
+        glint_->corpus().begin(),
+        glint_->corpus().begin() +
+            std::min<size_t>(static_cast<size_t>(n),
+                             glint_->corpus().size()));
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i].id = 9000 + static_cast<int>(i);
+    }
+    return out;
+  }
+
+  static graph::Event EventFor(const rules::Rule& r, double t) {
+    graph::Event e;
+    e.time_hours = t;
+    e.location = r.location;
+    e.device = r.trigger.device;
+    e.state = r.trigger.state;
+    return e;
+  }
+
+  /// Ten homes with id shapes a real frontend would produce; FNV-1a
+  /// scatters them across shards.
+  static inline const std::vector<HomeId> kHomes = {
+      "alpha", "bravo-2", "charlie", "delta#4", "echo",
+      "fox",   "golf-77", "hotel",   "india",   "juliet-x"};
+
+  static void BuildScript() {
+    auto pool = RulePool(8);
+    auto add_home = [&](const HomeId& id, std::vector<rules::Rule> d) {
+      Op op;
+      op.kind = Op::kAddHome;
+      op.home = id;
+      op.deployed = std::move(d);
+      script_->push_back(std::move(op));
+    };
+    auto add_rule = [&](const HomeId& id, const rules::Rule& r) {
+      Op op;
+      op.kind = Op::kAddRule;
+      op.home = id;
+      op.rule = r;
+      script_->push_back(std::move(op));
+    };
+    auto remove_rule = [&](const HomeId& id, int rid) {
+      Op op;
+      op.kind = Op::kRemoveRule;
+      op.home = id;
+      op.rule_id = rid;
+      script_->push_back(std::move(op));
+    };
+    auto event = [&](const HomeId& id, const rules::Rule& r, double t) {
+      Op op;
+      op.kind = Op::kEvent;
+      op.home = id;
+      op.event = EventFor(r, t);
+      script_->push_back(std::move(op));
+    };
+
+    for (size_t i = 0; i < kHomes.size(); ++i) {
+      // Home i deploys 2-3 rules from the shared pool (shared content
+      // keeps detector memo caches warm across homes, as in production).
+      std::vector<rules::Rule> d = {pool[i % 8], pool[(i + 3) % 8]};
+      if (i % 2 == 0) d.push_back(pool[(i + 5) % 8]);
+      add_home(kHomes[i], std::move(d));
+    }
+    double t = 0.4;
+    for (int round = 0; round < 3; ++round) {
+      for (size_t i = 0; i < kHomes.size(); ++i) {
+        event(kHomes[i], pool[(i + static_cast<size_t>(round)) % 8], t);
+        t += 0.07;
+      }
+    }
+    add_rule(kHomes[1], pool[6]);
+    add_rule(kHomes[4], pool[7]);
+    remove_rule(kHomes[0], 9000 + static_cast<int>(0 % 8));
+    remove_rule(kHomes[6], 9000 + static_cast<int>((6 + 3) % 8));
+    for (size_t i = 0; i < kHomes.size(); ++i) {
+      event(kHomes[i], pool[(i + 1) % 8], t);
+      t += 0.07;
+    }
+  }
+
+  static Status ApplyToEngine(ServingEngine* e, const Op& op) {
+    switch (op.kind) {
+      case Op::kAddHome:
+        return e->TryAddHome(op.home, op.deployed).status();
+      case Op::kAddRule:
+        return e->TryAddRule(op.home, op.rule);
+      case Op::kRemoveRule:
+        return e->TryRemoveRule(op.home, op.rule_id);
+      case Op::kEvent:
+        return e->TryOnEvent(op.home, op.event);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  static Status ApplyToFleet(ShardedFleet* f, const Op& op) {
+    switch (op.kind) {
+      case Op::kAddHome:
+        return f->TryAddHome(op.home, op.deployed).status();
+      case Op::kAddRule:
+        return f->TryAddRule(op.home, op.rule);
+      case Op::kRemoveRule:
+        return f->TryRemoveRule(op.home, op.rule_id);
+      case Op::kEvent:
+        return f->TryOnEvent(op.home, op.event);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  static BusMessage ToMessage(const Op& op) {
+    BusMessage m;
+    m.home = op.home;
+    switch (op.kind) {
+      case Op::kAddHome:
+        m.kind = BusMessage::Kind::kAddHome;
+        m.rules = op.deployed;
+        break;
+      case Op::kAddRule:
+        m.kind = BusMessage::Kind::kAddRule;
+        m.rule = op.rule;
+        break;
+      case Op::kRemoveRule:
+        m.kind = BusMessage::Kind::kRemoveRule;
+        m.rule_id = op.rule_id;
+        break;
+      case Op::kEvent:
+        m.kind = BusMessage::Kind::kEvent;
+        m.event = op.event;
+        break;
+    }
+    return m;
+  }
+
+  /// Full-precision observable state of one home: rules, watermark, and
+  /// every field of its warning (%.17a doubles — string equality is bit
+  /// identity).
+  static std::string HomeLine(const DeploymentSession& s,
+                              const ThreatWarning& w) {
+    std::string out;
+    char buf[64];
+    auto hex = [&](double v) {
+      std::snprintf(buf, sizeof buf, "%.17a", v);
+      out += buf;
+    };
+    out += "rules";
+    for (const auto& r : s.CurrentRules()) out += " " + std::to_string(r.id);
+    out += " events " + std::to_string(s.live().retained_events().size()) +
+           " watermark ";
+    hex(s.live().latest_event_hours());
+    out += " threat " + std::to_string(w.threat) + " drifting " +
+           std::to_string(w.drifting) + " confidence ";
+    hex(w.confidence);
+    out += " types";
+    for (auto ty : w.types) out += " " + std::to_string(static_cast<int>(ty));
+    for (const auto& c : w.culprits) {
+      out += " culprit " + std::to_string(c.node) + " " + c.platform + " '" +
+             c.rule_text + "' ";
+      hex(c.importance);
+    }
+    return out;
+  }
+
+  static std::map<HomeId, std::string> EngineMap(ServingEngine* e) {
+    std::map<HomeId, std::string> m;
+    auto warnings = e->InspectAll(kInspectHour);
+    for (size_t h = 0; h < e->num_homes(); ++h) {
+      m[e->home_id(static_cast<int>(h))] =
+          HomeLine(e->home_view(static_cast<int>(h)), warnings[h]);
+    }
+    return m;
+  }
+
+  static std::map<HomeId, std::string> FleetMap(ShardedFleet* f,
+                                                int max_batch = 4) {
+    std::map<HomeId, std::string> m;
+    FleetWarnings fw = f->InspectAll(kInspectHour, max_batch);
+    EXPECT_EQ(fw.ids.size(), fw.warnings.size());
+    for (size_t i = 0; i < fw.ids.size(); ++i) {
+      const ServingEngine& shard = f->shard(f->ShardOf(fw.ids[i]));
+      const int h = shard.ResolveHome(fw.ids[i]);
+      EXPECT_GE(h, 0);
+      m[fw.ids[i]] = HomeLine(shard.home_view(h), fw.warnings[i]);
+    }
+    return m;
+  }
+
+  static std::string Dir(const std::string& name) {
+    std::string d = *base_dir_ + "/" + name;
+    for (char& c : d) {
+      if (c == '.') c = '_';
+    }
+    return d;
+  }
+
+  /// Applies the script to a fleet, skipping for each shard the prefix it
+  /// already recovered durably (shard K's journal_seq = ops applied to K).
+  /// Snapshot after script index `snapshot_after` when durable (-1 =
+  /// never). Stops at the first error.
+  static Status RunFleetScript(ShardedFleet* fleet, int snapshot_after) {
+    std::vector<uint64_t> done(static_cast<size_t>(fleet->num_shards()));
+    for (int k = 0; k < fleet->num_shards(); ++k) {
+      done[static_cast<size_t>(k)] = fleet->shard(k).journal_seq();
+    }
+    std::vector<uint64_t> seen(static_cast<size_t>(fleet->num_shards()), 0);
+    for (size_t i = 0; i < script_->size(); ++i) {
+      const Op& op = (*script_)[i];
+      const size_t k = static_cast<size_t>(fleet->ShardOf(op.home));
+      ++seen[k];
+      if (seen[k] > done[k]) {
+        GLINT_RETURN_IF_ERROR(ApplyToFleet(fleet, op));
+      }
+      if (static_cast<int>(i) == snapshot_after && fleet->durable()) {
+        GLINT_RETURN_IF_ERROR(fleet->Snapshot());
+      }
+    }
+    return Status::OK();
+  }
+
+  static constexpr double kInspectHour = 3.5;
+  static constexpr int kSnapshotAfter = 17;
+
+  static Glint* glint_;
+  static std::vector<Op>* script_;
+  static std::map<HomeId, std::string>* reference_;
+  static std::string* base_dir_;
+};
+
+Glint* FleetTest::glint_ = nullptr;
+std::vector<Op>* FleetTest::script_ = new std::vector<Op>();
+std::map<HomeId, std::string>* FleetTest::reference_ =
+    new std::map<HomeId, std::string>();
+std::string* FleetTest::base_dir_ = nullptr;
+
+// ---- Routing ------------------------------------------------------------
+
+TEST_F(FleetTest, ShardRoutingIsStableAndSpreads) {
+  FleetConfig cfg;
+  cfg.num_shards = 8;
+  ShardedFleet a(&glint_->detector(), cfg);
+  ShardedFleet b(&glint_->detector(), cfg);
+  std::set<int> used;
+  for (int i = 0; i < 1000; ++i) {
+    const HomeId id = "home-" + std::to_string(i);
+    const int k = a.ShardOf(id);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 8);
+    // Pure function of (id, shard count): two fleets agree.
+    EXPECT_EQ(b.ShardOf(id), k);
+    used.insert(k);
+  }
+  // 1000 ids over 8 shards: every shard owns some.
+  EXPECT_EQ(used.size(), 8u);
+}
+
+TEST_F(FleetTest, GrowingTheRingMovesOnlyAFraction) {
+  FleetConfig c4, c5;
+  c4.num_shards = 4;
+  c5.num_shards = 5;
+  ShardedFleet f4(&glint_->detector(), c4);
+  ShardedFleet f5(&glint_->detector(), c5);
+  int moved = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const HomeId id = "home-" + std::to_string(i);
+    moved += f4.ShardOf(id) != f5.ShardOf(id);
+  }
+  // Consistent hashing: going 4 -> 5 shards should move ~1/5 of homes;
+  // naive modulo would move ~4/5. Allow generous slack over 1/5.
+  EXPECT_LT(moved, n * 2 / 5) << "ring reshuffles too much";
+  EXPECT_GT(moved, 0);
+}
+
+// ---- Crash-safety (fork-based; must run while the pool is 1 thread) -----
+
+TEST_F(FleetTest, ShardCrashMatrixRecoversBitIdentical) {
+  // Register every reachable I/O fault point by running one throwaway
+  // durable fleet workload.
+  {
+    FleetConfig cfg;
+    cfg.num_shards = 3;
+    cfg.state_dir = Dir("enumerate");
+    ShardedFleet fleet(&glint_->detector(), cfg);
+    ASSERT_TRUE(fleet.Recover().ok());
+    ASSERT_TRUE(RunFleetScript(&fleet, kSnapshotAfter).ok());
+    ASSERT_TRUE(fleet.Snapshot().ok());
+    EXPECT_EQ(FleetMap(&fleet), *reference_);
+  }
+  std::vector<std::string> points;
+  for (const auto& p : fault::Registry::Global().Points()) {
+    if (p.rfind("wal.", 0) == 0 || p.rfind("snapshot.", 0) == 0 ||
+        p.rfind("journal.", 0) == 0) {
+      points.push_back(p);
+    }
+  }
+  ASSERT_GE(points.size(), 10u) << "fault-point enumeration looks broken";
+
+  int crashes = 0;
+  for (const auto& point : points) {
+    // nth=3: with 3 shards the first hits land in shard 0's journal; later
+    // hits land mid-workload in other shards — either way exactly one
+    // shard's I/O is interrupted.
+    for (int nth : {1, 3}) {
+      const std::string context =
+          "crash @ " + point + " hit " + std::to_string(nth);
+      const std::string dir =
+          Dir("crash_" + point + "_" + std::to_string(nth));
+
+      const pid_t pid = fork();
+      ASSERT_GE(pid, 0);
+      if (pid == 0) {
+        fault::Registry::Global().Clear();
+        fault::Registry::Global().Arm(point, fault::Mode::kCrash, nth);
+        FleetConfig cfg;
+        cfg.num_shards = 3;
+        cfg.state_dir = dir;
+        ShardedFleet fleet(&glint_->detector(), cfg);
+        Status st = fleet.Recover();
+        if (st.ok()) st = RunFleetScript(&fleet, kSnapshotAfter);
+        if (st.ok()) st = fleet.Snapshot();
+        _exit(st.ok() ? 0 : 3);
+      }
+      int wstatus = 0;
+      ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+      ASSERT_TRUE(WIFEXITED(wstatus)) << context;
+      const int code = WEXITSTATUS(wstatus);
+      ASSERT_TRUE(code == fault::kCrashExitCode || code == 0)
+          << context << " exited " << code;
+      crashes += (code == fault::kCrashExitCode);
+
+      // Recovery: every shard recovers its own journal independently; the
+      // per-shard tail replay reapplies only what each shard lost.
+      FleetConfig cfg;
+      cfg.num_shards = 3;
+      cfg.state_dir = dir;
+      ShardedFleet fleet(&glint_->detector(), cfg);
+      Status st = fleet.Recover();
+      ASSERT_TRUE(st.ok()) << context << ": " << st.ToString();
+      st = RunFleetScript(&fleet, -1);
+      ASSERT_TRUE(st.ok()) << context << ": " << st.ToString();
+      EXPECT_EQ(FleetMap(&fleet), *reference_) << context;
+    }
+  }
+  EXPECT_GE(crashes, static_cast<int>(points.size()));
+}
+
+TEST_F(FleetTest, TornTailOnOneShardDoesNotTouchTheOthers) {
+  const std::string dir = Dir("torn_shard");
+  {
+    FleetConfig cfg;
+    cfg.num_shards = 3;
+    cfg.state_dir = dir;
+    ShardedFleet fleet(&glint_->detector(), cfg);
+    ASSERT_TRUE(fleet.Recover().ok());
+    ASSERT_TRUE(RunFleetScript(&fleet, -1).ok());
+  }
+  // Tear shard 1's WAL tail only: a frame header announcing 16 bytes,
+  // followed by 4.
+  {
+    std::FILE* f = std::fopen((dir + "/shard-1/wal.log").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const uint32_t len = 16, crc = 0xabad1dea;
+    std::fwrite(&len, sizeof len, 1, f);
+    std::fwrite(&crc, sizeof crc, 1, f);
+    std::fwrite("torn", 1, 4, f);
+    std::fclose(f);
+  }
+  FleetConfig cfg;
+  cfg.num_shards = 3;
+  cfg.state_dir = dir;
+  ShardedFleet fleet(&glint_->detector(), cfg);
+  ASSERT_TRUE(fleet.Recover().ok());
+  EXPECT_TRUE(fleet.shard(1).recovery_info().tail_torn);
+  EXPECT_FALSE(fleet.shard(0).recovery_info().tail_torn);
+  EXPECT_FALSE(fleet.shard(2).recovery_info().tail_torn);
+  // No complete record was lost, so no replay is needed anywhere.
+  ASSERT_TRUE(RunFleetScript(&fleet, -1).ok());
+  EXPECT_EQ(FleetMap(&fleet), *reference_);
+  // The fleet still serves: all shards accept new work after recovery.
+  EXPECT_TRUE(fleet
+                  .TryOnEvent(kHomes[0],
+                              EventFor(RulePool(1)[0], kInspectHour - 0.2))
+                  .ok());
+}
+
+// ---- Bit-identity: fleet vs single engine -------------------------------
+
+TEST_F(FleetTest, FleetMatchesSingleEngineAcrossShardAndThreadCounts) {
+  for (int shards : {1, 2, 8}) {
+    for (int threads : {1, 4}) {
+      ThreadPool::SetGlobalThreads(threads);
+      FleetConfig cfg;
+      cfg.num_shards = shards;
+      ShardedFleet fleet(&glint_->detector(), cfg);
+      for (const auto& op : *script_) {
+        ASSERT_TRUE(ApplyToFleet(&fleet, op).ok());
+      }
+      for (int max_batch : {1, 4, 256}) {
+        EXPECT_EQ(FleetMap(&fleet, max_batch), *reference_)
+            << "shards=" << shards << " threads=" << threads
+            << " max_batch=" << max_batch;
+      }
+      EXPECT_EQ(fleet.num_homes(), kHomes.size());
+    }
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST_F(FleetTest, BusPathMatchesSynchronousApply) {
+  FleetConfig cfg;
+  cfg.num_shards = 4;
+  ShardedFleet fleet(&glint_->detector(), cfg);
+  EventBus bus(&fleet, {});
+  // Two producers, homes partitioned between them, each posting its homes'
+  // ops in script order — per-home order is preserved, which is all the
+  // bus promises and all determinism needs.
+  auto produce = [&](int parity) {
+    for (const auto& op : *script_) {
+      if (static_cast<int>(std::hash<std::string>{}(op.home) & 1) != parity) {
+        continue;
+      }
+      Status st = bus.Post(ToMessage(op));
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+  };
+  std::thread p0(produce, 0), p1(produce, 1);
+  p0.join();
+  p1.join();
+  bus.Flush();
+  EXPECT_EQ(bus.apply_errors(), 0u);
+  EXPECT_EQ(FleetMap(&fleet), *reference_);
+  bus.Stop();
+  // After Stop, posts are refused.
+  EXPECT_EQ(bus.Post(ToMessage((*script_)[0])).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---- Backpressure & error surfacing -------------------------------------
+
+TEST_F(FleetTest, RejectPolicySurfacesFullQueues) {
+  FleetConfig cfg;
+  cfg.num_shards = 1;
+  ShardedFleet fleet(&glint_->detector(), cfg);
+  ASSERT_TRUE(fleet.TryAddHome("bp-home", RulePool(2)).ok());
+  EventBus::Config bc;
+  bc.capacity = 2;
+  bc.policy = EventBus::Backpressure::kReject;
+  bc.manual_drain = true;  // no consumers: the queue fills deterministically
+  EventBus bus(&fleet, bc);
+  auto pool = RulePool(2);
+  BusMessage m;
+  m.kind = BusMessage::Kind::kEvent;
+  m.home = "bp-home";
+  m.event = EventFor(pool[0], 0.5);
+  EXPECT_TRUE(bus.Post(m).ok());
+  EXPECT_TRUE(bus.Post(m).ok());
+  Status st = bus.Post(m);  // queue full
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(bus.rejected(), 1u);
+  EXPECT_EQ(bus.queue_high_water(0), 2u);
+  EXPECT_EQ(bus.DrainOnce(0), 2u);
+  EXPECT_TRUE(bus.Post(m).ok());  // space again
+  EXPECT_EQ(bus.DrainOnce(0), 1u);
+  EXPECT_EQ(bus.apply_errors(), 0u);
+  bus.Stop();
+}
+
+TEST_F(FleetTest, BlockPolicyIsLossless) {
+  FleetConfig cfg;
+  cfg.num_shards = 2;
+  ShardedFleet fleet(&glint_->detector(), cfg);
+  ASSERT_TRUE(fleet.TryAddHome("bl-a", RulePool(2)).ok());
+  ASSERT_TRUE(fleet.TryAddHome("bl-b", RulePool(2)).ok());
+  EventBus::Config bc;
+  bc.capacity = 1;  // every second post must wait for the consumer
+  EventBus bus(&fleet, bc);
+  auto pool = RulePool(2);
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    BusMessage m;
+    m.kind = BusMessage::Kind::kEvent;
+    m.home = (i & 1) ? "bl-a" : "bl-b";
+    m.event = EventFor(pool[i & 1], 0.1 + 0.01 * i);
+    ASSERT_TRUE(bus.Post(std::move(m)).ok());
+  }
+  bus.Flush();
+  EXPECT_EQ(bus.rejected(), 0u);
+  EXPECT_EQ(bus.apply_errors(), 0u);
+  const auto agg = fleet.AggregateStats();
+  EXPECT_EQ(agg.events, static_cast<uint64_t>(n));
+  bus.Stop();
+}
+
+TEST_F(FleetTest, ApplyErrorsAreCountedNotThrown) {
+  FleetConfig cfg;
+  cfg.num_shards = 2;
+  ShardedFleet fleet(&glint_->detector(), cfg);
+  EventBus::Config bc;
+  bc.manual_drain = true;
+  EventBus bus(&fleet, bc);
+  BusMessage m;
+  m.kind = BusMessage::Kind::kEvent;
+  m.home = "nobody-home";
+  m.event = EventFor(RulePool(1)[0], 0.5);
+  ASSERT_TRUE(bus.Post(m).ok());  // accepted: routing never fails
+  const int k = fleet.ShardOf("nobody-home");
+  EXPECT_EQ(bus.DrainOnce(k), 1u);
+  EXPECT_EQ(bus.apply_errors(), 1u);
+  Status first = bus.FirstError(k);
+  EXPECT_EQ(first.code(), StatusCode::kNotFound);
+  bus.Stop();
+}
+
+// ---- Wire server end to end ---------------------------------------------
+
+/// Raw loopback TCP connect (bypassing wire::Client) so tests can put
+/// arbitrary bytes on the wire.
+int RawConnect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST_F(FleetTest, ServerServesTheWireProtocolEndToEnd) {
+  FleetConfig cfg;
+  cfg.num_shards = 2;
+  ShardedFleet fleet(&glint_->detector(), cfg);
+  FleetServer server(&fleet, {});
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  wire::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  wire::Request req;
+  wire::Reply reply;
+  req.type = wire::MsgType::kPing;
+  ASSERT_TRUE(client.Call(req, &reply).ok());
+  EXPECT_EQ(reply.type, wire::MsgType::kPong);
+
+  auto pool = RulePool(4);
+  req = wire::Request();
+  req.type = wire::MsgType::kAddHome;
+  req.home = "net-a";
+  req.rules = {pool[0], pool[1]};
+  ASSERT_TRUE(client.Call(req, &reply).ok());
+  EXPECT_EQ(reply.type, wire::MsgType::kAck);
+  EXPECT_EQ(reply.code, 0) << reply.message;
+
+  for (int i = 0; i < 4; ++i) {
+    req = wire::Request();
+    req.type = wire::MsgType::kEvent;
+    req.home = "net-a";
+    req.event = EventFor(pool[i % 2], 0.5 + 0.3 * i);
+    ASSERT_TRUE(client.Call(req, &reply).ok());
+    EXPECT_EQ(reply.code, 0) << reply.message;
+  }
+
+  // Inspect over the wire == inspect in process (the kInspect path drains
+  // the home's shard first, so the verdict covers the accepted events).
+  req = wire::Request();
+  req.type = wire::MsgType::kInspect;
+  req.home = "net-a";
+  req.now_hours = 2.0;
+  ASSERT_TRUE(client.Call(req, &reply).ok());
+  ASSERT_EQ(reply.type, wire::MsgType::kWarning);
+  ASSERT_EQ(reply.code, 0) << reply.message;
+  auto direct = fleet.TryInspect("net-a", 2.0);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(reply.rendered, direct.value().Render());
+  EXPECT_EQ(reply.threat, direct.value().threat);
+
+  // Mutations for unknown homes are *accepted* (ack OK) and fail at apply;
+  // the failure surfaces in the stats counters, not the ack.
+  req = wire::Request();
+  req.type = wire::MsgType::kEvent;
+  req.home = "net-ghost";
+  req.event = EventFor(pool[0], 1.0);
+  ASSERT_TRUE(client.Call(req, &reply).ok());
+  EXPECT_EQ(reply.code, 0);
+
+  req = wire::Request();
+  req.type = wire::MsgType::kStats;
+  ASSERT_TRUE(client.Call(req, &reply).ok());
+  ASSERT_EQ(reply.type, wire::MsgType::kStatsReply);
+  EXPECT_EQ(reply.homes, 1u);
+  EXPECT_EQ(reply.events, 4u);
+  EXPECT_EQ(reply.bus_apply_errors, 1u);
+
+  // An inspect for an unknown home is a synchronous NotFound.
+  req = wire::Request();
+  req.type = wire::MsgType::kInspect;
+  req.home = "net-ghost";
+  req.now_hours = 2.0;
+  ASSERT_TRUE(client.Call(req, &reply).ok());
+  EXPECT_EQ(reply.type, wire::MsgType::kWarning);
+  EXPECT_EQ(reply.code, static_cast<int32_t>(StatusCode::kNotFound));
+
+  client.Close();
+  server.Stop();
+}
+
+TEST_F(FleetTest, ServerSurvivesMalformedFramesAndKeepsServing) {
+  FleetConfig cfg;
+  cfg.num_shards = 2;
+  ShardedFleet fleet(&glint_->detector(), cfg);
+  FleetServer server(&fleet, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  // 1. Frame-level corruption: flipped CRC. The server answers with an
+  //    error ack where it can, then drops the connection (the stream
+  //    cannot be resynchronized).
+  {
+    const int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    wire::Request ping;
+    ping.type = wire::MsgType::kPing;
+    std::vector<char> frame;
+    wire::AppendFrame(&frame, wire::EncodeRequest(ping));
+    frame[4] = static_cast<char>(frame[4] ^ 0x40);  // corrupt the crc field
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+    std::vector<char> payload;
+    Status st = wire::RecvFrame(fd, &payload);
+    if (st.ok()) {  // the error ack, if the pipe still carried it
+      wire::Reply reply;
+      ASSERT_TRUE(wire::DecodeReply(payload, &reply).ok());
+      EXPECT_EQ(reply.type, wire::MsgType::kAck);
+      EXPECT_NE(reply.code, 0);
+      // ...and then the connection is gone.
+      EXPECT_FALSE(wire::RecvFrame(fd, &payload).ok());
+    }
+    ::close(fd);
+  }
+
+  // 2. Oversized length prefix: refused without buffering, connection
+  //    dropped.
+  {
+    const int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    char header[8] = {0};
+    const uint32_t len = wire::kMaxFramePayload + 1;
+    std::memcpy(header, &len, sizeof len);
+    ASSERT_EQ(::send(fd, header, sizeof header, 0), 8);
+    std::vector<char> payload;
+    Status st = wire::RecvFrame(fd, &payload);
+    if (st.ok()) {
+      wire::Reply reply;
+      ASSERT_TRUE(wire::DecodeReply(payload, &reply).ok());
+      EXPECT_NE(reply.code, 0);
+    }
+    ::close(fd);
+  }
+
+  // 3. An intact frame with a garbage body: error ack, connection STAYS —
+  //    the stream is still in sync.
+  {
+    const int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    std::vector<char> frame;
+    wire::AppendFrame(&frame, {char(0x33), 'x', 'y'});  // unknown type 0x33
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+    std::vector<char> payload;
+    ASSERT_TRUE(wire::RecvFrame(fd, &payload).ok());
+    wire::Reply reply;
+    ASSERT_TRUE(wire::DecodeReply(payload, &reply).ok());
+    EXPECT_EQ(reply.type, wire::MsgType::kAck);
+    EXPECT_NE(reply.code, 0);
+    // Same connection still serves valid requests.
+    wire::Request ping;
+    ping.type = wire::MsgType::kPing;
+    ASSERT_TRUE(wire::SendFrame(fd, wire::EncodeRequest(ping)).ok());
+    ASSERT_TRUE(wire::RecvFrame(fd, &payload).ok());
+    ASSERT_TRUE(wire::DecodeReply(payload, &reply).ok());
+    EXPECT_EQ(reply.type, wire::MsgType::kPong);
+    ::close(fd);
+  }
+
+  // After all that abuse the server still accepts fresh connections.
+  wire::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  wire::Request req;
+  wire::Reply reply;
+  req.type = wire::MsgType::kPing;
+  ASSERT_TRUE(client.Call(req, &reply).ok());
+  EXPECT_EQ(reply.type, wire::MsgType::kPong);
+  server.Stop();
+}
+
+// ---- Fleet-level routing sanity over the scripted homes -----------------
+
+TEST_F(FleetTest, RoutedOpsLandOnTheOwningShardOnly) {
+  FleetConfig cfg;
+  cfg.num_shards = 8;
+  ShardedFleet fleet(&glint_->detector(), cfg);
+  for (const auto& op : *script_) {
+    ASSERT_TRUE(ApplyToFleet(&fleet, op).ok());
+  }
+  size_t total = 0;
+  for (int k = 0; k < fleet.num_shards(); ++k) {
+    for (size_t h = 0; h < fleet.shard(k).num_homes(); ++h) {
+      const HomeId& id = fleet.shard(k).home_id(static_cast<int>(h));
+      EXPECT_EQ(fleet.ShardOf(id), k) << id << " on the wrong shard";
+    }
+    total += fleet.shard(k).num_homes();
+  }
+  EXPECT_EQ(total, kHomes.size());
+  EXPECT_TRUE(fleet.has_home("alpha"));
+  EXPECT_FALSE(fleet.has_home("zulu"));
+  // Duplicate registration is refused fleet-wide (same ring position).
+  EXPECT_FALSE(fleet.TryAddHome("alpha", RulePool(1)).ok());
+}
+
+}  // namespace
+}  // namespace glint::fleet

@@ -286,7 +286,7 @@ TEST(ParallelDeterminismTest, ServingEngineInspectAllIdenticalAcrossThreadCounts
     for (int round = 0; round < 3; ++round) {
       for (int h = 0; h < static_cast<int>(homes.size()); ++h) {
         now += 0.05;
-        const auto cur = engine.home(h).CurrentRules();
+        const auto cur = engine.home_view(h).CurrentRules();
         const auto& rule = cur[rng.Below(cur.size())];
         graph::Event e;
         e.time_hours = now;

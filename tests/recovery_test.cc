@@ -28,7 +28,7 @@ namespace {
 /// the reference run and every recovery replays.
 struct Op {
   enum Kind { kAddHome, kAddRule, kRemoveRule, kEvent } kind;
-  int home = 0;
+  HomeId home;                        // stable id (rides the WAL for kAddHome)
   std::vector<rules::Rule> deployed;  // kAddHome
   rules::Rule rule;                   // kAddRule
   int rule_id = 0;                    // kRemoveRule
@@ -99,36 +99,40 @@ class RecoveryTest : public ::testing::Test {
 
   static void BuildScript() {
     auto rules = HomeRules(8);
-    auto add_home = [&](std::vector<rules::Rule> deployed) {
+    // Homes are addressed by stable string ids throughout the script, so
+    // the crash matrix also proves ids survive WAL replay and snapshots.
+    const HomeId ids[2] = {"home-a", "home-b"};
+    auto add_home = [&](const HomeId& id, std::vector<rules::Rule> deployed) {
       Op op;
       op.kind = Op::kAddHome;
+      op.home = id;
       op.deployed = std::move(deployed);
       script_->push_back(std::move(op));
     };
     auto add_rule = [&](int h, const rules::Rule& r) {
       Op op;
       op.kind = Op::kAddRule;
-      op.home = h;
+      op.home = ids[h];
       op.rule = r;
       script_->push_back(std::move(op));
     };
     auto remove_rule = [&](int h, int id) {
       Op op;
       op.kind = Op::kRemoveRule;
-      op.home = h;
+      op.home = ids[h];
       op.rule_id = id;
       script_->push_back(std::move(op));
     };
     auto event = [&](int h, const rules::Rule& r, double t) {
       Op op;
       op.kind = Op::kEvent;
-      op.home = h;
+      op.home = ids[h];
       op.event = EventFor(r, t);
       script_->push_back(std::move(op));
     };
 
-    add_home({rules[0], rules[1], rules[2]});
-    add_home({rules[3], rules[4]});
+    add_home(ids[0], {rules[0], rules[1], rules[2]});
+    add_home(ids[1], {rules[3], rules[4]});
     event(0, rules[0], 0.5);
     event(1, rules[3], 0.6);
     add_rule(0, rules[5]);
@@ -150,7 +154,7 @@ class RecoveryTest : public ::testing::Test {
   static Status ApplyOp(ServingEngine* engine, const Op& op) {
     switch (op.kind) {
       case Op::kAddHome:
-        return engine->TryAddHome(op.deployed).status();
+        return engine->TryAddHome(op.home, op.deployed).status();
       case Op::kAddRule:
         return engine->TryAddRule(op.home, op.rule);
       case Op::kRemoveRule:
@@ -188,8 +192,11 @@ class RecoveryTest : public ::testing::Test {
     };
     auto warnings = engine->InspectAll(kInspectHour);
     for (size_t h = 0; h < engine->num_homes(); ++h) {
-      const DeploymentSession& s = engine->home(static_cast<int>(h));
-      out += "home " + std::to_string(h) + " rules";
+      // home_view: most fingerprinted engines here are durable, and the
+      // mutable home() accessor refuses those (WAL-bypass guard). The home
+      // id is part of the fingerprint — id recovery is part of the proof.
+      const DeploymentSession& s = engine->home_view(static_cast<int>(h));
+      out += "home " + engine->home_id(static_cast<int>(h)) + " rules";
       for (const auto& r : s.CurrentRules()) {
         out += " " + std::to_string(r.id);
       }
@@ -263,6 +270,42 @@ TEST_F(RecoveryTest, DurableUninterruptedMatchesReference) {
   // A clean restart (snapshot + WAL tail, nothing torn) is also identical.
   ASSERT_TRUE(engine.Snapshot().ok());
   RecoverAndVerify(dir, "clean restart");
+}
+
+TEST_F(RecoveryTest, MutableHomeAccessorRefusesDurableEngine) {
+  // The WAL-bypass hole: a mutable session handle on a durable engine
+  // would let callers mutate state the journal never sees. Reads go
+  // through home_view(); the mutable accessor aborts.
+  const std::string dir = Dir("walbypass");
+  ServingEngine engine(&glint_->detector());
+  ASSERT_TRUE(engine.Recover(dir).ok());
+  ASSERT_TRUE(engine.TryAddHome("home-x", HomeRules(2)).ok());
+  EXPECT_EQ(engine.home_view(0).num_rules(), 2);
+  EXPECT_EQ(engine.home_id(0), "home-x");
+  EXPECT_EQ(engine.ResolveHome("home-x"), 0);
+  EXPECT_DEATH((void)engine.home(0), "durable");
+}
+
+TEST_F(RecoveryTest, HomeIdsSurviveSnapshotAndReplay) {
+  const std::string dir = Dir("ids");
+  {
+    ServingEngine engine(&glint_->detector());
+    ASSERT_TRUE(engine.Recover(dir).ok());
+    ASSERT_TRUE(engine.TryAddHome("kitchen-42", HomeRules(2)).ok());
+    ASSERT_TRUE(engine.Snapshot().ok());  // id must ride the snapshot...
+    ASSERT_TRUE(engine.TryAddHome("loft-7", HomeRules(3)).ok());  // ...and WAL
+    // Duplicate and empty ids are rejected before anything is journaled.
+    EXPECT_FALSE(engine.TryAddHome("kitchen-42", HomeRules(1)).ok());
+    EXPECT_FALSE(engine.TryAddHome("", HomeRules(1)).ok());
+  }
+  ServingEngine engine(&glint_->detector());
+  ASSERT_TRUE(engine.Recover(dir).ok());
+  ASSERT_EQ(engine.num_homes(), 2u);
+  EXPECT_EQ(engine.home_id(0), "kitchen-42");
+  EXPECT_EQ(engine.home_id(1), "loft-7");
+  EXPECT_EQ(engine.ResolveHome("loft-7"), 1);
+  EXPECT_EQ(engine.ResolveHome("cellar"), -1);
+  EXPECT_FALSE(engine.TryOnEvent("cellar", graph::Event{}).ok());
 }
 
 TEST_F(RecoveryTest, RecoverOnFreshDirIsEmptyEngine) {

@@ -96,4 +96,32 @@ GLINT_THREADS=2 ./build/tools/glint serve \
   --model-dir "${FAULT_SMOKE_DIR}/models" \
   --state-dir "${FAULT_SMOKE_DIR}/state" --homes 2 --hours 2
 
+# Fleet stage. Wire robustness under ASan: the frame decode / codec paths
+# are length-prefix-driven buffer arithmetic fed by untrusted bytes, so the
+# malformed-frame matrix (truncated headers, flipped CRC bits, oversized
+# prefixes, garbage bodies over real sockets) runs with bounds checking on.
+cmake --build build-asan -j"${JOBS}" --target wire_test
+./build-asan/tests/wire_test
+# Bus/server concurrency under TSAN: multi-producer Post against per-shard
+# consumers, Flush barriers, and concurrent wire connections are the racy
+# surface. The fork-based crash-matrix legs are excluded under TSAN (fork
+# from an instrumented multithreaded process is undefined for the runtime);
+# they run in the native tier-1 pass above.
+cmake --build build-tsan -j"${JOBS}" --target fleet_test
+GLINT_THREADS=4 ./build-tsan/tests/fleet_test \
+  --gtest_filter='-*CrashMatrix*:*TornTail*'
+# Fleet bench smoke: register/ingest/inspect/wire legs; exits non-zero if
+# the fleet-vs-single-engine sample diverges or the bus/wire legs lose
+# messages.
+GLINT_THREADS=2 ./build/bench/bench_fleet --smoke
+# Durable fleet-serve smoke through the CLI: drive a small sharded fleet
+# through the bus with per-shard WALs, then serve again on the same state
+# dir (must recover every shard and resume, not re-register).
+GLINT_THREADS=2 ./build/tools/glint fleet-serve \
+  --model-dir "${FAULT_SMOKE_DIR}/models" \
+  --state-dir "${FAULT_SMOKE_DIR}/fleet-state" --shards 3 --homes 6 --hours 2
+GLINT_THREADS=2 ./build/tools/glint fleet-serve \
+  --model-dir "${FAULT_SMOKE_DIR}/models" \
+  --state-dir "${FAULT_SMOKE_DIR}/fleet-state" --shards 3 --homes 6 --hours 2
+
 echo "check.sh: all stages passed"

@@ -25,6 +25,18 @@
 //       makes serving durable: state is recovered from DIR on startup
 //       (snapshot + WAL replay, torn tails truncated), every mutation is
 //       journaled, and a snapshot is written on exit.
+//   fleet-serve [--model-dir DIR] [--shards N] [--homes N] [--hours H]
+//         [--inspect-every H] [--batch N] [--state-dir DIR] [--stats]
+//         [--bus-capacity N] [--bus-policy block|reject]
+//         [--port P [--duration SECS]]
+//       Sharded fleet serving: N ServingEngine shards behind a consistent-
+//       hash HomeId router, mutations flowing through a bounded per-shard
+//       event bus. Without --port, drives simulated homes through the bus
+//       locally (the `serve` loop at fleet shape). With --port, listens on
+//       127.0.0.1:P speaking the binary wire protocol (see
+//       src/fleet/wire.h) until --duration seconds elapse (or stdin closes
+//       when --duration is 0). --state-dir DIR journals each shard to
+//       DIR/shard-K/ and recovers on startup.
 //   stats
 //       Document the glint::obs instrument taxonomy and STATS_JSON schema.
 //   simulate [--hours H] [--attack NAME] [--seed S]
@@ -32,14 +44,17 @@
 //   analyze [--demo table1|table4|blueprints]
 //       Run the rule-semantics threat analyzer (no ML) on a demo rule set.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/glint.h"
 #include "core/serving.h"
+#include "fleet/server.h"
 #include "graph/dataset_store.h"
 #include "obs/obs.h"
 #include "graph/threat_analyzer.h"
@@ -259,15 +274,15 @@ int CmdInspect(const std::map<std::string, std::string>& flags) {
 /// Fleet summary + registry telemetry as one single-line JSON object:
 /// {"serving":{...per-home aggregate...},"counters":{...},"gauges":{...},
 ///  "histograms":{...}} — see `glint stats` for the schema.
-std::string StatsJson(const core::ServingEngine& engine) {
-  const auto agg = engine.AggregateStats();
+std::string StatsJson(size_t homes,
+                      const core::DeploymentSession::CacheStats& agg) {
   char buf[320];
   std::snprintf(
       buf, sizeof(buf),
       "{\"serving\":{\"homes\":%zu,\"rules\":%llu,\"inspects\":%llu,"
       "\"events\":%llu,\"verdict_hits\":%llu,\"verdict_misses\":%llu,"
       "\"tensor_hits\":%llu,\"tensor_misses\":%llu},",
-      engine.num_homes(), static_cast<unsigned long long>(agg.rules),
+      homes, static_cast<unsigned long long>(agg.rules),
       static_cast<unsigned long long>(agg.inspects),
       static_cast<unsigned long long>(agg.events),
       static_cast<unsigned long long>(agg.verdict_hits),
@@ -277,6 +292,10 @@ std::string StatsJson(const core::ServingEngine& engine) {
   // Splice the registry object in after the serving section.
   std::string registry = obs::Registry::Global().TakeSnapshot().RenderJson();
   return std::string(buf) + registry.substr(1);
+}
+
+std::string StatsJson(const core::ServingEngine& engine) {
+  return StatsJson(engine.num_homes(), engine.AggregateStats());
 }
 
 double HitRate(uint64_t hits, uint64_t misses) {
@@ -307,11 +326,12 @@ void PrintStatsReport(const core::Glint& detector,
               corr.hits() + corr.misses());
   std::printf("per-home:\n");
   for (int h = 0; h < static_cast<int>(engine.num_homes()); ++h) {
-    const auto s = engine.home(h).Stats();
+    // home_view: the durable-safe read accessor (serve may be journaled).
+    const auto s = engine.home_view(h).Stats();
     std::printf(
-        "  home %-3d rules=%-4llu events=%-6llu inspects=%-5llu "
+        "  %-8s rules=%-4llu events=%-6llu inspects=%-5llu "
         "verdict_hits=%-5llu tensor_hits=%llu\n",
-        h, static_cast<unsigned long long>(s.rules),
+        engine.home_id(h).c_str(), static_cast<unsigned long long>(s.rules),
         static_cast<unsigned long long>(s.events),
         static_cast<unsigned long long>(s.inspects),
         static_cast<unsigned long long>(s.verdict_hits),
@@ -380,16 +400,21 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   }
 
   std::vector<testbed::SmartHome> sims;
+  std::vector<core::HomeId> ids;
   std::vector<size_t> cursor(static_cast<size_t>(homes), 0);
   sims.reserve(static_cast<size_t>(homes));
+  ids.reserve(static_cast<size_t>(homes));
   for (int h = 0; h < homes; ++h) {
     testbed::SmartHome::Config cfg;
     cfg.seed = seed + static_cast<uint64_t>(h);
     cfg.start_hour = resume_hour;
     auto deployed = testbed::ScenarioGenerator::BenignDeployment();
     sims.emplace_back(cfg, deployed);
-    if (h >= static_cast<int>(engine.num_homes())) {
-      auto added = engine.TryAddHome(deployed);
+    // Stable ids: a rerun against the same --state-dir finds its homes
+    // again instead of re-registering them.
+    ids.push_back("home-" + std::to_string(h));
+    if (!engine.has_home(ids.back())) {
+      auto added = engine.TryAddHome(ids.back(), deployed);
       if (!added.ok()) {
         std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
         return 1;
@@ -409,9 +434,9 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
       const auto& events = sim.log().events();
       for (size_t& i = cursor[static_cast<size_t>(h)]; i < events.size();
            ++i) {
-        // Home indices here come from the loop, but route through the
-        // validating path anyway: serve is the untrusted-frontend shape.
-        Status st = engine.TryOnEvent(h, events[i]);
+        // Address homes by stable id through the validating path: serve
+        // is the untrusted-frontend shape.
+        Status st = engine.TryOnEvent(ids[static_cast<size_t>(h)], events[i]);
         if (!st.ok()) {
           std::fprintf(stderr, "%s\n", st.ToString().c_str());
           return 1;
@@ -439,7 +464,8 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     for (int h = 0; h < homes; ++h) {
       const auto& w = warnings[static_cast<size_t>(h)];
       if (w.threat || w.drifting) {
-        std::printf("-- home %d --\n%s\n", h, w.Render().c_str());
+        std::printf("-- %s --\n%s\n", engine.home_id(h).c_str(),
+                    w.Render().c_str());
       }
     }
     if (stats_every > 0 && t + 1e-9 >= next_stats) {
@@ -471,6 +497,214 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
         static_cast<unsigned long long>(agg.tensor_hits),
         detector.detector().correlation_cache().hits());
   }
+  return 0;
+}
+
+void PrintFleetStatsReport(const fleet::ShardedFleet& fleet,
+                           const fleet::EventBus& bus) {
+  std::printf("\n---- fleet telemetry ----\n");
+  std::printf("%s",
+              obs::Registry::Global().TakeSnapshot().RenderText().c_str());
+  std::printf("per-shard:\n");
+  for (int k = 0; k < fleet.num_shards(); ++k) {
+    const auto& shard = fleet.shard(k);
+    const auto s = shard.AggregateStats();
+    std::printf(
+        "  shard %-2d homes=%-5zu rules=%-5llu events=%-7llu "
+        "inspects=%-6llu queue_hw=%zu\n",
+        k, shard.num_homes(), static_cast<unsigned long long>(s.rules),
+        static_cast<unsigned long long>(s.events),
+        static_cast<unsigned long long>(s.inspects),
+        bus.queue_high_water(k));
+  }
+  std::printf("bus: rejected=%llu apply_errors=%llu\n",
+              static_cast<unsigned long long>(bus.rejected()),
+              static_cast<unsigned long long>(bus.apply_errors()));
+}
+
+int CmdFleetServe(const std::map<std::string, std::string>& flags) {
+  const int shards = std::atoi(FlagOr(flags, "shards", "4").c_str());
+  const int homes = std::atoi(FlagOr(flags, "homes", "8").c_str());
+  const double hours = std::atof(FlagOr(flags, "hours", "6").c_str());
+  const double every = std::atof(FlagOr(flags, "inspect-every", "1").c_str());
+  const int batch = std::atoi(FlagOr(flags, "batch", "256").c_str());
+  const bool stats = flags.count("stats") > 0;
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "2026").c_str(), nullptr, 10);
+  const std::string dir = FlagOr(flags, "model-dir", "");
+  const int port = std::atoi(FlagOr(flags, "port", "-1").c_str());
+  const double duration = std::atof(FlagOr(flags, "duration", "0").c_str());
+  const std::string policy = FlagOr(flags, "bus-policy", "block");
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  if (policy != "block" && policy != "reject") {
+    std::fprintf(stderr, "--bus-policy must be block or reject\n");
+    return 2;
+  }
+
+  core::Glint detector(DefaultOptions(600, 14, 97));
+  if (!dir.empty()) {
+    Status st = detector.LoadModels(dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded models from %s\n", dir.c_str());
+  } else {
+    std::printf("no --model-dir given; training a fresh detector...\n");
+    detector.TrainOffline();
+  }
+
+  // One FleetConfig block carries every shared knob: shard count, the
+  // per-shard engine config, and the state-dir root (shard K journals to
+  // <state-dir>/shard-K/).
+  fleet::FleetConfig fc;
+  fc.num_shards = shards;
+  fc.state_dir = FlagOr(flags, "state-dir", "");
+  fleet::ShardedFleet fleet(&detector.detector(), fc);
+  if (!fc.state_dir.empty()) {
+    Status st = fleet.Recover();
+    if (!st.ok()) {
+      std::fprintf(stderr, "fleet recovery failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("recovered %zu homes across %d shards from %s\n",
+                fleet.num_homes(), shards, fc.state_dir.c_str());
+  }
+
+  fleet::EventBus::Config bus_cfg;
+  bus_cfg.capacity = static_cast<size_t>(
+      std::atoi(FlagOr(flags, "bus-capacity", "1024").c_str()));
+  bus_cfg.policy = policy == "reject" ? fleet::EventBus::Backpressure::kReject
+                                      : fleet::EventBus::Backpressure::kBlock;
+
+  if (port >= 0) {
+    // Network mode: speak the wire protocol on 127.0.0.1 until --duration
+    // seconds elapse (0 = until stdin closes).
+    fleet::FleetServer::Config sc;
+    sc.port = port;
+    sc.bus = bus_cfg;
+    fleet::FleetServer server(&fleet, sc);
+    Status st = server.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("fleet-serve listening on 127.0.0.1:%d (%d shards, bus %s)\n",
+                server.port(), shards, policy.c_str());
+    std::fflush(stdout);
+    if (duration > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(duration * 1000)));
+    } else {
+      char line[256];
+      while (std::fgets(line, sizeof line, stdin) != nullptr) {
+      }
+    }
+    server.Stop();  // drains the bus: everything accepted is applied
+    if (fleet.durable()) {
+      st = fleet.Snapshot();
+      if (!st.ok()) {
+        std::fprintf(stderr, "snapshot failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    fleet.PublishShardGauges();
+    if (stats) PrintFleetStatsReport(fleet, server.bus());
+    std::printf("STATS_JSON %s\n",
+                StatsJson(fleet.num_homes(), fleet.AggregateStats()).c_str());
+    return 0;
+  }
+
+  // Driver mode: simulate homes locally, posting every event through the
+  // bus — the serve loop at fleet shape. Registration is control-plane and
+  // synchronous; the event stream is data-plane and rides the bus.
+  fleet::EventBus bus(&fleet, bus_cfg);
+  std::vector<testbed::SmartHome> sims;
+  std::vector<core::HomeId> ids;
+  std::vector<size_t> cursor(static_cast<size_t>(homes), 0);
+  sims.reserve(static_cast<size_t>(homes));
+  ids.reserve(static_cast<size_t>(homes));
+  double resume_hour = 18.0;
+  for (int k = 0; k < fleet.num_shards(); ++k) {
+    const auto& shard = fleet.shard(k);
+    for (int h = 0; h < static_cast<int>(shard.num_homes()); ++h) {
+      resume_hour =
+          std::max(resume_hour, shard.home_view(h).live().latest_event_hours());
+    }
+  }
+  for (int h = 0; h < homes; ++h) {
+    testbed::SmartHome::Config cfg;
+    cfg.seed = seed + static_cast<uint64_t>(h);
+    cfg.start_hour = resume_hour;
+    auto deployed = testbed::ScenarioGenerator::BenignDeployment();
+    sims.emplace_back(cfg, deployed);
+    ids.push_back("home-" + std::to_string(h));
+    if (!fleet.has_home(ids.back())) {
+      auto added = fleet.TryAddHome(ids.back(), deployed);
+      if (!added.ok()) {
+        std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  std::printf("fleet-serving %d homes on %d shards, %zu rules total%s\n",
+              homes, shards, fleet.total_rules(),
+              fleet.durable() ? " (journaled)" : "");
+
+  const double start = sims.empty() ? resume_hour : sims[0].now();
+  for (double t = start + every; t <= start + hours + 1e-9; t += every) {
+    for (int h = 0; h < homes; ++h) {
+      auto& sim = sims[static_cast<size_t>(h)];
+      sim.Simulate(t - sim.now());
+      const auto& events = sim.log().events();
+      for (size_t& i = cursor[static_cast<size_t>(h)]; i < events.size();
+           ++i) {
+        fleet::BusMessage msg;
+        msg.kind = fleet::BusMessage::Kind::kEvent;
+        msg.home = ids[static_cast<size_t>(h)];
+        msg.event = events[i];
+        Status st = bus.Post(std::move(msg));
+        if (!st.ok()) {
+          std::fprintf(stderr, "%s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    double t_inspect = t;
+    for (const auto& sim : sims) t_inspect = std::max(t_inspect, sim.now());
+    bus.Flush();  // inspection must cover every accepted event
+    auto fw = fleet.InspectAll(t_inspect, batch);
+    int threats = 0, drifting = 0;
+    for (const auto& w : fw.warnings) {
+      threats += w.threat;
+      drifting += w.drifting;
+    }
+    std::printf("t=%5.1fh  homes=%zu threats=%d drifting=%d\n", t,
+                fw.warnings.size(), threats, drifting);
+    for (size_t i = 0; i < fw.warnings.size(); ++i) {
+      const auto& w = fw.warnings[i];
+      if (w.threat || w.drifting) {
+        std::printf("-- %s --\n%s\n", fw.ids[i].c_str(), w.Render().c_str());
+      }
+    }
+  }
+  bus.Stop();
+  if (fleet.durable()) {
+    Status st = fleet.Snapshot();
+    if (!st.ok()) {
+      std::fprintf(stderr, "snapshot failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("fleet state snapshotted to %s\n", fc.state_dir.c_str());
+  }
+  fleet.PublishShardGauges();
+  if (stats) PrintFleetStatsReport(fleet, bus);
+  std::printf("STATS_JSON %s\n",
+              StatsJson(fleet.num_homes(), fleet.AggregateStats()).c_str());
   return 0;
 }
 
@@ -584,6 +818,11 @@ void Usage() {
       "  serve           [--model-dir DIR] [--homes N] [--hours H]\n"
       "                  [--inspect-every H] [--batch N] [--seed S]\n"
       "                  [--stats] [--stats-every H] [--state-dir DIR]\n"
+      "  fleet-serve     [--model-dir DIR] [--shards N] [--homes N]\n"
+      "                  [--hours H] [--inspect-every H] [--batch N]\n"
+      "                  [--state-dir DIR] [--stats] [--bus-capacity N]\n"
+      "                  [--bus-policy block|reject]\n"
+      "                  [--port P [--duration SECS]]\n"
       "  stats\n"
       "  simulate        [--hours H] [--attack NAME] [--seed S]\n"
       "  analyze         [--demo table1|table4|blueprints]\n");
@@ -610,6 +849,7 @@ int main(int argc, char** argv) {
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "inspect") return CmdInspect(flags);
   if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "fleet-serve") return CmdFleetServe(flags);
   if (cmd == "stats") return CmdStats();
   if (cmd == "simulate") return CmdSimulate(flags);
   if (cmd == "analyze") return CmdAnalyze(flags);
