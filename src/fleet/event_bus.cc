@@ -47,9 +47,14 @@ Status EventBus::Post(BusMessage msg) {
         return sq.q.size() < config_.capacity ||
                stopping_.load(std::memory_order_acquire);
       });
-      if (stopping_.load(std::memory_order_acquire)) {
-        return Status::FailedPrecondition("event bus is stopped");
-      }
+    }
+    // Re-check under sq.mu immediately before the push: a consumer exits
+    // only after observing stopping+empty under this same lock, so a
+    // stopping_ read of false here proves the consumer is still alive to
+    // drain what we push. Without this, Stop() racing between the entry
+    // check and the push could strand an accepted message forever.
+    if (stopping_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition("event bus is stopped");
     }
     sq.q.push_back(std::move(msg));
     sq.high_water = std::max(sq.high_water, sq.q.size());
@@ -95,8 +100,60 @@ Status EventBus::Apply(int k, const BusMessage& msg) {
       return engine.TryRemoveRule(msg.home, msg.rule_id);
     case BusMessage::Kind::kEvent:
       return engine.TryOnEvent(msg.home, msg.event);
+    case BusMessage::Kind::kTask:
+      msg.task();
+      return Status::OK();
   }
   return Status::Internal("unreachable bus message kind");
+}
+
+Status EventBus::RunOnShard(int k, std::function<void()> fn) {
+  GLINT_CHECK(k >= 0 && k < static_cast<int>(queues_.size()));
+  GLINT_CHECK(fn != nullptr);
+  if (config_.manual_drain) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition("event bus is stopped");
+    }
+    DrainOnce(k);
+    fn();
+    return Status::OK();
+  }
+  struct Done {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  // Shared, not stack-referenced: the consumer finishes with the task
+  // strictly after signalling, by which time this frame may be gone.
+  auto done = std::make_shared<Done>();
+  BusMessage msg;
+  msg.kind = BusMessage::Kind::kTask;
+  msg.task = [fn = std::move(fn), done] {
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(done->mu);
+      done->done = true;
+    }
+    done->cv.notify_all();
+  };
+  ShardQueue& sq = *queues_[static_cast<size_t>(k)];
+  {
+    // No capacity check: tasks are control-plane, bounded by the callers
+    // blocked right here — never by queue depth, which would let a full
+    // queue under kReject starve reads. Same push/Stop discipline as
+    // Post: re-check stopping_ under sq.mu so a task never strands (and
+    // deadlocks its caller) behind an exiting consumer.
+    std::lock_guard<std::mutex> lock(sq.mu);
+    if (stopping_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition("event bus is stopped");
+    }
+    sq.q.push_back(std::move(msg));
+    sq.high_water = std::max(sq.high_water, sq.q.size());
+  }
+  sq.can_pop.notify_one();
+  std::unique_lock<std::mutex> lock(done->mu);
+  done->cv.wait(lock, [&] { return done->done; });
+  return Status::OK();
 }
 
 void EventBus::RecordApplyError(int k, const Status& st) {
@@ -136,8 +193,10 @@ void EventBus::Stop() {
   for (auto& t : consumers_) {
     if (t.joinable()) t.join();
   }
-  // Consumers exit only when their queue is empty, so everything accepted
-  // before Stop() has been applied.
+  // Consumers exit only when their queue is empty, and every push
+  // re-checks stopping_ under the queue lock (the lock a consumer's exit
+  // decision is made under), so everything accepted before Stop() has
+  // been applied — an OK Post is never silently dropped.
 }
 
 size_t EventBus::DrainOnce(int k, size_t max) {

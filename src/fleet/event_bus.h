@@ -7,10 +7,14 @@
 // messages to that shard's ServingEngine.
 //
 // Threading contract: shard K's engine is touched ONLY by shard K's
-// consumer thread while the bus is running (engines are single-writer).
-// Any number of producer threads may Post concurrently. Fleet-wide reads
-// (InspectAll, stats) must happen behind a Flush() barrier — Flush returns
-// once every queue is empty and every message has been fully applied.
+// consumer thread while the bus is running (engines are single-writer,
+// and ServingEngine has no internal locking). That makes RunOnShard the
+// one race-free read path while producers are live: it runs a closure on
+// the shard's consumer thread, after everything already queued for that
+// shard has been applied. Flush()/FlushShard() are weaker — they wait for
+// a momentarily empty queue, so they are a true barrier only once
+// producers are quiesced; never read an engine directly after a mere
+// Flush while other threads can still Post to its shard.
 //
 // Backpressure is explicit and configurable:
 //   kBlock   Post waits for queue space (lossless; producers slow to the
@@ -36,6 +40,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -44,15 +49,17 @@
 
 namespace glint::fleet {
 
-/// One home-addressed mutation riding the bus.
+/// One home-addressed mutation riding the bus. kTask is the control
+/// plane: a closure run on the shard's consumer thread (see RunOnShard).
 struct BusMessage {
-  enum class Kind : uint8_t { kAddHome, kAddRule, kRemoveRule, kEvent };
+  enum class Kind : uint8_t { kAddHome, kAddRule, kRemoveRule, kEvent, kTask };
   Kind kind = Kind::kEvent;
   HomeId home;
   std::vector<rules::Rule> rules;  ///< kAddHome: the deployed rule set
   rules::Rule rule;                ///< kAddRule
   int rule_id = 0;                 ///< kRemoveRule
   graph::Event event;              ///< kEvent
+  std::function<void()> task;      ///< kTask
 };
 
 class EventBus {
@@ -77,15 +84,29 @@ class EventBus {
 
   /// Routes `msg` to its home's shard queue. OK = accepted (not yet
   /// applied); FailedPrecondition = rejected by the kReject policy on a
-  /// full queue; FailedPrecondition also after Stop().
+  /// full queue; FailedPrecondition also once Stop() has begun. An OK
+  /// return guarantees the message will be applied before Stop() returns.
   Status Post(BusMessage msg);
+
+  /// Runs `fn` on shard `k`'s consumer thread after every message already
+  /// queued for that shard has been applied, and blocks until `fn`
+  /// returns. This is the race-free way to read shard `k`'s engine while
+  /// producers are live: `fn` and the shard's mutations execute on the
+  /// same thread, so no Post can interleave an apply with the read.
+  /// Bypasses the capacity bound (control plane; in-flight tasks are
+  /// bounded by blocked callers). FailedPrecondition once Stop() has
+  /// begun, in which case `fn` is never run. In manual_drain mode, drains
+  /// shard `k` then runs `fn` on the calling thread. Must not be called
+  /// from a consumer thread (a task scheduling a task would self-wait).
+  Status RunOnShard(int k, std::function<void()> fn);
 
   /// Blocks until every queue is empty and every in-flight message has
   /// been applied. Concurrent Posts during a Flush may or may not be
-  /// covered; quiesce producers first for a true barrier.
+  /// covered; quiesce producers first for a true barrier (or use
+  /// RunOnShard, which needs no quiescing).
   void Flush();
-  /// Per-shard flush: drains only shard `k`'s queue (the Inspect request
-  /// path — one slow shard does not stall inspections of the others).
+  /// Per-shard flush: drains only shard `k`'s queue. Same caveat as
+  /// Flush — a barrier only for quiesced producers.
   void FlushShard(int k);
 
   /// Stops accepting posts, drains what was accepted, joins consumers.

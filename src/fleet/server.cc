@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -70,14 +71,19 @@ void FleetServer::Stop() {
     ::close(lfd);
   }
   if (acceptor_.joinable()) acceptor_.join();
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    threads.swap(conn_threads_);
+    // Taking ownership of the handle and shutting the fd down under one
+    // lock hold: the serving thread cannot have closed (and the OS
+    // recycled) an fd that is still in the map.
+    for (auto& [fd, t] : conn_threads_) {
+      ::shutdown(fd, SHUT_RDWR);
+      threads.push_back(std::move(t));
+    }
+    conn_threads_.clear();
+    for (auto& t : done_threads_) threads.push_back(std::move(t));
+    done_threads_.clear();
   }
   for (auto& t : threads) {
     if (t.joinable()) t.join();
@@ -91,9 +97,23 @@ void FleetServer::AcceptLoop() {
     if (lfd < 0) return;  // Stop() already retired the listener
     const int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener closed (Stop) or fatal: either way, stop accepting
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM || errno == EAGAIN) {
+        // Transient resource pressure: the pending connection stays in
+        // the backlog; back off briefly rather than abandoning the
+        // listener while the server still looks alive.
+        GLINT_OBS_COUNT("glint.fleet.server.accept_backoffs", 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      if (listen_fd_.load(std::memory_order_acquire) < 0) {
+        return;  // Stop() closed the listener out from under accept()
+      }
+      GLINT_OBS_COUNT("glint.fleet.server.accept_errors", 1);
+      return;  // the listening socket itself is broken
     }
+    ReapDoneThreads();
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
       return;
@@ -102,8 +122,20 @@ void FleetServer::AcceptLoop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     GLINT_OBS_COUNT("glint.fleet.server.connections", 1);
     std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    conn_threads_.emplace(fd, std::thread([this, fd] { ServeConnection(fd); }));
+  }
+}
+
+void FleetServer::ReapDoneThreads() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    done.swap(done_threads_);
+  }
+  // A done thread has already passed its last conn_mu_ hold; joining
+  // outside the lock only waits for its final close()+return.
+  for (auto& t : done) {
+    if (t.joinable()) t.join();
   }
 }
 
@@ -134,14 +166,16 @@ void FleetServer::ServeConnection(int fd) {
     if (!wire::SendFrame(fd, wire::EncodeReply(reply)).ok()) break;
   }
   {
-    // Forget the fd before closing it: Stop() must never shutdown() a
-    // number the OS has already recycled for an unrelated file.
+    // Retire our map entry before closing the fd: Stop() must never
+    // shutdown() a number the OS has already recycled for an unrelated
+    // file. Moving our own thread handle onto done_threads_ is safe — the
+    // joiner simply waits out the few instructions left below. If Stop()
+    // already emptied the map, it owns the handle and the shutdown.
     std::lock_guard<std::mutex> lock(conn_mu_);
-    for (size_t i = 0; i < conn_fds_.size(); ++i) {
-      if (conn_fds_[i] == fd) {
-        conn_fds_.erase(conn_fds_.begin() + static_cast<long>(i));
-        break;
-      }
+    auto it = conn_threads_.find(fd);
+    if (it != conn_threads_.end()) {
+      done_threads_.push_back(std::move(it->second));
+      conn_threads_.erase(it);
     }
   }
   ::close(fd);
@@ -181,11 +215,17 @@ wire::Reply FleetServer::Dispatch(const wire::Request& req) {
       return wire::AckFor(bus_->Post(std::move(msg)));
     }
     case wire::MsgType::kInspect: {
-      // Drain the home's shard first: the verdict must cover every event
-      // the bus already accepted for it.
-      bus_->FlushShard(fleet_->ShardOf(req.home));
+      // Inspect on the owning shard's consumer thread, behind everything
+      // the bus already accepted for that shard. This is the only
+      // race-free read while other connections keep posting: a flush
+      // barrier alone would let the consumer apply a just-posted event
+      // to the engine while we read it.
       Result<core::ThreatWarning> w =
-          fleet_->TryInspect(req.home, req.now_hours);
+          Status::FailedPrecondition("fleet server is stopping");
+      const Status ran = bus_->RunOnShard(
+          fleet_->ShardOf(req.home),
+          [&] { w = fleet_->TryInspect(req.home, req.now_hours); });
+      if (!ran.ok()) w = ran;
       wire::Reply reply;
       reply.type = wire::MsgType::kWarning;
       reply.code = static_cast<int32_t>(w.status().code());
@@ -200,12 +240,25 @@ wire::Reply FleetServer::Dispatch(const wire::Request& req) {
       return reply;
     }
     case wire::MsgType::kStats: {
-      bus_->Flush();
-      fleet_->PublishShardGauges();
-      const auto agg = fleet_->AggregateStats();
+      // Read each shard on its own consumer thread (same discipline as
+      // kInspect — a fleet-wide Flush is not a barrier against clients
+      // still posting), then aggregate here. Shards are visited one at a
+      // time, so the accumulators need no locking.
+      core::DeploymentSession::CacheStats agg;
+      uint64_t homes = 0;
+      for (int k = 0; k < fleet_->num_shards(); ++k) {
+        (void)bus_->RunOnShard(k, [&, k] {
+          homes += fleet_->shard(k).num_homes();
+          agg += fleet_->shard(k).AggregateStats();
+          fleet_->PublishShardGauges(k);
+        });  // only fails once Stop() has begun: report what we have
+      }
+      auto& reg = obs::Registry::Global();
+      reg.GetGauge("glint.fleet.shards")->Set(fleet_->num_shards());
+      reg.GetGauge("glint.fleet.homes")->Set(static_cast<int64_t>(homes));
       wire::Reply reply;
       reply.type = wire::MsgType::kStatsReply;
-      reply.homes = fleet_->num_homes();
+      reply.homes = homes;
       reply.rules = agg.rules;
       reply.events = agg.events;
       reply.inspects = agg.inspects;

@@ -16,11 +16,14 @@
 //       visible to the producer); under kBlock the ack itself applies the
 //       backpressure by arriving late.
 //   kInspect
-//       drains the home's shard queue first (so the verdict covers every
-//       event this connection — or any other — already had accepted),
-//       then inspects synchronously and returns the warning.
-//   kStats / kPing
-//       fleet aggregate counters / liveness.
+//       runs on the owning shard's bus consumer thread, behind everything
+//       that shard has already accepted (EventBus::RunOnShard) — so the
+//       verdict covers every event this connection, or any other, already
+//       had accepted, and the engine is only ever touched by its one
+//       consumer thread even while other clients keep posting.
+//   kStats
+//       per-shard counters read the same way (one RunOnShard per shard),
+//       then aggregated; kPing is liveness.
 //
 // A malformed frame (bad checksum, oversized length, truncated body) gets
 // an error kAck where the stream still permits one and the connection is
@@ -31,6 +34,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "fleet/event_bus.h"
@@ -72,6 +76,8 @@ class FleetServer {
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
+  /// Joins every thread whose connection has finished (called per accept).
+  void ReapDoneThreads();
   wire::Reply Dispatch(const wire::Request& req);
 
   ShardedFleet* fleet_;
@@ -84,8 +90,14 @@ class FleetServer {
   std::atomic<bool> stopping_{false};
 
   std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;
+  /// Live connections: fd → its serving thread. A thread's last act under
+  /// conn_mu_ is to move its own handle onto done_threads_ and erase its
+  /// entry — before closing the fd, so Stop() never shutdown()s a number
+  /// the OS has recycled. AcceptLoop reaps done_threads_ on every accept,
+  /// so handle count is bounded by live connections, not connections ever
+  /// accepted.
+  std::unordered_map<int, std::thread> conn_threads_;
+  std::vector<std::thread> done_threads_;
 };
 
 }  // namespace glint::fleet

@@ -206,16 +206,20 @@ core::DeploymentSession::CacheStats ShardedFleet::AggregateStats() const {
 
 void ShardedFleet::PublishShardGauges() const {
   auto& reg = obs::Registry::Global();
-  for (int k = 0; k < num_shards(); ++k) {
-    const auto& shard = *shards_[static_cast<size_t>(k)];
-    const std::string prefix = "glint.fleet.shard" + std::to_string(k);
-    reg.GetGauge(prefix + ".homes")
-        ->Set(static_cast<int64_t>(shard.num_homes()));
-    reg.GetGauge(prefix + ".rules")
-        ->Set(static_cast<int64_t>(shard.total_rules()));
-  }
+  for (int k = 0; k < num_shards(); ++k) PublishShardGauges(k);
   reg.GetGauge("glint.fleet.shards")->Set(num_shards());
   reg.GetGauge("glint.fleet.homes")->Set(static_cast<int64_t>(num_homes()));
+}
+
+void ShardedFleet::PublishShardGauges(int k) const {
+  GLINT_CHECK(k >= 0 && k < num_shards());
+  auto& reg = obs::Registry::Global();
+  const auto& shard = *shards_[static_cast<size_t>(k)];
+  const std::string prefix = "glint.fleet.shard" + std::to_string(k);
+  reg.GetGauge(prefix + ".homes")
+      ->Set(static_cast<int64_t>(shard.num_homes()));
+  reg.GetGauge(prefix + ".rules")
+      ->Set(static_cast<int64_t>(shard.total_rules()));
 }
 
 }  // namespace glint::fleet

@@ -123,8 +123,13 @@ class ShardedFleet {
   /// Sum of every shard's AggregateStats.
   core::DeploymentSession::CacheStats AggregateStats() const;
   /// Publishes per-shard gauges (glint.fleet.shard<K>.homes / .rules) and
-  /// the fleet totals — the obs rollup half of a stats report.
+  /// the fleet totals — the obs rollup half of a stats report. Reads every
+  /// shard: only for quiesced fleets (use the per-shard overload from a
+  /// bus consumer while producers are live).
   void PublishShardGauges() const;
+  /// Publishes shard `k`'s gauges only — touches no other shard, so it is
+  /// safe from shard `k`'s bus consumer thread (EventBus::RunOnShard).
+  void PublishShardGauges(int k) const;
 
   const FleetConfig& config() const { return config_; }
 

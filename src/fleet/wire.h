@@ -2,7 +2,10 @@
 
 // Binary wire protocol for fleet event ingestion — the network-facing
 // system boundary. Length-prefixed, CRC32C-framed (the WAL's framing
-// discipline applied to a socket stream), little-endian throughout:
+// discipline applied to a socket stream). Integers are little-endian —
+// by construction, not conversion: the codec writes host memory order and
+// util/binio.h static_asserts a little-endian host, so a big-endian port
+// fails at compile time rather than emitting frames peers cannot parse:
 //
 //   frame:   u32 payload_len | u32 crc32c(payload) | payload
 //   payload: u8 MsgType | message body (rules/events reuse the rule_io /

@@ -7,12 +7,21 @@
 // boundary). Neither owns a file: I/O and checksumming live with the
 // format, the codec is layout only.
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <string>
 #include <vector>
 
 namespace glint::util {
+
+// The codec is raw host memory order; the documented little-endian layout
+// therefore holds only on little-endian hosts. Pin that at compile time so
+// a big-endian port fails loudly here instead of silently writing files
+// and wire frames other hosts cannot read.
+static_assert(std::endian::native == std::endian::little,
+              "glint's binary formats assume a little-endian host; port "
+              "ByteWriter/ByteReader to explicit byte order first");
 
 class ByteWriter {
  public:

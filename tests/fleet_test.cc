@@ -20,6 +20,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <set>
@@ -608,6 +610,103 @@ TEST_F(FleetTest, ApplyErrorsAreCountedNotThrown) {
   bus.Stop();
 }
 
+// ---- RunOnShard: the race-free read path --------------------------------
+
+TEST_F(FleetTest, RunOnShardRunsBehindEverythingAccepted) {
+  FleetConfig cfg;
+  cfg.num_shards = 2;
+  ShardedFleet fleet(&glint_->detector(), cfg);
+  ASSERT_TRUE(fleet.TryAddHome("ros-home", RulePool(2)).ok());
+  const int k = fleet.ShardOf("ros-home");
+  auto pool = RulePool(2);
+  EventBus bus(&fleet, {});
+  const uint64_t n = 32;
+  for (uint64_t i = 0; i < n; ++i) {
+    BusMessage m;
+    m.kind = BusMessage::Kind::kEvent;
+    m.home = "ros-home";
+    m.event = EventFor(pool[i & 1], 0.1 + 0.01 * static_cast<double>(i));
+    ASSERT_TRUE(bus.Post(std::move(m)).ok());
+  }
+  // FIFO: the task is queued after the n events, so it must observe all
+  // of them applied — and it must run on the shard's consumer thread,
+  // which is what makes the read race-free against other producers.
+  uint64_t seen = 0;
+  std::thread::id task_thread;
+  ASSERT_TRUE(bus.RunOnShard(k, [&] {
+                   seen = fleet.shard(k).AggregateStats().events;
+                   task_thread = std::this_thread::get_id();
+                 }).ok());
+  EXPECT_EQ(seen, n);
+  EXPECT_NE(task_thread, std::this_thread::get_id());
+  bus.Stop();
+  // A stopped bus refuses the task and never runs the closure.
+  bool ran = false;
+  EXPECT_EQ(bus.RunOnShard(k, [&] { ran = true; }).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(ran);
+}
+
+TEST_F(FleetTest, RunOnShardManualDrainAppliesThenRunsInline) {
+  FleetConfig cfg;
+  cfg.num_shards = 1;
+  ShardedFleet fleet(&glint_->detector(), cfg);
+  ASSERT_TRUE(fleet.TryAddHome("ros-md", RulePool(2)).ok());
+  EventBus::Config bc;
+  bc.manual_drain = true;
+  EventBus bus(&fleet, bc);
+  auto pool = RulePool(2);
+  for (int i = 0; i < 3; ++i) {
+    BusMessage m;
+    m.kind = BusMessage::Kind::kEvent;
+    m.home = "ros-md";
+    m.event = EventFor(pool[i & 1], 0.2 + 0.05 * i);
+    ASSERT_TRUE(bus.Post(std::move(m)).ok());
+  }
+  uint64_t seen = 0;
+  std::thread::id task_thread;
+  ASSERT_TRUE(bus.RunOnShard(0, [&] {
+                   seen = fleet.shard(0).AggregateStats().events;
+                   task_thread = std::this_thread::get_id();
+                 }).ok());
+  EXPECT_EQ(seen, 3u);  // drained before the closure ran
+  EXPECT_EQ(task_thread, std::this_thread::get_id());  // inline, no consumer
+  bus.Stop();
+}
+
+TEST_F(FleetTest, AcceptedPostsAreAppliedDespiteConcurrentStop) {
+  FleetConfig cfg;
+  cfg.num_shards = 2;
+  ShardedFleet fleet(&glint_->detector(), cfg);
+  ASSERT_TRUE(fleet.TryAddHome("st-a", RulePool(2)).ok());
+  ASSERT_TRUE(fleet.TryAddHome("st-b", RulePool(2)).ok());
+  EventBus::Config bc;
+  bc.capacity = 4;  // small: most posts ride the blocking path mid-Stop
+  EventBus bus(&fleet, bc);
+  auto pool = RulePool(2);
+  // The guarantee under test: a Post that returned OK is applied before
+  // Stop() returns, even when Stop races the push — never silently lost.
+  std::atomic<uint64_t> accepted{0};
+  auto produce = [&](const HomeId& home) {
+    for (int i = 0; i < 400; ++i) {
+      BusMessage m;
+      m.kind = BusMessage::Kind::kEvent;
+      m.home = home;
+      m.event = EventFor(pool[i & 1], 0.1 + 0.001 * i);
+      if (bus.Post(std::move(m)).ok()) {
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::thread p0(produce, "st-a"), p1(produce, "st-b");
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  bus.Stop();
+  p0.join();
+  p1.join();
+  EXPECT_EQ(bus.apply_errors(), 0u);
+  EXPECT_EQ(fleet.AggregateStats().events, accepted.load());
+}
+
 // ---- Wire server end to end ---------------------------------------------
 
 /// Raw loopback TCP connect (bypassing wire::Client) so tests can put
@@ -661,8 +760,8 @@ TEST_F(FleetTest, ServerServesTheWireProtocolEndToEnd) {
     EXPECT_EQ(reply.code, 0) << reply.message;
   }
 
-  // Inspect over the wire == inspect in process (the kInspect path drains
-  // the home's shard first, so the verdict covers the accepted events).
+  // Inspect over the wire == inspect in process (the kInspect path runs on
+  // the owning shard's consumer thread, behind the accepted events).
   req = wire::Request();
   req.type = wire::MsgType::kInspect;
   req.home = "net-a";
@@ -790,6 +889,88 @@ TEST_F(FleetTest, ServerSurvivesMalformedFramesAndKeepsServing) {
   req.type = wire::MsgType::kPing;
   ASSERT_TRUE(client.Call(req, &reply).ok());
   EXPECT_EQ(reply.type, wire::MsgType::kPong);
+  server.Stop();
+}
+
+// The reviewer-found race this pins down: one connection inspecting a
+// shard while another keeps posting events to it. kInspect/kStats must
+// read the engine on the shard's consumer thread (RunOnShard), never on
+// the connection thread behind a mere flush — the TSAN leg of check.sh
+// runs this suite, so a regression to flush-then-read fails loudly there.
+TEST_F(FleetTest, ConcurrentClientsPostAndInspectWithoutRacing) {
+  FleetConfig cfg;
+  cfg.num_shards = 2;
+  ShardedFleet fleet(&glint_->detector(), cfg);
+  FleetServer server(&fleet, {});
+  ASSERT_TRUE(server.Start().ok());
+  auto pool = RulePool(4);
+  const std::vector<HomeId> homes = {"cc-a", "cc-b"};
+  {
+    wire::Client c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", server.port()).ok());
+    for (const auto& home : homes) {
+      wire::Request req;
+      wire::Reply reply;
+      req.type = wire::MsgType::kAddHome;
+      req.home = home;
+      req.rules = {pool[0], pool[1]};
+      ASSERT_TRUE(c.Call(req, &reply).ok());
+      ASSERT_EQ(reply.code, 0) << reply.message;
+    }
+  }
+  // Every client hammers BOTH homes, alternating mutations and reads, so
+  // posters and inspectors collide on each shard the whole run.
+  const int kClients = 4;
+  const int kOpsPerClient = 60;
+  std::atomic<uint64_t> posted{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      wire::Client c;
+      if (!c.Connect("127.0.0.1", server.port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        wire::Request req;
+        wire::Reply reply;
+        req.home = homes[static_cast<size_t>(i & 1)];
+        switch ((t + i) % 3) {
+          case 0:
+            req.type = wire::MsgType::kEvent;
+            req.event = EventFor(pool[static_cast<size_t>(i % 4)],
+                                 0.2 + 0.01 * i);
+            break;
+          case 1:
+            req.type = wire::MsgType::kInspect;
+            req.now_hours = 2.0;
+            break;
+          default:
+            req.type = wire::MsgType::kStats;
+            break;
+        }
+        if (!c.Call(req, &reply).ok() || reply.code != 0) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (req.type == wire::MsgType::kEvent) posted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every acked event was applied: kStats drains each shard behind its
+  // accepted messages before reading the counters.
+  wire::Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server.port()).ok());
+  wire::Request req;
+  wire::Reply reply;
+  req.type = wire::MsgType::kStats;
+  ASSERT_TRUE(c.Call(req, &reply).ok());
+  EXPECT_EQ(reply.homes, homes.size());
+  EXPECT_EQ(reply.events, posted.load());
+  EXPECT_EQ(reply.bus_apply_errors, 0u);
   server.Stop();
 }
 
